@@ -1,0 +1,180 @@
+package verifyio
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildCLIs compiles the command binaries once per test binary run.
+func buildCLIs(t *testing.T) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("CLI integration skipped in -short mode")
+	}
+	bin := t.TempDir()
+	for _, cmd := range []string{"verifyio", "verifyio-trace", "wrappergen", "reproduce"} {
+		out, err := exec.Command("go", "build", "-o", filepath.Join(bin, cmd), "./cmd/"+cmd).CombinedOutput()
+		if err != nil {
+			t.Fatalf("building %s: %v\n%s", cmd, err, out)
+		}
+	}
+	return bin
+}
+
+func runCLI(t *testing.T, bin string, wantExit int, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(bin, args[0]), args[1:]...)
+	var buf bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &buf, &buf
+	err := cmd.Run()
+	exit := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		exit = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("%v: %v\n%s", args, err, buf.String())
+	}
+	if exit != wantExit {
+		t.Fatalf("%v: exit %d, want %d\n%s", args, exit, wantExit, buf.String())
+	}
+	return buf.String()
+}
+
+// TestCLIWorkflow drives the whole command-line workflow end to end:
+// trace → dump → verify (clean and racy and unmatched) → diagnose → json.
+func TestCLIWorkflow(t *testing.T) {
+	bin := buildCLIs(t)
+	traces := t.TempDir()
+
+	// List includes the named tests.
+	out := runCLI(t, bin, 0, "verifyio-trace", "-list")
+	if !strings.Contains(out, "flexible") || !strings.Contains(out, "parallel5") {
+		t.Fatalf("-list output missing tests:\n%s", out)
+	}
+
+	// Trace three representative executions.
+	for _, name := range []string{"flexible", "scalar", "collective_error"} {
+		dir := filepath.Join(traces, name)
+		out := runCLI(t, bin, 0, "verifyio-trace", "-test", name, "-out", dir)
+		if !strings.Contains(out, name) {
+			t.Fatalf("trace output missing test name:\n%s", out)
+		}
+	}
+
+	// Dump shows the nested call structure.
+	out = runCLI(t, bin, 0, "verifyio", "-trace", filepath.Join(traces, "flexible"), "-dump")
+	for _, want := range []string{"ncmpi_create", "MPI_File_open", "open(flexible.nc"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("-dump missing %q:\n%s", want, out)
+		}
+	}
+
+	// Clean test: exit 0, properly synchronized everywhere.
+	out = runCLI(t, bin, 0, "verifyio", "-trace", filepath.Join(traces, "scalar"), "-model", "all")
+	if strings.Count(out, "properly synchronized") != 4 {
+		t.Fatalf("scalar verdicts wrong:\n%s", out)
+	}
+
+	// Racy test: exit 1, POSIX clean, MPI-IO racy; diagnose names pnetcdf.
+	out = runCLI(t, bin, 1, "verifyio", "-trace", filepath.Join(traces, "flexible"), "-model", "all", "-diagnose")
+	if !strings.Contains(out, "POSIX    properly synchronized") ||
+		!strings.Contains(out, "data races") ||
+		!strings.Contains(out, "responsible: pnetcdf") {
+		t.Fatalf("flexible verdicts wrong:\n%s", out)
+	}
+
+	// Unmatched test: exit 2.
+	out = runCLI(t, bin, 2, "verifyio", "-trace", filepath.Join(traces, "collective_error"), "-model", "posix")
+	if !strings.Contains(out, "unmatched") {
+		t.Fatalf("collective_error output wrong:\n%s", out)
+	}
+
+	// JSON output parses and carries the verdicts.
+	out = runCLI(t, bin, 1, "verifyio", "-trace", filepath.Join(traces, "flexible"), "-model", "all", "-json")
+	jsonStart := strings.Index(out, "[")
+	var reports []map[string]any
+	if err := json.Unmarshal([]byte(out[jsonStart:]), &reports); err != nil {
+		t.Fatalf("-json output does not parse: %v\n%s", err, out)
+	}
+	if len(reports) != 4 || reports[0]["Model"] != "posix" {
+		t.Fatalf("json reports = %v", reports)
+	}
+
+	// wrappergen counts the PnetCDF surface.
+	out = runCLI(t, bin, 0, "wrappergen", "-sig", "internal/recorder/sigs/pnetcdf.sig", "-count")
+	if !strings.Contains(out, "pnetcdf:") {
+		t.Fatalf("wrappergen -count output:\n%s", out)
+	}
+
+	// wrappergen generates a compilable registration file.
+	gen := filepath.Join(t.TempDir(), "gen.go")
+	runCLI(t, bin, 0, "wrappergen", "-sig", "internal/recorder/sigs/netcdf.sig", "-out", gen, "-package", "wrappers")
+	data, err := os.ReadFile(gen)
+	if err != nil || !strings.Contains(string(data), "NetcdfFunctions") {
+		t.Fatalf("generated file: %v", err)
+	}
+
+	// reproduce regenerates the quick artifacts.
+	results := t.TempDir()
+	out = runCLI(t, bin, 0, "reproduce", "-out", results, "-only", "table1,table2")
+	if !strings.Contains(out, "Session") || !strings.Contains(out, "recorder+") {
+		t.Fatalf("reproduce output:\n%s", out)
+	}
+	if _, err := os.Stat(filepath.Join(results, "table1.txt")); err != nil {
+		t.Fatalf("artifact missing: %v", err)
+	}
+}
+
+// TestExamplesRun executes every example program and checks its headline
+// output — the examples are living documentation of the paper's findings.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples skipped in -short mode")
+	}
+	cases := []struct {
+		dir   string
+		wants []string
+	}{
+		{"quickstart", []string{
+			"POSIX    properly synchronized",
+			"Commit   properly synchronized",
+			"Session  1 data races",
+			"MPI-IO   1 data races",
+		}},
+		{"hdf5-race", []string{
+			"improper", "4 data races", "proper", "sync-barrier-sync",
+		}},
+		{"pnetcdf-flexible", []string{
+			"POSIX    properly synchronized",
+			"ncmpi_enddef",
+			"collective buffering OFF",
+			"0 conflicts",
+		}},
+		{"corruption", []string{
+			"STALE — silent corruption",
+			`rank 1 read "IMPORTANT-RESULT"  (correct)`,
+		}},
+		{"diagnose", []string{
+			"unordered-conflict", "missing-sync-construct",
+			"library-internal-conflict", "responsible: pnetcdf",
+		}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.dir, func(t *testing.T) {
+			out, err := exec.Command("go", "run", "./examples/"+tc.dir).CombinedOutput()
+			if err != nil {
+				t.Fatalf("example failed: %v\n%s", err, out)
+			}
+			for _, want := range tc.wants {
+				if !strings.Contains(string(out), want) {
+					t.Errorf("output missing %q:\n%s", want, out)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,324 @@
+// Command reproduce regenerates every table and figure of the paper's
+// evaluation (§V) from the simulated corpus:
+//
+//	table1 — consistency-model specifications (S and MSC)
+//	table2 — tracer API coverage (Recorder vs Recorder⁺)
+//	fig4   — data races per test execution × consistency model (91 rows)
+//	table3 — test executions that are not properly synchronized
+//	table4 — workflow execution-time breakdown of the three slowest tests
+//	fig3   — pruning ablation (properly-synchronized checks saved)
+//
+// Absolute numbers differ from the paper (the substrate is a simulator, not
+// Lassen, and workloads are scaled down — see EXPERIMENTS.md); the shape of
+// every result is preserved.
+//
+// Usage:
+//
+//	reproduce [-out DIR] [-only table1,fig4,...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"verifyio/internal/corpus"
+	"verifyio/internal/recorder"
+	"verifyio/internal/semantics"
+	"verifyio/internal/trace"
+	"verifyio/internal/verify"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+type artifact struct {
+	name string
+	fn   func(w io.Writer) error
+}
+
+func run() int {
+	var (
+		out  = flag.String("out", "results", "output directory for the artifacts")
+		only = flag.String("only", "", "comma-separated subset (table1,table2,table3,table4,fig3,fig4)")
+	)
+	flag.Parse()
+
+	// fig4 is computed once and shared with table3/table4.
+	var rows []*corpus.Row
+	rowsOnce := func() ([]*corpus.Row, error) {
+		if rows != nil {
+			return rows, nil
+		}
+		for _, tc := range corpus.Tests() {
+			row, err := corpus.Verify(tc, verify.AlgoVectorClock)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+		}
+		return rows, nil
+	}
+
+	artifacts := []artifact{
+		{"table1", table1},
+		{"table2", table2},
+		{"fig4", func(w io.Writer) error { return fig4(w, rowsOnce) }},
+		{"table3", func(w io.Writer) error { return table3(w, rowsOnce) }},
+		{"table4", table4},
+		{"fig3", fig3},
+	}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, n := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(n)] = true
+		}
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "reproduce: %v\n", err)
+		return 2
+	}
+	for _, a := range artifacts {
+		if len(want) > 0 && !want[a.name] {
+			continue
+		}
+		path := filepath.Join(*out, a.name+".txt")
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "reproduce: %v\n", err)
+			return 2
+		}
+		w := io.MultiWriter(os.Stdout, f)
+		fmt.Fprintf(w, "==== %s ====\n", a.name)
+		if err := a.fn(w); err != nil {
+			fmt.Fprintf(os.Stderr, "reproduce: %s: %v\n", a.name, err)
+			f.Close()
+			return 2
+		}
+		fmt.Fprintln(w)
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "reproduce: %v\n", err)
+			return 2
+		}
+	}
+	return 0
+}
+
+// table1 prints the synchronization-operation set S and the MSC per model.
+func table1(w io.Writer) error {
+	fmt.Fprintf(w, "%-10s %-45s %s\n", "Model", "S", "MSC")
+	for _, m := range semantics.All() {
+		s := "{}"
+		if len(m.SyncSet) > 0 {
+			s = "{" + strings.Join(m.SyncSet, ", ") + "}"
+		}
+		fmt.Fprintf(w, "%-10s %-45s %s\n", m.Name, s, m.MSC.String())
+	}
+	return nil
+}
+
+// table2 prints the tracer coverage comparison.
+func table2(w io.Writer) error {
+	reg := recorder.DefaultRegistry()
+	libs := []string{"hdf5", "netcdf", "pnetcdf"}
+	fmt.Fprintf(w, "%-12s %8s %8s %8s\n", "Tracer", "HDF5", "NetCDF", "PnetCDF")
+	for _, cov := range []recorder.Coverage{recorder.CoverageLegacy, recorder.CoveragePlus} {
+		fmt.Fprintf(w, "%-12s", cov.String())
+		for _, lib := range libs {
+			n := reg.Count(cov, lib)
+			if n == 0 {
+				fmt.Fprintf(w, "%8s", "-")
+			} else {
+				fmt.Fprintf(w, "%8d", n)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "(recorder+ fully covers each simulated library's API surface;\n")
+	fmt.Fprintf(w, " the legacy recorder supports a fixed 84-function HDF5 subset only)\n")
+	return nil
+}
+
+// fig4 prints races per test × model; green = 0 races, gray = unmatched.
+func fig4(w io.Writer, rowsOnce func() ([]*corpus.Row, error)) error {
+	rows, err := rowsOnce()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-24s %-8s %10s %10s %10s %10s %10s\n",
+		"test", "library", "conflicts", "POSIX", "Commit", "Session", "MPI-IO")
+	lib := ""
+	for _, row := range rows {
+		if row.Test.Library != lib {
+			lib = row.Test.Library
+			fmt.Fprintf(w, "-- %s --\n", lib)
+		}
+		if row.Unmatched {
+			fmt.Fprintf(w, "%-24s %-8s %10s %10s %10s %10s %10s\n",
+				row.Test.Name, lib, "-", "unmatched", "unmatched", "unmatched", "unmatched")
+			continue
+		}
+		fmt.Fprintf(w, "%-24s %-8s %10d %10d %10d %10d %10d\n",
+			row.Test.Name, lib, row.Conflicts,
+			row.Races[0], row.Races[1], row.Races[2], row.Races[3])
+	}
+	return nil
+}
+
+// table3 prints the not-properly-synchronized summary.
+func table3(w io.Writer, rowsOnce func() ([]*corpus.Row, error)) error {
+	rows, err := rowsOnce()
+	if err != nil {
+		return err
+	}
+	s := corpus.Summarize(rows)
+	libs := corpus.Libraries()
+	fmt.Fprintf(w, "%-10s", "Semantics")
+	for _, lib := range libs {
+		fmt.Fprintf(w, " %9s", fmt.Sprintf("%s (%d)", lib, s.TestsPerLibrary[lib]))
+	}
+	fmt.Fprintf(w, " %10s\n", "Total (91)")
+	for m, model := range semantics.All() {
+		fmt.Fprintf(w, "%-10s", model.Name)
+		for _, lib := range libs {
+			fmt.Fprintf(w, " %9d", s.NotSynced[m][lib])
+		}
+		fmt.Fprintf(w, " %10d\n", corpus.Totals(s.NotSynced[m]))
+	}
+	fmt.Fprintf(w, "unmatched MPI calls (gray rows): %d\n", corpus.Totals(s.Unmatched))
+	return nil
+}
+
+// table4 prints the stage-time breakdown of the three slowest tests.
+func table4(w io.Writer) error {
+	names := []string{"nc4perf", "cache", "pmulti_dset"}
+	type breakdown struct {
+		name   string
+		timing verify.Timing
+		nodes  int
+		edges  int
+		pairs  int64
+	}
+	var rows []breakdown
+	for _, name := range names {
+		tc, err := corpus.ByName(name)
+		if err != nil {
+			return err
+		}
+		tr, err := corpus.Run(tc)
+		if err != nil {
+			return err
+		}
+		// The paper's first stage is reading the stored trace: round-trip
+		// through the on-disk format and time the read.
+		dir, err := os.MkdirTemp("", "verifyio-table4-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		if err := trace.WriteDir(dir, tr, trace.DefaultEncodeOptions()); err != nil {
+			return err
+		}
+		readStart := time.Now()
+		tr, err = trace.ReadDir(dir)
+		if err != nil {
+			return err
+		}
+		readTime := time.Since(readStart)
+		a, err := verify.Analyze(tr, verify.AlgoVectorClock)
+		if err != nil {
+			return err
+		}
+		a.Timing.ReadTrace = readTime
+		// Verification time = sum over the four models (the paper
+		// verifies each model; we report the aggregate pass).
+		var vtime time.Duration
+		for _, m := range semantics.All() {
+			rep, err := a.Verify(verify.Options{Model: m})
+			if err != nil {
+				return err
+			}
+			vtime += rep.Timing.Verification
+		}
+		t := a.Timing
+		t.Verification = vtime
+		rows = append(rows, breakdown{
+			name: name, timing: t,
+			nodes: a.Graph.Nodes(), edges: a.Graph.SyncEdges(),
+			pairs: a.Conflicts.Pairs,
+		})
+	}
+	fmt.Fprintf(w, "%-32s", "Stage")
+	for _, r := range rows {
+		fmt.Fprintf(w, " %16s", r.name)
+	}
+	fmt.Fprintln(w)
+	stage := func(label string, pick func(verify.Timing) time.Duration) {
+		fmt.Fprintf(w, "%-32s", label)
+		for _, r := range rows {
+			fmt.Fprintf(w, " %16s", pick(r.timing).Round(time.Microsecond))
+		}
+		fmt.Fprintln(w)
+	}
+	stage("Read trace", func(t verify.Timing) time.Duration { return t.ReadTrace })
+	stage("Detect conflicts", func(t verify.Timing) time.Duration { return t.DetectConflicts })
+	stage("Build the happens-before graph", func(t verify.Timing) time.Duration { return t.BuildGraph })
+	stage("Generate vector clock", func(t verify.Timing) time.Duration { return t.VectorClock })
+	stage("Verification (4 models)", func(t verify.Timing) time.Duration { return t.Verification })
+	stage("Total", func(t verify.Timing) time.Duration { return t.Total() })
+	fmt.Fprintf(w, "%-32s", "graph nodes / sync edges")
+	for _, r := range rows {
+		fmt.Fprintf(w, " %16s", fmt.Sprintf("%d/%d", r.nodes, r.edges))
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-32s", "conflict pairs")
+	for _, r := range rows {
+		fmt.Fprintf(w, " %16d", r.pairs)
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// fig3 prints the pruning ablation: properly-synchronized checks performed
+// with and without the four pruning rules, per racy test.
+func fig3(w io.Writer) error {
+	names := []string{"shapesame", "pmulti_dset", "nc4perf", "interleaved"}
+	fmt.Fprintf(w, "%-16s %12s %14s %14s %8s\n", "test", "conflicts", "checks(prune)", "checks(full)", "saving")
+	for _, name := range names {
+		tc, err := corpus.ByName(name)
+		if err != nil {
+			return err
+		}
+		tr, err := corpus.Run(tc)
+		if err != nil {
+			return err
+		}
+		a, err := verify.Analyze(tr, verify.AlgoVectorClock)
+		if err != nil {
+			return err
+		}
+		model := semantics.MPIIOModel()
+		pruned, err := a.Verify(verify.Options{Model: model})
+		if err != nil {
+			return err
+		}
+		full, err := a.Verify(verify.Options{Model: model, DisablePruning: true})
+		if err != nil {
+			return err
+		}
+		if pruned.RaceCount != full.RaceCount {
+			return fmt.Errorf("%s: pruning changed the result (%d vs %d races)",
+				name, pruned.RaceCount, full.RaceCount)
+		}
+		saving := 1 - float64(pruned.ChecksPerformed)/float64(full.ChecksPerformed)
+		fmt.Fprintf(w, "%-16s %12d %14d %14d %7.1f%%\n",
+			name, pruned.ConflictPairs, pruned.ChecksPerformed, full.ChecksPerformed, 100*saving)
+	}
+	return nil
+}

@@ -1,0 +1,70 @@
+// Command verifyio-trace runs step 1 of the VerifyIO workflow: it executes
+// a corpus test program under the Recorder⁺ tracer and writes the trace
+// directory that cmd/verifyio consumes.
+//
+// Usage:
+//
+//	verifyio-trace -list
+//	verifyio-trace -test NAME -out DIR
+//	verifyio-trace -all -out DIR          (one subdirectory per test)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"verifyio"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		list = flag.Bool("list", false, "list the corpus test names and exit")
+		test = flag.String("test", "", "corpus test to trace")
+		all  = flag.Bool("all", false, "trace every corpus test")
+		out  = flag.String("out", "traces", "output directory")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range verifyio.CorpusTests() {
+			fmt.Println(name)
+		}
+		return 0
+	}
+
+	var names []string
+	switch {
+	case *all:
+		names = verifyio.CorpusTests()
+	case *test != "":
+		names = []string{*test}
+	default:
+		fmt.Fprintln(os.Stderr, "verifyio-trace: need -test NAME, -all, or -list")
+		flag.Usage()
+		return 2
+	}
+
+	for _, name := range names {
+		tr, err := verifyio.RunCorpusTest(name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "verifyio-trace: %s: %v\n", name, err)
+			return 2
+		}
+		dir := *out
+		if *all {
+			dir = filepath.Join(*out, name)
+		}
+		if err := tr.WriteDir(dir); err != nil {
+			fmt.Fprintf(os.Stderr, "verifyio-trace: %s: %v\n", name, err)
+			return 2
+		}
+		fmt.Printf("%-24s %d ranks, %6d records -> %s\n", name, tr.NumRanks(), tr.NumRecords(), dir)
+	}
+	return 0
+}

@@ -1,0 +1,141 @@
+// Command verifyio runs steps 2–4 of the VerifyIO workflow on a trace
+// directory: conflict detection, MPI matching, and consistency-semantics
+// verification against one or all models.
+//
+// Usage:
+//
+//	verifyio -trace DIR [-model posix|commit|session|mpi-io|all]
+//	         [-algorithm auto|vector-clock|reachability|transitive-closure|on-the-fly]
+//	         [-no-pruning] [-max-races N] [-details]
+//
+// Exit status: 0 when every verified model is properly synchronized, 1 when
+// data races were found, 2 when verification aborted on unmatched MPI calls
+// or an error occurred.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"verifyio"
+	"verifyio/internal/trace"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		traceDir  = flag.String("trace", "", "trace directory (written by verifyio-trace)")
+		model     = flag.String("model", "all", "consistency model: posix, commit, session, mpi-io, or all")
+		algorithm = flag.String("algorithm", "auto", "happens-before algorithm")
+		noPrune   = flag.Bool("no-pruning", false, "disable conflict-group pruning (Fig. 3)")
+		maxRaces  = flag.Int("max-races", 16, "maximum races reported in detail")
+		details   = flag.Bool("details", false, "print full reports with call chains")
+		diagnose  = flag.Bool("diagnose", false, "classify each race and suggest a fix")
+		dump      = flag.Bool("dump", false, "print the trace as text and exit")
+		jsonOut   = flag.Bool("json", false, "emit the reports as JSON")
+	)
+	flag.Parse()
+	if *traceDir == "" {
+		fmt.Fprintln(os.Stderr, "verifyio: -trace DIR is required")
+		flag.Usage()
+		return 2
+	}
+	if *dump {
+		raw, err := trace.ReadDir(*traceDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "verifyio: %v\n", err)
+			return 2
+		}
+		if err := trace.WriteText(os.Stdout, raw); err != nil {
+			fmt.Fprintf(os.Stderr, "verifyio: %v\n", err)
+			return 2
+		}
+		return 0
+	}
+
+	start := time.Now()
+	tr, err := verifyio.ReadTraceDir(*traceDir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "verifyio: %v\n", err)
+		return 2
+	}
+	readTime := time.Since(start)
+	fmt.Printf("trace: %s (%d ranks, %d records, read in %v)\n",
+		*traceDir, tr.NumRanks(), tr.NumRecords(), readTime.Round(time.Millisecond))
+	if prog := tr.Meta("program"); prog != "" {
+		fmt.Printf("program: %s\n", prog)
+	}
+
+	opts := &verifyio.Options{
+		Algorithm:      *algorithm,
+		DisablePruning: *noPrune,
+		MaxRaceDetails: *maxRaces,
+	}
+
+	var reports []*verifyio.Report
+	if *model == "all" {
+		reports, err = verifyio.VerifyAll(tr, opts)
+	} else {
+		var rep *verifyio.Report
+		rep, err = verifyio.Verify(tr, verifyio.Model(*model), opts)
+		reports = []*verifyio.Report{rep}
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "verifyio: %v\n", err)
+		return 2
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reports); err != nil {
+			fmt.Fprintf(os.Stderr, "verifyio: %v\n", err)
+			return 2
+		}
+		for _, rep := range reports {
+			if !rep.Verified {
+				return 2
+			}
+			if !rep.ProperlySynchronized {
+				return 1
+			}
+		}
+		return 0
+	}
+
+	status := 0
+	for _, rep := range reports {
+		if *details {
+			fmt.Println("----------------------------------------")
+			rep.Render(os.Stdout)
+		} else {
+			fmt.Println(rep.Summary())
+		}
+		if *diagnose && rep.Verified && rep.RaceCount > 0 {
+			_, ds, err := verifyio.Diagnose(tr, rep.Model, opts)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "verifyio: diagnose: %v\n", err)
+				return 2
+			}
+			for i, d := range ds {
+				fmt.Printf("  diagnosis #%d [%s] responsible: %s\n", i+1, d.Category, d.Responsible)
+				fmt.Printf("    %s (rank %d) vs %s (rank %d) on %s\n",
+					d.Race.FuncX, d.Race.RankX, d.Race.FuncY, d.Race.RankY, d.Race.File)
+				fmt.Printf("    fix: %s\n", d.Suggestion)
+			}
+		}
+		switch {
+		case !rep.Verified:
+			status = 2
+		case !rep.ProperlySynchronized && status == 0:
+			status = 1
+		}
+	}
+	return status
+}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"verifyio/internal/recorder"
+)
+
+const testSig = `# library: toy
+expand T: int float
+void toy_put_${T}(const ${T} *v);
+int toy_open(const char *path);
+`
+
+func TestGenerateProducesValidGo(t *testing.T) {
+	sf, err := recorder.ParseSigFile(testSig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := Generate(sf, "wrappers")
+	// The generated file must parse as Go source.
+	fset := token.NewFileSet()
+	if _, err := parser.ParseFile(fset, "gen.go", src, 0); err != nil {
+		t.Fatalf("generated source does not parse: %v\n%s", err, src)
+	}
+	for _, want := range []string{
+		"package wrappers",
+		"DO NOT EDIT",
+		"ToyFunctions",
+		`"toy_put_int"`,
+		`"toy_put_float"`,
+		`"toy_open"`,
+		"const float *v", // prototype comment, expanded
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("generated source missing %q", want)
+		}
+	}
+}
+
+func TestGenerateMatchesEmbeddedRegistryCounts(t *testing.T) {
+	// Re-generating from the shipped signature files yields exactly the
+	// function sets the tracer registry uses (codegen and tracer agree).
+	reg := recorder.DefaultRegistry()
+	for _, lib := range reg.Libraries() {
+		sigData, err := recorder.EmbeddedSig(lib)
+		if err != nil {
+			t.Fatalf("%s: %v", lib, err)
+		}
+		sf, err := recorder.ParseSigFile(sigData)
+		if err != nil {
+			t.Fatalf("%s: %v", lib, err)
+		}
+		if got, want := len(sf.Funcs), reg.Count(recorder.CoveragePlus, lib); got != want {
+			t.Errorf("%s: generator sees %d functions, registry %d", lib, got, want)
+		}
+		src := Generate(sf, "wrappers")
+		fset := token.NewFileSet()
+		if _, err := parser.ParseFile(fset, lib+".go", src, 0); err != nil {
+			t.Errorf("%s: generated source does not parse: %v", lib, err)
+		}
+	}
+}
+
+func TestExportNameAndOneLine(t *testing.T) {
+	if exportName("pnetcdf") != "Pnetcdf" || exportName("") != "Lib" {
+		t.Error("exportName wrong")
+	}
+	long := strings.Repeat("x", 200)
+	if got := oneLine("int f(" + long + ");"); len(got) > 90 {
+		t.Errorf("oneLine did not truncate: %d chars", len(got))
+	}
+}

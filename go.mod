@@ -1,0 +1,3 @@
+module verifyio
+
+go 1.22

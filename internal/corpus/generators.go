@@ -1,0 +1,932 @@
+package corpus
+
+import (
+	"fmt"
+
+	"verifyio/internal/recorder"
+	"verifyio/internal/sim/hdf5"
+	"verifyio/internal/sim/mpi"
+	"verifyio/internal/sim/mpiio"
+	"verifyio/internal/sim/netcdf"
+	"verifyio/internal/sim/pnetcdf"
+)
+
+// Partition helpers: rank i owns [lo, hi) of a size-S extent.
+func partition(size int64, ranks, rank int) (lo, hi int64) {
+	return size * int64(rank) / int64(ranks), size * int64(rank+1) / int64(ranks)
+}
+
+func fillBytes(n int64, b byte) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = b
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// PnetCDF program generators
+
+// pnCfg parameterizes the PnetCDF generators; distinct corpus tests use
+// distinct configurations, mirroring how the real suite varies API kind,
+// dimensionality, blocking-ness and data mode across tests.
+type pnCfg struct {
+	vars    int   // number of variables
+	size    int64 // elements per variable (flattened)
+	twoD    bool  // 2-D variables (size = rows*8)
+	fill    bool  // NC_FILL at enddef
+	nonbl   bool  // non-blocking iput + ncmpi_wait_all
+	indep   bool  // independent data mode puts
+	redef   bool  // add a variable through redef/enddef
+	subcomm bool  // run on a duplicated communicator
+	phased  bool  // write phase, close, reopen, cross-rank read phase
+	readOwn bool  // read back own partition (no cross-rank conflict)
+}
+
+func (c pnCfg) defVars(f *pnetcdf.File) ([]*pnetcdf.Var, error) {
+	var vars []*pnetcdf.Var
+	for vi := 0; vi < c.vars; vi++ {
+		var v *pnetcdf.Var
+		var err error
+		if c.twoD {
+			rows, err2 := f.DefDim(fmt.Sprintf("r%d", vi), c.size/8)
+			if err2 != nil {
+				return nil, err2
+			}
+			cols, err2 := f.DefDim(fmt.Sprintf("c%d", vi), 8)
+			if err2 != nil {
+				return nil, err2
+			}
+			v, err = f.DefVar(fmt.Sprintf("v%d", vi), "NC_INT", rows, cols)
+		} else {
+			d, err2 := f.DefDim(fmt.Sprintf("x%d", vi), c.size)
+			if err2 != nil {
+				return nil, err2
+			}
+			v, err = f.DefVar(fmt.Sprintf("v%d", vi), "NC_INT", d)
+		}
+		if err != nil {
+			return nil, err
+		}
+		vars = append(vars, v)
+	}
+	return vars, nil
+}
+
+func (c pnCfg) sel(v *pnetcdf.Var, lo, hi int64) (start, count []int64) {
+	if c.twoD {
+		return []int64{lo / 8, 0}, []int64{(hi - lo) / 8, 8}
+	}
+	return []int64{lo}, []int64{hi - lo}
+}
+
+// pnClean builds a properly synchronized PnetCDF program: each rank writes
+// its own partition; a phased configuration closes, reopens, and reads a
+// neighbour's partition (conflicts exist but are synchronized under all
+// four models via sync+close → barrier → open).
+func pnClean(c pnCfg) func(r *recorder.Rank) error {
+	return func(r *recorder.Rank) error {
+		comm := r.Proc().CommWorld()
+		if c.subcomm {
+			var err error
+			comm, err = r.CommDup(comm)
+			if err != nil {
+				return err
+			}
+		}
+		path := "data.nc"
+		f, err := pnetcdf.Create(r, comm, path, mpiio.DefaultConfig())
+		if err != nil {
+			return err
+		}
+		vars, err := c.defVars(f)
+		if err != nil {
+			return err
+		}
+		if c.fill {
+			if err := f.SetFill(true); err != nil {
+				return err
+			}
+		}
+		if err := f.EndDef(); err != nil {
+			return err
+		}
+		if c.redef {
+			if err := f.Redef(); err != nil {
+				return err
+			}
+			d, err := f.DefDim("extra", 4)
+			if err != nil {
+				return err
+			}
+			ev, err := f.DefVar("extra", "NC_INT", d)
+			if err != nil {
+				return err
+			}
+			if err := f.EndDef(); err != nil {
+				return err
+			}
+			vars = append(vars, ev)
+		}
+		lo, hi := partition(c.size, comm.Size(), commRankOf(comm, r.Rank()))
+		for _, v := range vars {
+			wlo, whi := lo, hi
+			if v.Size() != c.size {
+				wlo, whi = partition(v.Size(), comm.Size(), commRankOf(comm, r.Rank()))
+			}
+			if whi <= wlo {
+				continue
+			}
+			start, count := c.sel(v, wlo, whi)
+			if v.Size() != c.size {
+				start, count = []int64{wlo}, []int64{whi - wlo}
+			}
+			data := fillBytes(whi-wlo, byte('0'+r.Rank()))
+			switch {
+			case c.nonbl:
+				if _, err := f.IputVara("int", v, start, count, data); err != nil {
+					return err
+				}
+			case c.indep:
+				if err := f.BeginIndep(); err != nil {
+					return err
+				}
+				if err := f.PutVaraInt(v, start, count, data); err != nil {
+					return err
+				}
+				if err := f.EndIndep(); err != nil {
+					return err
+				}
+			default:
+				if err := f.PutVaraIntAll(v, start, count, data); err != nil {
+					return err
+				}
+			}
+		}
+		if c.nonbl {
+			if err := f.WaitAll(); err != nil {
+				return err
+			}
+		}
+		if c.readOwn && hi > lo {
+			start, count := c.sel(vars[0], lo, hi)
+			if _, err := f.GetVaraIntAll(vars[0], start, count); err != nil {
+				return err
+			}
+		}
+		if err := f.Sync(); err != nil {
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		if !c.phased {
+			return nil
+		}
+		// Phase 2: reopen and read the right neighbour's partition.
+		if err := r.Barrier(comm); err != nil {
+			return err
+		}
+		f2, err := pnetcdf.Open(r, comm, path, mpiio.DefaultConfig())
+		if err != nil {
+			return err
+		}
+		me := commRankOf(comm, r.Rank())
+		nlo, nhi := partition(c.size, comm.Size(), (me+1)%comm.Size())
+		if nhi > nlo {
+			v, err := f2.InqVarid("v0")
+			if err != nil {
+				return err
+			}
+			start, count := c.sel(v, nlo, nhi)
+			if _, err := f2.GetVaraIntAll(v, start, count); err != nil {
+				return err
+			}
+		}
+		return f2.Close()
+	}
+}
+
+// pnRacyBarrierOnly builds the Fig. 6-shaped PnetCDF program: write own
+// partition, barrier, read a neighbour's partition with no sync operations
+// between — POSIX-clean, racy under every relaxed model.
+func pnRacyBarrierOnly(size int64, ops int) func(r *recorder.Rank) error {
+	return func(r *recorder.Rank) error {
+		comm := r.Proc().CommWorld()
+		f, err := pnetcdf.Create(r, comm, "racy.nc", mpiio.DefaultConfig())
+		if err != nil {
+			return err
+		}
+		d, err := f.DefDim("x", size)
+		if err != nil {
+			return err
+		}
+		v, err := f.DefVar("v", "NC_INT", d)
+		if err != nil {
+			return err
+		}
+		if err := f.EndDef(); err != nil {
+			return err
+		}
+		me := r.Rank()
+		lo, hi := partition(size, comm.Size(), me)
+		chunk := (hi - lo) / int64(ops)
+		if chunk == 0 {
+			chunk = 1
+		}
+		for o := int64(0); o < int64(ops) && lo+o*chunk < hi; o++ {
+			s := lo + o*chunk
+			e := min64(s+chunk, hi)
+			if err := f.PutVaraIntAll(v, []int64{s}, []int64{e - s}, fillBytes(e-s, byte(o))); err != nil {
+				return err
+			}
+		}
+		if err := r.Barrier(comm); err != nil {
+			return err
+		}
+		nlo, nhi := partition(size, comm.Size(), (me+1)%comm.Size())
+		for o := int64(0); o < int64(ops) && nlo+o*chunk < nhi; o++ {
+			s := nlo + o*chunk
+			e := min64(s+chunk, nhi)
+			if _, err := f.GetVaraIntAll(v, []int64{s}, []int64{e - s}); err != nil {
+				return err
+			}
+		}
+		return f.Close()
+	}
+}
+
+// pnFlexible reproduces the flexible test (Fig. 5): fill at enddef, then a
+// flexible collective put whose view change triggers aggregation, making
+// rank 0's combined write conflict with every rank's fill write.
+func pnFlexible(size int64, twoD bool) func(r *recorder.Rank) error {
+	return func(r *recorder.Rank) error {
+		comm := r.Proc().CommWorld()
+		f, err := pnetcdf.Create(r, comm, "flexible.nc", mpiio.DefaultConfig())
+		if err != nil {
+			return err
+		}
+		var v *pnetcdf.Var
+		if twoD {
+			rows, err2 := f.DefDim("rows", size/8)
+			if err2 != nil {
+				return err2
+			}
+			cols, err2 := f.DefDim("cols", 8)
+			if err2 != nil {
+				return err2
+			}
+			v, err = f.DefVar("v", "NC_INT", rows, cols)
+		} else {
+			d, err2 := f.DefDim("x", size)
+			if err2 != nil {
+				return err2
+			}
+			v, err = f.DefVar("v", "NC_INT", d)
+		}
+		if err != nil {
+			return err
+		}
+		if err := f.SetFill(true); err != nil {
+			return err
+		}
+		if err := f.EndDef(); err != nil { // fill writes, one per rank
+			return err
+		}
+		me := r.Rank()
+		lo, hi := partition(size, comm.Size(), me)
+		var start, count []int64
+		if twoD {
+			start, count = []int64{lo / 8, 0}, []int64{(hi - lo) / 8, 8}
+		} else {
+			start, count = []int64{lo}, []int64{hi - lo}
+		}
+		// Flexible API: view change → aggregation → rank 0 writes all.
+		if err := f.PutVaraAll(v, start, count, fillBytes(hi-lo, byte('A'+me))); err != nil {
+			return err
+		}
+		return f.Close()
+	}
+}
+
+// pnPosixRaceVar1 reproduces null_args: every rank performs
+// ncmpi_put_var1_text_all on the same element.
+func pnPosixRaceVar1() func(r *recorder.Rank) error {
+	return func(r *recorder.Rank) error {
+		comm := r.Proc().CommWorld()
+		f, err := pnetcdf.Create(r, comm, "null_args.nc", mpiio.DefaultConfig())
+		if err != nil {
+			return err
+		}
+		d, err := f.DefDim("x", 4)
+		if err != nil {
+			return err
+		}
+		v, err := f.DefVar("v", "NC_TEXT", d)
+		if err != nil {
+			return err
+		}
+		if err := f.EndDef(); err != nil {
+			return err
+		}
+		if err := f.PutVar1TextAll(v, []int64{0}, byte('0'+r.Rank())); err != nil {
+			return err
+		}
+		return f.Close()
+	}
+}
+
+// pnPosixRaceWholeVar reproduces test_erange: every rank writes the whole
+// variable with ncmpi_put_var_uchar_all.
+func pnPosixRaceWholeVar(size int64) func(r *recorder.Rank) error {
+	return func(r *recorder.Rank) error {
+		comm := r.Proc().CommWorld()
+		f, err := pnetcdf.Create(r, comm, "test_erange.nc", mpiio.DefaultConfig())
+		if err != nil {
+			return err
+		}
+		d, err := f.DefDim("x", size)
+		if err != nil {
+			return err
+		}
+		v, err := f.DefVar("v", "NC_UBYTE", d)
+		if err != nil {
+			return err
+		}
+		if err := f.EndDef(); err != nil {
+			return err
+		}
+		if err := f.PutVarUcharAll(v, fillBytes(size, byte('a'+r.Rank()))); err != nil {
+			return err
+		}
+		return f.Close()
+	}
+}
+
+// pnCollectiveError reproduces collective_error: the ranks deliberately
+// disagree on which collective they call.
+func pnCollectiveError() func(r *recorder.Rank) error {
+	return func(r *recorder.Rank) error {
+		comm := r.Proc().CommWorld()
+		f, err := pnetcdf.Create(r, comm, "collerr.nc", mpiio.DefaultConfig())
+		if err != nil {
+			return err
+		}
+		d, err := f.DefDim("x", 8)
+		if err != nil {
+			return err
+		}
+		if _, err := f.DefVar("v", "NC_INT", d); err != nil {
+			return err
+		}
+		if err := f.EndDef(); err != nil {
+			return err
+		}
+		// The intentional error: rank 0 calls MPI_Barrier, the others
+		// call MPI_Allreduce in the same slot.
+		if r.Rank() == 0 {
+			if err := r.Barrier(comm); err != nil {
+				return err
+			}
+		} else if _, err := r.Allreduce(comm, 1, mpi.OpSum); err != nil {
+			return err
+		}
+		return f.Close()
+	}
+}
+
+// pnWaitBug reproduces the ncmpi_wait implementation bug (§V-D): pending
+// non-blocking puts are completed through ncmpi_wait, whose code path
+// splits — rank 0 issues MPI_File_write_at_all, the others
+// MPI_File_write_all.
+func pnWaitBug(size int64, reqs int, twoD bool) func(r *recorder.Rank) error {
+	return func(r *recorder.Rank) error {
+		comm := r.Proc().CommWorld()
+		f, err := pnetcdf.Create(r, comm, "waitbug.nc", mpiio.DefaultConfig())
+		if err != nil {
+			return err
+		}
+		cfg := pnCfg{vars: 1, size: size, twoD: twoD}
+		vars, err := cfg.defVars(f)
+		if err != nil {
+			return err
+		}
+		if err := f.EndDef(); err != nil {
+			return err
+		}
+		lo, hi := partition(size, comm.Size(), r.Rank())
+		span := (hi - lo) / int64(reqs)
+		for q := 0; q < reqs && span > 0; q++ {
+			s := lo + int64(q)*span
+			start, count := cfg.sel(vars[0], s, s+span)
+			if _, err := f.IputVara("int", vars[0], start, count, fillBytes(span, byte(q))); err != nil {
+				return err
+			}
+		}
+		if err := f.Wait(); err != nil { // the buggy completion path
+			return err
+		}
+		return f.Close()
+	}
+}
+
+func commRankOf(c *mpi.Comm, worldRank int) int {
+	for i, m := range c.Members() {
+		if m == worldRank {
+			return i
+		}
+	}
+	return -1
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// ---------------------------------------------------------------------------
+// NetCDF program generators
+
+type ncCfg struct {
+	vars       int
+	size       int64
+	collective bool
+	phased     bool
+	readOwn    bool
+	attr       bool // create an attribute written by rank 0 only
+}
+
+// ncClean builds a properly synchronized NetCDF program (mirrors pnClean).
+func ncClean(c ncCfg) func(r *recorder.Rank) error {
+	return func(r *recorder.Rank) error {
+		comm := r.Proc().CommWorld()
+		path := "data4.nc"
+		f, err := netcdf.CreatePar(r, comm, path, mpiio.DefaultConfig())
+		if err != nil {
+			return err
+		}
+		var vars []*netcdf.Var
+		for vi := 0; vi < c.vars; vi++ {
+			d, err := f.DefDim(fmt.Sprintf("x%d", vi), c.size)
+			if err != nil {
+				return err
+			}
+			v, err := f.DefVar(fmt.Sprintf("v%d", vi), "NC_INT", d)
+			if err != nil {
+				return err
+			}
+			vars = append(vars, v)
+		}
+		if err := f.EndDef(); err != nil {
+			return err
+		}
+		for _, v := range vars {
+			if err := f.VarParAccess(v, c.collective); err != nil {
+				return err
+			}
+		}
+		lo, hi := partition(c.size, comm.Size(), r.Rank())
+		for _, v := range vars {
+			if hi <= lo {
+				continue
+			}
+			if err := f.PutVaraInt(v, []int64{lo}, []int64{hi - lo}, fillBytes(hi-lo, byte('0'+r.Rank()))); err != nil {
+				return err
+			}
+		}
+		if c.readOwn && hi > lo {
+			if _, err := f.GetVaraInt(vars[0], []int64{lo}, []int64{hi - lo}); err != nil {
+				return err
+			}
+		}
+		if err := f.Sync(); err != nil {
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		if !c.phased {
+			return nil
+		}
+		if err := r.Barrier(comm); err != nil {
+			return err
+		}
+		f2, err := netcdf.OpenPar(r, comm, path, mpiio.DefaultConfig())
+		if err != nil {
+			return err
+		}
+		v, err := f2.InqVarid("v0")
+		if err != nil {
+			return err
+		}
+		nlo, nhi := partition(c.size, comm.Size(), (r.Rank()+1)%comm.Size())
+		if nhi > nlo {
+			if _, err := f2.GetVaraInt(v, []int64{nlo}, []int64{nhi - nlo}); err != nil {
+				return err
+			}
+		}
+		return f2.Close()
+	}
+}
+
+// ncRacyBarrierOnly is the NetCDF Fig. 6 shape: write own partition,
+// barrier, read a neighbour's, no sync between.
+func ncRacyBarrierOnly(size int64, ops int) func(r *recorder.Rank) error {
+	return func(r *recorder.Rank) error {
+		comm := r.Proc().CommWorld()
+		f, err := netcdf.CreatePar(r, comm, "racy4.nc", mpiio.DefaultConfig())
+		if err != nil {
+			return err
+		}
+		d, err := f.DefDim("x", size)
+		if err != nil {
+			return err
+		}
+		v, err := f.DefVar("v", "NC_INT", d)
+		if err != nil {
+			return err
+		}
+		if err := f.EndDef(); err != nil {
+			return err
+		}
+		me := r.Rank()
+		lo, hi := partition(size, comm.Size(), me)
+		chunk := (hi - lo) / int64(ops)
+		if chunk == 0 {
+			chunk = 1
+		}
+		for o := int64(0); o < int64(ops) && lo+o*chunk < hi; o++ {
+			s := lo + o*chunk
+			e := min64(s+chunk, hi)
+			if err := f.PutVaraInt(v, []int64{s}, []int64{e - s}, fillBytes(e-s, byte(o))); err != nil {
+				return err
+			}
+		}
+		if err := r.Barrier(comm); err != nil {
+			return err
+		}
+		nlo, nhi := partition(size, comm.Size(), (me+1)%comm.Size())
+		for o := int64(0); o < int64(ops) && nlo+o*chunk < nhi; o++ {
+			s := nlo + o*chunk
+			e := min64(s+chunk, nhi)
+			if _, err := f.GetVaraInt(v, []int64{s}, []int64{e - s}); err != nil {
+				return err
+			}
+		}
+		return f.Close()
+	}
+}
+
+// ncHeavyOverlap drives the nc4perf-scale verification load: rank 0 writes
+// the same region ops times, rank 1 reads an overlapping region ops times
+// after a barrier — ops² conflict pairs, POSIX-clean, relaxed-racy.
+func ncHeavyOverlap(ops int) func(r *recorder.Rank) error {
+	return func(r *recorder.Rank) error {
+		comm := r.Proc().CommWorld()
+		f, err := netcdf.CreatePar(r, comm, "nc4perf.nc", mpiio.DefaultConfig())
+		if err != nil {
+			return err
+		}
+		d, err := f.DefDim("x", 256)
+		if err != nil {
+			return err
+		}
+		v, err := f.DefVar("v", "NC_INT", d)
+		if err != nil {
+			return err
+		}
+		if err := f.EndDef(); err != nil {
+			return err
+		}
+		if r.Rank() == 0 {
+			for o := 0; o < ops; o++ {
+				if err := f.PutVaraInt(v, []int64{0}, []int64{128}, fillBytes(128, byte(o))); err != nil {
+					return err
+				}
+			}
+		}
+		if err := r.Barrier(comm); err != nil {
+			return err
+		}
+		if r.Rank() == 1 {
+			for o := 0; o < ops; o++ {
+				if _, err := f.GetVaraInt(v, []int64{64}, []int64{128}); err != nil {
+					return err
+				}
+			}
+		}
+		return f.Close()
+	}
+}
+
+// ncParallel5 reproduces parallel5 (§V-B1): every rank writes the entire
+// variable via nc_put_var_schar.
+func ncParallel5(size int64) func(r *recorder.Rank) error {
+	return func(r *recorder.Rank) error {
+		comm := r.Proc().CommWorld()
+		f, err := netcdf.CreatePar(r, comm, "parallel5.nc", mpiio.DefaultConfig())
+		if err != nil {
+			return err
+		}
+		d, err := f.DefDim("x", size)
+		if err != nil {
+			return err
+		}
+		v, err := f.DefVar("v", "NC_BYTE", d)
+		if err != nil {
+			return err
+		}
+		if err := f.EndDef(); err != nil {
+			return err
+		}
+		// The application-level misuse: a whole-variable write from
+		// every rank concurrently.
+		if err := f.PutVarSchar(v, fillBytes(size, byte('0'+r.Rank()))); err != nil {
+			return err
+		}
+		return f.Close()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// HDF5 program generators
+
+type h5Cfg struct {
+	datasets int
+	rows     int64 // per-rank rows of the 2-D dataset (cols fixed at 16)
+	phased   bool
+	attr     bool // attribute written by rank 0 (clean)
+	flushMid bool // H5Fflush between phases (clean variant for MPI-IO)
+}
+
+const h5Cols = 16
+
+// h5Clean builds a properly synchronized HDF5 program.
+func h5Clean(c h5Cfg) func(r *recorder.Rank) error {
+	return func(r *recorder.Rank) error {
+		comm := r.Proc().CommWorld()
+		path := "data.h5"
+		f, err := hdf5.Create(r, comm, path, mpiio.DefaultConfig())
+		if err != nil {
+			return err
+		}
+		n := int64(comm.Size())
+		var dss []*hdf5.Dataset
+		for di := 0; di < c.datasets; di++ {
+			ds, err := f.CreateDataset(fmt.Sprintf("d%d", di), c.rows*n, h5Cols)
+			if err != nil {
+				return err
+			}
+			dss = append(dss, ds)
+		}
+		if c.attr {
+			a, err := f.CreateAttr("meta", 8)
+			if err != nil {
+				return err
+			}
+			if r.Rank() == 0 {
+				if err := a.Write([]byte("version1")); err != nil {
+					return err
+				}
+			}
+			if err := a.Close(); err != nil {
+				return err
+			}
+		}
+		me := int64(r.Rank())
+		hs := hdf5.Hyperslab{Start: []int64{me * c.rows, 0}, Count: []int64{c.rows, h5Cols}}
+		for _, ds := range dss {
+			if err := ds.Write(hdf5.Independent, hs, fillBytes(c.rows*h5Cols, byte('0'+r.Rank()))); err != nil {
+				return err
+			}
+		}
+		if err := f.Flush(); err != nil {
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		if !c.phased {
+			return nil
+		}
+		if err := r.Barrier(comm); err != nil {
+			return err
+		}
+		f2, err := hdf5.OpenFile(r, comm, path, mpiio.DefaultConfig())
+		if err != nil {
+			return err
+		}
+		ds, err := f2.OpenDataset("d0")
+		if err != nil {
+			return err
+		}
+		neighbour := (me + 1) % n
+		nhs := hdf5.Hyperslab{Start: []int64{neighbour * c.rows, 0}, Count: []int64{c.rows, h5Cols}}
+		if _, err := ds.Read(hdf5.Independent, nhs); err != nil {
+			return err
+		}
+		return f2.Close()
+	}
+}
+
+// h5RacyBarrierOnly is the Fig. 6 left-hand pattern: H5Dwrite, MPI_Barrier,
+// H5Dread of overlapping selections, with no H5Fflush — POSIX-clean, racy
+// under the relaxed models. rows controls the conflict volume (shapesame's
+// huge counts come from many row extents).
+func h5RacyBarrierOnly(rows int64, useAttrs bool) func(r *recorder.Rank) error {
+	return func(r *recorder.Rank) error {
+		comm := r.Proc().CommWorld()
+		f, err := hdf5.Create(r, comm, "shape.h5", mpiio.DefaultConfig())
+		if err != nil {
+			return err
+		}
+		n := int64(comm.Size())
+		ds, err := f.CreateDataset("big", rows*n, h5Cols)
+		if err != nil {
+			return err
+		}
+		var attr *hdf5.Attr
+		if useAttrs {
+			if attr, err = f.CreateAttr("step", 8); err != nil {
+				return err
+			}
+			if r.Rank() == 0 {
+				if err := attr.Write([]byte("step0001")); err != nil {
+					return err
+				}
+			}
+		}
+		me := int64(r.Rank())
+		hs := hdf5.Hyperslab{Start: []int64{me * rows, 0}, Count: []int64{rows, h5Cols}}
+		if err := ds.Write(hdf5.Independent, hs, fillBytes(rows*h5Cols, byte('0'+r.Rank()))); err != nil {
+			return err
+		}
+		if err := r.Barrier(comm); err != nil {
+			return err
+		}
+		neighbour := (me + 1) % n
+		nhs := hdf5.Hyperslab{Start: []int64{neighbour * rows, 0}, Count: []int64{rows, h5Cols}}
+		if _, err := ds.Read(hdf5.Independent, nhs); err != nil {
+			return err
+		}
+		if useAttrs {
+			// The H5Awrite/H5Aread variant of the same pattern.
+			if _, err := attr.Read(); err != nil {
+				return err
+			}
+			if err := attr.Close(); err != nil {
+				return err
+			}
+		}
+		return f.Close()
+	}
+}
+
+// h5ManyOverlaps drives the pmulti_dset-scale conflict volume: two ranks
+// issue ops overlapping 1-D slices each (writer rank 0, reader rank 1),
+// producing on the order of ops² conflict pairs.
+func h5ManyOverlaps(ops int) func(r *recorder.Rank) error {
+	return func(r *recorder.Rank) error {
+		comm := r.Proc().CommWorld()
+		f, err := hdf5.Create(r, comm, "pmulti.h5", mpiio.DefaultConfig())
+		if err != nil {
+			return err
+		}
+		ds, err := f.CreateDataset("d", 4096)
+		if err != nil {
+			return err
+		}
+		if r.Rank() == 0 {
+			for o := 0; o < ops; o++ {
+				hs := hdf5.Hyperslab{Start: []int64{0}, Count: []int64{64}}
+				if err := ds.Write(hdf5.Independent, hs, fillBytes(64, byte(o))); err != nil {
+					return err
+				}
+			}
+		}
+		if err := r.Barrier(comm); err != nil {
+			return err
+		}
+		if r.Rank() == 1 {
+			for o := 0; o < ops; o++ {
+				hs := hdf5.Hyperslab{Start: []int64{32}, Count: []int64{64}}
+				if _, err := ds.Read(hdf5.Independent, hs); err != nil {
+					return err
+				}
+			}
+		}
+		return f.Close()
+	}
+}
+
+// h5ManyMPICalls drives the cache-test shape: a long phase of MPI traffic
+// (big happens-before graph) around a small improperly-synchronized I/O
+// pattern.
+func h5ManyMPICalls(iters int) func(r *recorder.Rank) error {
+	return func(r *recorder.Rank) error {
+		comm := r.Proc().CommWorld()
+		f, err := hdf5.Create(r, comm, "cache.h5", mpiio.DefaultConfig())
+		if err != nil {
+			return err
+		}
+		ds, err := f.CreateDataset("c", int64(comm.Size())*8)
+		if err != nil {
+			return err
+		}
+		me := int64(r.Rank())
+		hs := hdf5.Hyperslab{Start: []int64{me * 8}, Count: []int64{8}}
+		if err := ds.Write(hdf5.Independent, hs, fillBytes(8, byte(r.Rank()))); err != nil {
+			return err
+		}
+		for i := 0; i < iters; i++ {
+			if _, err := r.Allreduce(comm, int64(i), mpi.OpMax); err != nil {
+				return err
+			}
+			if err := r.Barrier(comm); err != nil {
+				return err
+			}
+		}
+		neighbour := (me + 1) % int64(comm.Size())
+		nhs := hdf5.Hyperslab{Start: []int64{neighbour * 8}, Count: []int64{8}}
+		if _, err := ds.Read(hdf5.Independent, nhs); err != nil {
+			return err
+		}
+		return f.Close()
+	}
+}
+
+// h5AttrPosixRace: every rank writes the same attribute concurrently — a
+// same-offset write-write conflict with no ordering at all (POSIX race).
+func h5AttrPosixRace() func(r *recorder.Rank) error {
+	return func(r *recorder.Rank) error {
+		comm := r.Proc().CommWorld()
+		f, err := hdf5.Create(r, comm, "attr.h5", mpiio.DefaultConfig())
+		if err != nil {
+			return err
+		}
+		a, err := f.CreateAttr("units", 8)
+		if err != nil {
+			return err
+		}
+		if err := a.Write([]byte(fmt.Sprintf("rank%04d", r.Rank()))); err != nil {
+			return err
+		}
+		if err := a.Close(); err != nil {
+			return err
+		}
+		return f.Close()
+	}
+}
+
+// h5OverlapPosixRace: overlapping independent H5Dwrites with no ordering.
+func h5OverlapPosixRace(overlap int64) func(r *recorder.Rank) error {
+	return func(r *recorder.Rank) error {
+		comm := r.Proc().CommWorld()
+		f, err := hdf5.Create(r, comm, "mdset.h5", mpiio.DefaultConfig())
+		if err != nil {
+			return err
+		}
+		ds, err := f.CreateDataset("d", 256)
+		if err != nil {
+			return err
+		}
+		me := int64(r.Rank())
+		// Each rank's 64-byte slice overlaps its neighbour's by overlap
+		// bytes.
+		start := me * (64 - overlap)
+		hs := hdf5.Hyperslab{Start: []int64{start}, Count: []int64{64}}
+		if err := ds.Write(hdf5.Independent, hs, fillBytes(64, byte('0'+r.Rank()))); err != nil {
+			return err
+		}
+		return f.Close()
+	}
+}
+
+// h5WriteReadNoOrder: a write on rank 0 and a read on rank 1 with no
+// synchronization whatsoever (POSIX race).
+func h5WriteReadNoOrder() func(r *recorder.Rank) error {
+	return func(r *recorder.Rank) error {
+		comm := r.Proc().CommWorld()
+		f, err := hdf5.Create(r, comm, "pflush.h5", mpiio.DefaultConfig())
+		if err != nil {
+			return err
+		}
+		ds, err := f.CreateDataset("d", 128)
+		if err != nil {
+			return err
+		}
+		if r.Rank() == 0 {
+			if err := ds.Write(hdf5.Independent, ds.All(), fillBytes(128, 'w')); err != nil {
+				return err
+			}
+		}
+		if r.Rank() == 1 {
+			if _, err := ds.Read(hdf5.Independent, ds.All()); err != nil {
+				return err
+			}
+		}
+		return f.Close()
+	}
+}

@@ -1,0 +1,169 @@
+package corpus
+
+import "verifyio/internal/recorder"
+
+// The corpus keeps the paper's test names. Expected outcomes reproduce the
+// Fig. 4 / Table III shape exactly:
+//
+//	library  tests  POSIX-racy  relaxed-racy  unmatched
+//	hdf5        15           3             7          0
+//	netcdf      17           1             9          0
+//	pnetcdf     59           2            12          3
+//
+// (Relaxed-racy counts include the POSIX-racy tests: an execution with a
+// completely unsynchronized conflict races under every model.)
+
+func hdf5Tests() []Test {
+	clean := func(name string, ranks int, cfg h5Cfg) Test {
+		return Test{Name: name, Library: "hdf5", Ranks: ranks, Prog: h5Clean(cfg), Expect: Expect{}}
+	}
+	relaxed := func(name string, ranks int, prog func(r *recorder.Rank) error) Test {
+		return Test{Name: name, Library: "hdf5", Ranks: ranks, Prog: prog,
+			Expect: Expect{RacesRelaxed: true}}
+	}
+	posix := func(name string, ranks int, prog func(r *recorder.Rank) error) Test {
+		return Test{Name: name, Library: "hdf5", Ranks: ranks, Prog: prog,
+			Expect: Expect{RacesPOSIX: true, RacesRelaxed: true}}
+	}
+	return []Test{
+		// Properly synchronized executions (green rows).
+		clean("t_dset", 4, h5Cfg{datasets: 2, rows: 4}),
+		clean("t_mdset", 4, h5Cfg{datasets: 4, rows: 2}),
+		clean("t_file_ops", 2, h5Cfg{datasets: 1, rows: 2, attr: true}),
+		clean("t_coll_chunk", 4, h5Cfg{datasets: 1, rows: 8}),
+		clean("t_span_tree", 4, h5Cfg{datasets: 2, rows: 6}),
+		clean("t_chunk_alloc", 4, h5Cfg{datasets: 1, rows: 4, phased: true}),
+		clean("t_bigio", 2, h5Cfg{datasets: 2, rows: 8, phased: true}),
+		clean("t_filters_parallel", 3, h5Cfg{datasets: 3, rows: 2, attr: true}),
+		// Improperly synchronized under the relaxed models only: the
+		// H5Dwrite → MPI_Barrier → H5Dread pattern of Fig. 6 (§V-C2).
+		relaxed("shapesame", 4, h5RacyBarrierOnly(64, false)),
+		relaxed("testphdf5", 4, h5RacyBarrierOnly(24, true)),
+		relaxed("cache", 4, h5ManyMPICalls(800)),
+		relaxed("pmulti_dset", 2, h5ManyOverlaps(220)),
+		// Data races even under POSIX.
+		posix("t_ph5_attr", 4, h5AttrPosixRace()),
+		posix("t_mdset_overlap", 4, h5OverlapPosixRace(8)),
+		posix("t_pflush", 2, h5WriteReadNoOrder()),
+	}
+}
+
+func netcdfTests() []Test {
+	clean := func(name string, ranks int, cfg ncCfg) Test {
+		return Test{Name: name, Library: "netcdf", Ranks: ranks, Prog: ncClean(cfg), Expect: Expect{}}
+	}
+	relaxed := func(name string, ranks int, prog func(r *recorder.Rank) error) Test {
+		return Test{Name: name, Library: "netcdf", Ranks: ranks, Prog: prog,
+			Expect: Expect{RacesRelaxed: true}}
+	}
+	return []Test{
+		// Properly synchronized executions.
+		clean("simple_xy_par", 2, ncCfg{vars: 1, size: 32, collective: true}),
+		clean("pres_temp_4D_par", 4, ncCfg{vars: 2, size: 64, collective: true, readOwn: true}),
+		clean("tst_parallel3", 4, ncCfg{vars: 1, size: 48}),
+		clean("tst_parallel4", 4, ncCfg{vars: 3, size: 48, collective: true}),
+		clean("tst_dims_par", 3, ncCfg{vars: 2, size: 30}),
+		clean("tst_atts_par", 2, ncCfg{vars: 1, size: 16}),
+		clean("tst_vars_par", 4, ncCfg{vars: 2, size: 40, readOwn: true}),
+		clean("tst_open_par", 2, ncCfg{vars: 1, size: 32, phased: true}),
+		// The POSIX data race of §V-B1: whole-variable writes from every
+		// rank through nc_put_var_schar.
+		{Name: "parallel5", Library: "netcdf", Ranks: 4, Prog: ncParallel5(64),
+			Expect: Expect{RacesPOSIX: true, RacesRelaxed: true}},
+		// Relaxed-only races: write → barrier → read patterns.
+		relaxed("parallel_vara", 4, ncRacyBarrierOnly(64, 4)),
+		relaxed("parallel_zlib", 2, ncRacyBarrierOnly(128, 2)),
+		relaxed("nc4perf", 2, ncHeavyOverlap(150)),
+		relaxed("tst_mode", 2, ncRacyBarrierOnly(32, 2)),
+		relaxed("tst_drivers", 4, ncRacyBarrierOnly(48, 3)),
+		relaxed("tst_put_vars", 4, ncRacyBarrierOnly(80, 5)),
+		relaxed("tst_cache_par", 2, ncRacyBarrierOnly(64, 8)),
+		relaxed("tst_rec_reads", 3, ncRacyBarrierOnly(60, 4)),
+	}
+}
+
+// pnetcdfCleanNames are the 44 properly synchronized PnetCDF executions;
+// each gets a distinct configuration below (the real suite varies API kind,
+// dimensionality, blocking-ness and data mode the same way).
+var pnetcdfCleanNames = []string{
+	"put_all_kinds", "iput_all_kinds", "bput_varn", "ivarn", "varn_int",
+	"vectors", "scalar", "modes", "redef1", "noclobber",
+	"one_record", "inq_num_vars", "inq_recsize", "tst_dimsizes", "tst_def_var_fill",
+	"tst_free_comm", "tst_max_var_dims", "tst_rec_vars", "tst_redefine", "tst_symlink",
+	"tst_vars_fill", "large_var", "last_large_var", "alignment_test", "attrf",
+	"buftype_free", "check_striping", "header_consistency", "add_var", "nonblocking",
+	"mix_nonblocking", "wait_all_kinds", "put_vara", "put_var1", "test_varm",
+	"ncmpi_vars_null_stride", "cdf_type", "dim_cdf12", "tst_vars", "put_parameter",
+	"flexible_varm", "test_inq_format", "tst_info", "tst_open",
+}
+
+// pnCleanConfig derives a distinct, constraint-respecting configuration for
+// clean test i.
+func pnCleanConfig(i int) (ranks int, cfg pnCfg) {
+	ranksCycle := []int{2, 3, 4, 4, 2, 4}
+	ranks = ranksCycle[i%len(ranksCycle)]
+	cfg = pnCfg{
+		vars:    1 + i%3,
+		size:    int64(24 + 8*(i%5)),
+		fill:    i%4 == 1,
+		nonbl:   i%5 == 2,
+		indep:   i%5 == 3,
+		redef:   i%6 == 4,
+		subcomm: i%8 == 5,
+		phased:  i%3 == 0,
+		readOwn: i%2 == 0,
+	}
+	// 2-D layouts need partition boundaries on row multiples; use them
+	// only with the safe (size, ranks) combination.
+	if i%7 == 6 {
+		cfg.twoD = true
+		cfg.size = 64
+		if ranks == 3 {
+			ranks = 4
+		}
+	}
+	return ranks, cfg
+}
+
+func pnetcdfTests() []Test {
+	relaxed := func(name string, ranks int, prog func(r *recorder.Rank) error) Test {
+		return Test{Name: name, Library: "pnetcdf", Ranks: ranks, Prog: prog,
+			Expect: Expect{RacesRelaxed: true}}
+	}
+	tests := []Test{
+		// POSIX data races (§V-B2).
+		{Name: "null_args", Library: "pnetcdf", Ranks: 4, Prog: pnPosixRaceVar1(),
+			Expect: Expect{RacesPOSIX: true, RacesRelaxed: true}},
+		{Name: "test_erange", Library: "pnetcdf", Ranks: 3, Prog: pnPosixRaceWholeVar(48),
+			Expect: Expect{RacesPOSIX: true, RacesRelaxed: true}},
+		// MPI-IO semantics violations (§V-C1): the flexible API's view
+		// change arms aggregation; rank 0's combined write conflicts
+		// with the other ranks' enddef fill writes.
+		relaxed("flexible", 4, pnFlexible(64, false)),
+		relaxed("flexible2", 4, pnFlexible(128, true)),
+		relaxed("flexible_bput", 4, pnFlexible(96, false)),
+		// Relaxed-only races: write → barrier → read patterns.
+		relaxed("interleaved", 4, pnRacyBarrierOnly(64, 4)),
+		relaxed("record", 2, pnRacyBarrierOnly(32, 2)),
+		relaxed("mcoll_perf", 4, pnRacyBarrierOnly(128, 8)),
+		relaxed("test_vard", 4, pnRacyBarrierOnly(48, 3)),
+		relaxed("vard_rec", 2, pnRacyBarrierOnly(64, 2)),
+		relaxed("mix_coll_indep", 4, pnRacyBarrierOnly(96, 6)),
+		relaxed("put_all_nb", 2, pnRacyBarrierOnly(80, 4)),
+		// Unmatched MPI calls (gray rows, §V-D).
+		{Name: "collective_error", Library: "pnetcdf", Ranks: 4, Prog: pnCollectiveError(),
+			Expect: Expect{Unmatched: true}},
+		{Name: "i_vara_wait", Library: "pnetcdf", Ranks: 4, Prog: pnWaitBug(64, 2, false),
+			Expect: Expect{Unmatched: true}},
+		{Name: "iput_vara_wait", Library: "pnetcdf", Ranks: 2, Prog: pnWaitBug(128, 4, true),
+			Expect: Expect{Unmatched: true}},
+	}
+	for i, name := range pnetcdfCleanNames {
+		ranks, cfg := pnCleanConfig(i)
+		tests = append(tests, Test{
+			Name: name, Library: "pnetcdf", Ranks: ranks,
+			Prog: pnClean(cfg), Expect: Expect{},
+		})
+	}
+	return tests
+}

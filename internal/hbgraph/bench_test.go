@@ -1,0 +1,118 @@
+package hbgraph
+
+import (
+	"math/rand"
+	"testing"
+
+	"verifyio/internal/match"
+	"verifyio/internal/trace"
+)
+
+// synthGraph builds a layered random DAG: nranks chains of length n with
+// forward cross edges (≈ density per node).
+func synthGraph(nranks, n int, density float64, seed int64) (*trace.Trace, []match.Edge) {
+	rng := rand.New(rand.NewSource(seed))
+	counts := make([]int, nranks)
+	for i := range counts {
+		counts[i] = n
+	}
+	tr := mkTrace(counts...)
+	var edges []match.Edge
+	for r1 := 0; r1 < nranks; r1++ {
+		for s1 := 0; s1 < n; s1++ {
+			if rng.Float64() > density {
+				continue
+			}
+			r2 := rng.Intn(nranks)
+			if r2 == r1 {
+				continue
+			}
+			// Forward in "time": target sequence strictly larger keeps
+			// the graph acyclic across same-index chains.
+			s2 := s1 + 1 + rng.Intn(n-s1)
+			if s2 >= n {
+				continue
+			}
+			edges = append(edges, match.Edge{From: ref(r1, s1), To: ref(r2, s2)})
+		}
+	}
+	return tr, edges
+}
+
+// BenchmarkOracleConstruction compares building the three graph-based
+// oracles (the fixed cost the on-the-fly algorithm avoids).
+func BenchmarkOracleConstruction(b *testing.B) {
+	tr, edges := synthGraph(8, 2000, 0.1, 7)
+	g, err := Build(tr, edges)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("vector-clock", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := g.VectorClocks(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("transitive-closure", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := g.TransitiveClosure(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("reachability(lazy)", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = g.Reachability()
+		}
+	})
+}
+
+// BenchmarkOracleQueries compares per-query cost across the four algorithms
+// on the same graph and query set.
+func BenchmarkOracleQueries(b *testing.B) {
+	tr, edges := synthGraph(8, 1000, 0.1, 11)
+	g, err := Build(tr, edges)
+	if err != nil {
+		b.Fatal(err)
+	}
+	vc, err := g.VectorClocks()
+	if err != nil {
+		b.Fatal(err)
+	}
+	tc, err := g.TransitiveClosure()
+	if err != nil {
+		b.Fatal(err)
+	}
+	oracles := []Oracle{vc, g.Reachability(), tc, NewOnTheFly(tr, edges)}
+	rng := rand.New(rand.NewSource(3))
+	queries := make([][2]trace.Ref, 512)
+	for i := range queries {
+		queries[i] = [2]trace.Ref{
+			ref(rng.Intn(8), rng.Intn(1000)),
+			ref(rng.Intn(8), rng.Intn(1000)),
+		}
+	}
+	var want []bool
+	for _, o := range oracles {
+		o := o
+		b.Run(o.Name(), func(b *testing.B) {
+			got := make([]bool, len(queries))
+			for i := 0; i < b.N; i++ {
+				for q, pair := range queries {
+					got[q] = o.HB(pair[0], pair[1])
+				}
+			}
+			if want == nil {
+				want = got
+			} else {
+				for q := range queries {
+					if got[q] != want[q] {
+						b.Fatalf("oracle %s disagrees on query %d", o.Name(), q)
+					}
+				}
+			}
+			b.ReportMetric(float64(len(queries)), "queries/op")
+		})
+	}
+}

@@ -1,0 +1,161 @@
+// Package hbgraph builds the happens-before graph (Def. 3) of an execution —
+// the transitive closure of program order and synchronization order — and
+// answers reachability (hb) queries with the four interchangeable algorithms
+// of §IV-D:
+//
+//  1. Vector clocks: a topological sort propagates one clock entry per rank
+//     through the graph; queries are O(1) afterwards.
+//  2. Graph reachability: breadth-first search per query, with memoization.
+//  3. Transitive closure: reverse-topological bitset union; O(1) queries,
+//     O(V²/64) memory.
+//  4. On-the-fly (package otf entry point below via NewOnTheFly): answers
+//     queries directly from the matched synchronization edges without
+//     building the graph.
+//
+// Nodes are trace records, identified by (rank, seq). Program-order edges
+// are implicit: record (r, k) always precedes (r, k+1). Synchronization
+// edges come from the MPI matcher.
+package hbgraph
+
+import (
+	"fmt"
+	"sort"
+
+	"verifyio/internal/match"
+	"verifyio/internal/trace"
+)
+
+// Graph is the happens-before graph.
+type Graph struct {
+	counts []int // records per rank
+	base   []int // node-id offset per rank (prefix sums)
+	n      int   // total nodes
+
+	// succ/pred hold only cross-rank (synchronization) adjacency; program
+	// order is implicit.
+	succ map[int32][]int32
+	pred map[int32][]int32
+
+	edgeCount int
+}
+
+// Build constructs the graph for tr with the matcher's synchronization
+// edges. Edges referencing records outside the trace are rejected.
+func Build(tr *trace.Trace, edges []match.Edge) (*Graph, error) {
+	g := &Graph{
+		counts: make([]int, tr.NumRanks()),
+		base:   make([]int, tr.NumRanks()+1),
+		succ:   make(map[int32][]int32),
+		pred:   make(map[int32][]int32),
+	}
+	for rank, recs := range tr.Ranks {
+		g.counts[rank] = len(recs)
+		g.base[rank+1] = g.base[rank] + len(recs)
+	}
+	g.n = g.base[len(g.counts)]
+	for _, e := range edges {
+		from, ok1 := g.id(e.From)
+		to, ok2 := g.id(e.To)
+		if !ok1 || !ok2 {
+			return nil, fmt.Errorf("hbgraph: edge %v→%v references records outside the trace", e.From, e.To)
+		}
+		g.succ[from] = append(g.succ[from], to)
+		g.pred[to] = append(g.pred[to], from)
+		g.edgeCount++
+	}
+	return g, nil
+}
+
+// Nodes returns the number of nodes.
+func (g *Graph) Nodes() int { return g.n }
+
+// SyncEdges returns the number of synchronization edges.
+func (g *Graph) SyncEdges() int { return g.edgeCount }
+
+// id maps a record ref to a dense node id.
+func (g *Graph) id(ref trace.Ref) (int32, bool) {
+	if ref.Rank < 0 || ref.Rank >= len(g.counts) {
+		return 0, false
+	}
+	if ref.Seq < 0 || ref.Seq >= g.counts[ref.Rank] {
+		return 0, false
+	}
+	return int32(g.base[ref.Rank] + ref.Seq), true
+}
+
+// ref maps a dense node id back to a record ref.
+func (g *Graph) ref(id int32) trace.Ref {
+	rank := sort.Search(len(g.counts), func(r int) bool { return g.base[r+1] > int(id) })
+	return trace.Ref{Rank: rank, Seq: int(id) - g.base[rank]}
+}
+
+// forEachSucc visits all successors of id: the po successor (if any) and the
+// synchronization successors.
+func (g *Graph) forEachSucc(id int32, visit func(int32)) {
+	ref := g.ref(id)
+	if ref.Seq+1 < g.counts[ref.Rank] {
+		visit(id + 1)
+	}
+	for _, s := range g.succ[id] {
+		visit(s)
+	}
+}
+
+// forEachPred visits all predecessors of id.
+func (g *Graph) forEachPred(id int32, visit func(int32)) {
+	ref := g.ref(id)
+	if ref.Seq > 0 {
+		visit(id - 1)
+	}
+	for _, p := range g.pred[id] {
+		visit(p)
+	}
+}
+
+// TopoOrder returns a topological order of all nodes, or an error if po ∪ so
+// has a cycle (which Def. 2 forbids; a cycle means the trace or matcher is
+// broken).
+func (g *Graph) TopoOrder() ([]int32, error) {
+	indeg := make([]int32, g.n)
+	for id := int32(0); id < int32(g.n); id++ {
+		g.forEachSucc(id, func(s int32) { indeg[s]++ })
+	}
+	queue := make([]int32, 0, g.n)
+	for id := int32(0); id < int32(g.n); id++ {
+		if indeg[id] == 0 {
+			queue = append(queue, id)
+		}
+	}
+	order := make([]int32, 0, g.n)
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		order = append(order, id)
+		g.forEachSucc(id, func(s int32) {
+			indeg[s]--
+			if indeg[s] == 0 {
+				queue = append(queue, s)
+			}
+		})
+	}
+	if len(order) != g.n {
+		return nil, fmt.Errorf("hbgraph: po ∪ so contains a cycle (%d of %d nodes ordered)", len(order), g.n)
+	}
+	return order, nil
+}
+
+// Oracle answers happens-before queries. HB(a, b) reports whether a
+// happens-before b (strictly: a ≠ b and there is a path a → b).
+type Oracle interface {
+	HB(a, b trace.Ref) bool
+	Name() string
+}
+
+// sameRankHB answers the trivial program-order case; returns handled=false
+// for cross-rank queries.
+func sameRankHB(a, b trace.Ref) (result, handled bool) {
+	if a.Rank == b.Rank {
+		return a.Seq < b.Seq, true
+	}
+	return false, false
+}

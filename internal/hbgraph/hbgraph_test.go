@@ -1,0 +1,317 @@
+package hbgraph
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"verifyio/internal/match"
+	"verifyio/internal/trace"
+)
+
+// mkTrace builds a trace skeleton with the given per-rank record counts.
+func mkTrace(counts ...int) *trace.Trace {
+	tr := trace.New(len(counts))
+	for rank, n := range counts {
+		for i := 0; i < n; i++ {
+			tr.Append(trace.Record{Rank: rank, Func: "op", Layer: trace.LayerPOSIX,
+				Tick: int64(2*i + 1), Ret: int64(2*i + 2)})
+		}
+	}
+	return tr
+}
+
+func ref(rank, seq int) trace.Ref { return trace.Ref{Rank: rank, Seq: seq} }
+
+func edges(pairs ...[4]int) []match.Edge {
+	out := make([]match.Edge, len(pairs))
+	for i, p := range pairs {
+		out[i] = match.Edge{From: ref(p[0], p[1]), To: ref(p[2], p[3])}
+	}
+	return out
+}
+
+// allOracles builds the three graph-based oracles plus the on-the-fly one.
+func allOracles(t *testing.T, tr *trace.Trace, es []match.Edge) []Oracle {
+	t.Helper()
+	g, err := Build(tr, es)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vc, err := g.VectorClocks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc, err := g.TransitiveClosure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []Oracle{vc, g.Reachability(), tc, NewOnTheFly(tr, es)}
+}
+
+func TestProgramOrderIsHB(t *testing.T) {
+	tr := mkTrace(3)
+	for _, o := range allOracles(t, tr, nil) {
+		if !o.HB(ref(0, 0), ref(0, 2)) {
+			t.Errorf("%s: po not hb", o.Name())
+		}
+		if o.HB(ref(0, 2), ref(0, 0)) {
+			t.Errorf("%s: po reversed", o.Name())
+		}
+		if o.HB(ref(0, 1), ref(0, 1)) {
+			t.Errorf("%s: hb must be irreflexive", o.Name())
+		}
+	}
+}
+
+func TestCrossRankNeedsEdges(t *testing.T) {
+	tr := mkTrace(2, 2)
+	for _, o := range allOracles(t, tr, nil) {
+		if o.HB(ref(0, 0), ref(1, 1)) {
+			t.Errorf("%s: cross-rank hb without sync edges", o.Name())
+		}
+	}
+}
+
+func TestEdgeAndTransitivity(t *testing.T) {
+	// rank0: a b ; rank1: c d ; rank2: e f
+	// b → c, d → e gives a hb f transitively.
+	tr := mkTrace(2, 2, 2)
+	es := edges([4]int{0, 1, 1, 0}, [4]int{1, 1, 2, 0})
+	for _, o := range allOracles(t, tr, es) {
+		cases := []struct {
+			a, b trace.Ref
+			want bool
+		}{
+			{ref(0, 1), ref(1, 0), true},  // direct edge
+			{ref(0, 0), ref(1, 1), true},  // po + edge + po
+			{ref(0, 0), ref(2, 1), true},  // two hops
+			{ref(1, 0), ref(0, 0), false}, // no reverse
+			{ref(2, 0), ref(0, 1), false},
+			{ref(1, 1), ref(2, 0), true},
+		}
+		for _, tc := range cases {
+			if got := o.HB(tc.a, tc.b); got != tc.want {
+				t.Errorf("%s: HB(%v,%v) = %v, want %v", o.Name(), tc.a, tc.b, got, tc.want)
+			}
+		}
+	}
+}
+
+func TestCycleDetected(t *testing.T) {
+	tr := mkTrace(1, 1)
+	es := edges([4]int{0, 0, 1, 0}, [4]int{1, 0, 0, 0})
+	g, err := Build(tr, es)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.TopoOrder(); err == nil {
+		t.Fatal("cycle not detected")
+	}
+	if _, err := g.VectorClocks(); err == nil {
+		t.Fatal("vector clocks accepted a cyclic graph")
+	}
+}
+
+func TestBuildRejectsOutOfRangeEdges(t *testing.T) {
+	tr := mkTrace(1)
+	if _, err := Build(tr, edges([4]int{0, 0, 3, 0})); err == nil {
+		t.Fatal("edge to missing rank accepted")
+	}
+	if _, err := Build(tr, edges([4]int{0, 5, 0, 0})); err == nil {
+		t.Fatal("edge from missing seq accepted")
+	}
+}
+
+func TestTransitiveClosureBudget(t *testing.T) {
+	tr := mkTrace(maxTCNodes + 1)
+	g, err := Build(tr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.TransitiveClosure(); err == nil {
+		t.Fatal("transitive closure ignored its memory budget")
+	}
+}
+
+func TestOracleQueriesOutsideTrace(t *testing.T) {
+	tr := mkTrace(2, 2)
+	for _, o := range allOracles(t, tr, nil) {
+		if o.HB(ref(0, 0), ref(7, 0)) || o.HB(ref(7, 0), ref(0, 0)) {
+			t.Errorf("%s: out-of-range refs reported hb", o.Name())
+		}
+	}
+}
+
+// bruteOracle is the obviously-correct reference: DFS over po + so.
+type bruteOracle struct {
+	counts []int
+	adj    map[trace.Ref][]trace.Ref
+}
+
+func newBrute(tr *trace.Trace, es []match.Edge) *bruteOracle {
+	b := &bruteOracle{counts: make([]int, tr.NumRanks()), adj: map[trace.Ref][]trace.Ref{}}
+	for rank, recs := range tr.Ranks {
+		b.counts[rank] = len(recs)
+		for i := 0; i+1 < len(recs); i++ {
+			b.adj[ref(rank, i)] = append(b.adj[ref(rank, i)], ref(rank, i+1))
+		}
+	}
+	for _, e := range es {
+		b.adj[e.From] = append(b.adj[e.From], e.To)
+	}
+	return b
+}
+
+func (b *bruteOracle) HB(x, y trace.Ref) bool {
+	seen := map[trace.Ref]bool{}
+	var dfs func(trace.Ref) bool
+	dfs = func(v trace.Ref) bool {
+		for _, w := range b.adj[v] {
+			if w == y {
+				return true
+			}
+			if !seen[w] {
+				seen[w] = true
+				if dfs(w) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return dfs(x)
+}
+
+// TestPropertyAllAlgorithmsAgree is the §IV-D cross-validation: on random
+// acyclic executions, all four oracles and the brute-force reference answer
+// every query identically.
+func TestPropertyAllAlgorithmsAgree(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nranks := 2 + rng.Intn(3)
+		counts := make([]int, nranks)
+		type node struct {
+			ref  trace.Ref
+			time int
+		}
+		var nodes []node
+		for r := range counts {
+			counts[r] = 1 + rng.Intn(8)
+			for s := 0; s < counts[r]; s++ {
+				// Times increase along each rank so po edges always go
+				// forward; random gaps leave room for cross edges.
+				base := s * 10
+				nodes = append(nodes, node{ref(r, s), base + rng.Intn(10)})
+			}
+		}
+		tr := mkTrace(counts...)
+		// Random forward-in-time cross-rank edges keep the graph acyclic.
+		var es []match.Edge
+		for i := 0; i < len(nodes); i++ {
+			for j := 0; j < len(nodes); j++ {
+				a, b := nodes[i], nodes[j]
+				if a.ref.Rank == b.ref.Rank || a.time >= b.time {
+					continue
+				}
+				if rng.Intn(6) == 0 {
+					es = append(es, match.Edge{From: a.ref, To: b.ref})
+				}
+			}
+		}
+		sort.Slice(es, func(i, j int) bool {
+			if es[i].From != es[j].From {
+				return es[i].From.Less(es[j].From)
+			}
+			return es[i].To.Less(es[j].To)
+		})
+		g, err := Build(tr, es)
+		if err != nil {
+			return false
+		}
+		vc, err := g.VectorClocks()
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		tc, err := g.TransitiveClosure()
+		if err != nil {
+			return false
+		}
+		oracles := []Oracle{vc, g.Reachability(), tc, NewOnTheFly(tr, es)}
+		brute := newBrute(tr, es)
+		for i := 0; i < len(nodes); i++ {
+			for j := 0; j < len(nodes); j++ {
+				a, b := nodes[i].ref, nodes[j].ref
+				want := a != b && brute.HB(a, b)
+				for _, o := range oracles {
+					if got := o.HB(a, b); got != want {
+						t.Logf("seed %d: %s HB(%v,%v) = %v, brute = %v", seed, o.Name(), a, b, got, want)
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGraphStats(t *testing.T) {
+	tr := mkTrace(3, 2)
+	es := edges([4]int{0, 0, 1, 0})
+	g, err := Build(tr, es)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Nodes() != 5 || g.SyncEdges() != 1 {
+		t.Errorf("nodes=%d edges=%d", g.Nodes(), g.SyncEdges())
+	}
+}
+
+func TestDeterministicTopoOrder(t *testing.T) {
+	tr := mkTrace(4, 4)
+	es := edges([4]int{0, 1, 1, 2}, [4]int{1, 0, 0, 3})
+	g, err := Build(tr, es)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := g.TopoOrder()
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Error("topological order is not deterministic")
+	}
+}
+
+func TestVectorClockMemoryShape(t *testing.T) {
+	// A regression guard on clock dimensions: one entry per rank, one
+	// clock per node.
+	tr := mkTrace(5, 3)
+	g, err := Build(tr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vc, err := g.VectorClocks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vc.clocks) != 8 {
+		t.Fatalf("clocks = %d, want 8", len(vc.clocks))
+	}
+	for id, c := range vc.clocks {
+		if len(c) != 2 {
+			t.Fatalf("clock %d has %d entries, want 2 ranks", id, len(c))
+		}
+	}
+	// Each node knows itself.
+	if vc.clocks[0][0] != 0 || vc.clocks[4][0] != 4 {
+		t.Errorf("self entries wrong: %v %v", vc.clocks[0], vc.clocks[4])
+	}
+}

@@ -1,0 +1,245 @@
+package hbgraph
+
+import (
+	"fmt"
+
+	"verifyio/internal/match"
+	"verifyio/internal/trace"
+)
+
+// ---------------------------------------------------------------------------
+// 1. Vector clocks (§IV-D1)
+
+// VCOracle answers hb queries from precomputed vector clocks: clock[v][r] is
+// the highest sequence index on rank r that happens-before-or-equals v.
+type VCOracle struct {
+	g      *Graph
+	clocks [][]int32 // node id -> per-rank clock (-1 = nothing known)
+}
+
+// VectorClocks computes vector clocks by propagating along a topological
+// order — O(V·P + E·P) once, O(1) per query.
+func (g *Graph) VectorClocks() (*VCOracle, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	nranks := len(g.counts)
+	clocks := make([][]int32, g.n)
+	for _, id := range order {
+		c := make([]int32, nranks)
+		for i := range c {
+			c[i] = -1
+		}
+		ref := g.ref(id)
+		c[ref.Rank] = int32(ref.Seq)
+		g.forEachPred(id, func(p int32) {
+			for r, v := range clocks[p] {
+				if v > c[r] {
+					c[r] = v
+				}
+			}
+		})
+		clocks[id] = c
+	}
+	return &VCOracle{g: g, clocks: clocks}, nil
+}
+
+// HB reports whether a happens-before b.
+func (o *VCOracle) HB(a, b trace.Ref) bool {
+	if res, ok := sameRankHB(a, b); ok {
+		return res
+	}
+	bid, ok := o.g.id(b)
+	if !ok {
+		return false
+	}
+	aid, ok := o.g.id(a)
+	if !ok {
+		return false
+	}
+	_ = aid
+	return o.clocks[bid][a.Rank] >= int32(a.Seq)
+}
+
+// Name identifies the algorithm.
+func (o *VCOracle) Name() string { return "vector-clock" }
+
+// ---------------------------------------------------------------------------
+// 2. Graph reachability (§IV-D2)
+
+// BFSOracle answers hb queries by forward breadth-first search, memoizing
+// visited sets per source.
+type BFSOracle struct {
+	g    *Graph
+	memo map[int32][]bool
+}
+
+// Reachability returns a BFS-based oracle.
+func (g *Graph) Reachability() *BFSOracle {
+	return &BFSOracle{g: g, memo: make(map[int32][]bool)}
+}
+
+// HB reports whether a happens-before b.
+func (o *BFSOracle) HB(a, b trace.Ref) bool {
+	if res, ok := sameRankHB(a, b); ok {
+		return res
+	}
+	aid, ok1 := o.g.id(a)
+	bid, ok2 := o.g.id(b)
+	if !ok1 || !ok2 {
+		return false
+	}
+	seen, ok := o.memo[aid]
+	if !ok {
+		seen = make([]bool, o.g.n)
+		queue := []int32{aid}
+		for len(queue) > 0 {
+			id := queue[0]
+			queue = queue[1:]
+			o.g.forEachSucc(id, func(s int32) {
+				if !seen[s] {
+					seen[s] = true
+					queue = append(queue, s)
+				}
+			})
+		}
+		o.memo[aid] = seen
+	}
+	return seen[bid]
+}
+
+// Name identifies the algorithm.
+func (o *BFSOracle) Name() string { return "reachability" }
+
+// ---------------------------------------------------------------------------
+// 3. Transitive closure (§IV-D3)
+
+// TCOracle answers hb queries from a full transitive-closure bitset.
+type TCOracle struct {
+	g     *Graph
+	words int
+	bits  []uint64 // n * words
+}
+
+// maxTCNodes bounds the transitive closure's O(V²) memory (64 MiB of
+// bitsets ≈ 23k nodes).
+const maxTCNodes = 1 << 15
+
+// TransitiveClosure materializes reachability bitsets in reverse topological
+// order. It refuses graphs whose closure would not fit in memory; callers
+// fall back to another oracle (the dynamic selection of §VII).
+func (g *Graph) TransitiveClosure() (*TCOracle, error) {
+	if g.n > maxTCNodes {
+		return nil, fmt.Errorf("hbgraph: transitive closure over %d nodes exceeds the %d-node budget", g.n, maxTCNodes)
+	}
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	words := (g.n + 63) / 64
+	bits := make([]uint64, g.n*words)
+	row := func(id int32) []uint64 { return bits[int(id)*words : (int(id)+1)*words] }
+	for i := len(order) - 1; i >= 0; i-- {
+		id := order[i]
+		r := row(id)
+		g.forEachSucc(id, func(s int32) {
+			r[s/64] |= 1 << (uint(s) % 64)
+			for w, v := range row(s) {
+				r[w] |= v
+			}
+		})
+	}
+	return &TCOracle{g: g, words: words, bits: bits}, nil
+}
+
+// HB reports whether a happens-before b.
+func (o *TCOracle) HB(a, b trace.Ref) bool {
+	if res, ok := sameRankHB(a, b); ok {
+		return res
+	}
+	aid, ok1 := o.g.id(a)
+	bid, ok2 := o.g.id(b)
+	if !ok1 || !ok2 {
+		return false
+	}
+	return o.bits[int(aid)*o.words+int(bid)/64]&(1<<(uint(bid)%64)) != 0
+}
+
+// Name identifies the algorithm.
+func (o *TCOracle) Name() string { return "transitive-closure" }
+
+// ---------------------------------------------------------------------------
+// 4. On-the-fly (§IV-D4)
+
+// OTFOracle answers hb queries straight from the matched synchronization
+// edges, without building the happens-before graph: per query it propagates
+// a per-rank "earliest reachable sequence" frontier across the edge list
+// until fixpoint.
+type OTFOracle struct {
+	nranks int
+	counts []int
+	// edgesByRank[r] holds the sync edges originating on rank r, sorted
+	// by source sequence.
+	edgesByRank [][]match.Edge
+}
+
+// NewOnTheFly builds the on-the-fly oracle from the matcher output alone.
+func NewOnTheFly(tr *trace.Trace, edges []match.Edge) *OTFOracle {
+	o := &OTFOracle{
+		nranks:      tr.NumRanks(),
+		counts:      make([]int, tr.NumRanks()),
+		edgesByRank: make([][]match.Edge, tr.NumRanks()),
+	}
+	for rank, recs := range tr.Ranks {
+		o.counts[rank] = len(recs)
+	}
+	for _, e := range edges {
+		if e.From.Rank >= 0 && e.From.Rank < o.nranks {
+			o.edgesByRank[e.From.Rank] = append(o.edgesByRank[e.From.Rank], e)
+		}
+	}
+	return o
+}
+
+// HB reports whether a happens-before b.
+func (o *OTFOracle) HB(a, b trace.Ref) bool {
+	if res, ok := sameRankHB(a, b); ok {
+		return res
+	}
+	if a.Rank < 0 || a.Rank >= o.nranks || b.Rank < 0 || b.Rank >= o.nranks {
+		return false
+	}
+	// earliest[r]: smallest sequence on rank r known to be hb-after a
+	// (math.MaxInt when none).
+	const inf = int(^uint(0) >> 1)
+	earliest := make([]int, o.nranks)
+	for i := range earliest {
+		earliest[i] = inf
+	}
+	earliest[a.Rank] = a.Seq
+	// Relax sync edges to fixpoint: an edge (u → v) applies when u is at
+	// or after the frontier on its rank, and pulls v's rank's frontier
+	// down to v's sequence. Program order is implicit in the ≥ test.
+	for changed := true; changed; {
+		changed = false
+		for r := 0; r < o.nranks; r++ {
+			if earliest[r] == inf {
+				continue
+			}
+			for _, e := range o.edgesByRank[r] {
+				if e.From.Seq < earliest[r] {
+					continue
+				}
+				if e.To.Seq < earliest[e.To.Rank] {
+					earliest[e.To.Rank] = e.To.Seq
+					changed = true
+				}
+			}
+		}
+	}
+	return earliest[b.Rank] <= b.Seq
+}
+
+// Name identifies the algorithm.
+func (o *OTFOracle) Name() string { return "on-the-fly" }

@@ -1,0 +1,563 @@
+// Package match implements step 3 of the VerifyIO workflow: matching the
+// MPI calls recorded in a trace to establish the synchronization order
+// (Def. 2) between operations, and flagging unmatched or mismatched calls
+// (the §V-D findings).
+//
+// Matching rules, following §IV-C:
+//
+//   - Point-to-point calls match by (communicator, source, destination,
+//     tag) in FIFO order (MPI's non-overtaking rule). Wildcard receives
+//     (MPI_ANY_SOURCE / MPI_ANY_TAG) are resolved from the actual source
+//     and tag the tracer recorded out of the MPI_Status.
+//
+//   - Non-blocking operations are identified by request id; their
+//     completion is the MPI_Wait*/MPI_Test* record that retired the
+//     request. The happens-before edge of a matched message runs from the
+//     send's initiation record to the receive's completion record.
+//
+//   - Collective calls match per communicator in program order: the k-th
+//     collective on a communicator matches the k-th on every other member.
+//     Communicator membership comes from the recorded MPI_Comm_dup/split
+//     creation records (every communicator has a globally unique id).
+//     A slot whose calls disagree on the function name, or that some
+//     member never reaches, is reported as unmatched.
+//
+// Synchronization edges per collective follow its data flow:
+//
+//   - barrier-like (Barrier, Allreduce, Allgather, Alltoall, Comm_dup,
+//     Comm_split, Comm_free): everything po-before the call on any rank
+//     happens-before everything po-after the call on every other rank.
+//     Encoded acyclically as pred(call_i) → call_j for i ≠ j, where pred is
+//     the po-predecessor.
+//   - rooted scatter-like (Bcast, Scatter): root's call → every other call.
+//   - rooted gather-like (Reduce, Gather): every non-root call → root's
+//     call.
+//
+// Collective MPI-IO data/metadata calls (MPI_File_open/close/sync/
+// write_at_all/...) are matched for error detection but contribute no
+// synchronization edges: MPI collective calls are not synchronizing unless
+// they move data, which is exactly why the sync-barrier-sync construct is
+// needed (§II-A4).
+package match
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"verifyio/internal/trace"
+)
+
+// Edge is a synchronization-order edge: From happens-before To.
+type Edge struct {
+	From, To trace.Ref
+}
+
+// Problem is an unmatched or mismatched MPI call.
+type Problem struct {
+	// Kind classifies the problem.
+	Kind ProblemKind
+	// Refs are the involved records (one per rank where applicable).
+	Refs []trace.Ref
+	// Detail is a human-readable description.
+	Detail string
+}
+
+// ProblemKind classifies matching failures.
+type ProblemKind int
+
+// Problem kinds.
+const (
+	// MismatchedCollective: members reached the same slot with different
+	// collective functions (e.g. MPI_File_write_at_all vs
+	// MPI_File_write_all — the ncmpi_wait bug).
+	MismatchedCollective ProblemKind = iota
+	// MissingCollective: a member made fewer collective calls on the
+	// communicator than its peers (e.g. collective_error).
+	MissingCollective
+	// UnmatchedSend: a send with no matching receive.
+	UnmatchedSend
+	// UnmatchedRecv: a receive with no matching send.
+	UnmatchedRecv
+	// DanglingRequest: a non-blocking operation never completed by
+	// MPI_Wait*/MPI_Test*.
+	DanglingRequest
+	// MalformedRecord: an MPI record whose arguments could not be
+	// interpreted.
+	MalformedRecord
+)
+
+var problemNames = map[ProblemKind]string{
+	MismatchedCollective: "mismatched-collective",
+	MissingCollective:    "missing-collective",
+	UnmatchedSend:        "unmatched-send",
+	UnmatchedRecv:        "unmatched-recv",
+	DanglingRequest:      "dangling-request",
+	MalformedRecord:      "malformed-record",
+}
+
+func (k ProblemKind) String() string {
+	if s, ok := problemNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("problem(%d)", int(k))
+}
+
+// Result is the matcher's output.
+type Result struct {
+	// Edges are the synchronization-order edges.
+	Edges []Edge
+	// Problems are the unmatched/mismatched calls. A non-empty list means
+	// the verification step cannot trust the happens-before order (the
+	// gray rows of Fig. 4).
+	Problems []Problem
+	// Collectives is the number of matched collective slots.
+	Collectives int
+	// P2P is the number of matched point-to-point pairs.
+	P2P int
+}
+
+// classification of MPI functions.
+var (
+	barrierLike = map[string]bool{
+		"MPI_Barrier": true, "MPI_Allreduce": true, "MPI_Allgather": true,
+		"MPI_Alltoall": true, "MPI_Comm_dup": true, "MPI_Comm_split": true,
+		"MPI_Comm_free": true, "MPI_Ibarrier": true, "MPI_Iallreduce": true,
+	}
+	scatterLike = map[string]bool{"MPI_Bcast": true, "MPI_Scatter": true}
+	gatherLike  = map[string]bool{"MPI_Reduce": true, "MPI_Gather": true}
+	// prefixLike collectives order lower comm ranks before higher ones:
+	// rank i's result depends on every rank j < i.
+	prefixLike = map[string]bool{"MPI_Scan": true, "MPI_Exscan": true}
+	// fileCollective calls are matched for error detection only.
+	fileCollective = map[string]bool{
+		"MPI_File_open": true, "MPI_File_close": true, "MPI_File_sync": true,
+		"MPI_File_set_view": true, "MPI_File_set_size": true,
+		"MPI_File_read_all": true, "MPI_File_write_all": true,
+		"MPI_File_read_at_all": true, "MPI_File_write_at_all": true,
+	}
+)
+
+// isCollective reports whether fn participates in slot matching, and how.
+func collectiveClass(fn string) (sync bool, ok bool) {
+	if barrierLike[fn] || scatterLike[fn] || gatherLike[fn] || prefixLike[fn] {
+		return true, true
+	}
+	if fileCollective[fn] {
+		return false, true
+	}
+	return false, false
+}
+
+// collEntry is one rank's participation in a collective slot.
+type collEntry struct {
+	fn         string
+	init       trace.Ref
+	completion trace.Ref // == init for blocking calls
+	rootArg    int       // root for rooted collectives, else -1
+}
+
+// sendEntry is an unmatched send.
+type sendEntry struct {
+	init trace.Ref
+	tag  int
+}
+
+// recvEntry is an unmatched receive (with resolved actual src/tag).
+type recvEntry struct {
+	init       trace.Ref
+	completion trace.Ref
+	src, tag   int // actual values from the status
+	resolved   bool
+}
+
+// Match replays the MPI records of tr.
+func Match(tr *trace.Trace) (*Result, error) {
+	m := &matcher{
+		tr:      tr,
+		res:     &Result{},
+		members: map[string][]int{},
+		colls:   map[string]map[int][]collEntry{},
+		sends:   map[p2pKey][]sendEntry{},
+		recvs:   map[p2pKey][]recvEntry{},
+	}
+	// MPI_COMM_WORLD always exists.
+	world := make([]int, tr.NumRanks())
+	for i := range world {
+		world[i] = i
+	}
+	m.members["comm-world"] = world
+
+	for rank := range tr.Ranks {
+		m.scanRank(rank)
+	}
+	m.matchCollectives()
+	m.matchP2P()
+	m.sortOutputs()
+	return m.res, nil
+}
+
+type p2pKey struct {
+	comm     string
+	src, dst int // world ranks
+	tag      int
+}
+
+type matcher struct {
+	tr  *trace.Trace
+	res *Result
+
+	// members: communicator gid -> world ranks.
+	members map[string][]int
+	// colls: gid -> world rank -> ordered collective entries.
+	colls map[string]map[int][]collEntry
+	// sends/recvs: matching buckets.
+	sends map[p2pKey][]sendEntry
+	recvs map[p2pKey][]recvEntry
+}
+
+func (m *matcher) problem(kind ProblemKind, detail string, refs ...trace.Ref) {
+	m.res.Problems = append(m.res.Problems, Problem{Kind: kind, Detail: detail, Refs: refs})
+}
+
+// pendingReq tracks a not-yet-completed non-blocking operation during the
+// per-rank scan.
+type pendingReq struct {
+	fn   string
+	init trace.Ref
+	comm string
+	peer int // dst for isend, requested src for irecv (may be -1)
+	tag  int // requested tag (may be -1)
+	// collGID/collIdx locate a non-blocking collective's entry so its
+	// completion record can be filled in (indices, not pointers: the
+	// per-rank entry slice may be reallocated by later appends).
+	collGID string
+	collIdx int
+}
+
+func (m *matcher) scanRank(rank int) {
+	recs := m.tr.Ranks[rank]
+	pending := map[string]*pendingReq{} // request id -> op
+
+	addColl := func(gid string, e collEntry) int {
+		byRank, ok := m.colls[gid]
+		if !ok {
+			byRank = map[int][]collEntry{}
+			m.colls[gid] = byRank
+		}
+		byRank[rank] = append(byRank[rank], e)
+		return len(byRank[rank]) - 1
+	}
+
+	// complete retires a request id at the given completion record with
+	// the given actual (src, tag) status.
+	complete := func(req string, at trace.Ref, src, tag int) {
+		p, ok := pending[req]
+		if !ok {
+			// Completing an unknown/already-done request: tolerated
+			// (MPI_Test on an inactive request is legal).
+			return
+		}
+		delete(pending, req)
+		switch {
+		case p.collGID != "":
+			m.colls[p.collGID][rank][p.collIdx].completion = at
+		case p.fn == "MPI_Isend":
+			// The send edge uses the initiation record; nothing to do
+			// at completion.
+		case p.fn == "MPI_Irecv":
+			key := p2pKey{comm: p.comm, src: src, dst: rank, tag: tag}
+			m.recvs[key] = append(m.recvs[key], recvEntry{
+				init: p.init, completion: at, src: src, tag: tag, resolved: true,
+			})
+		}
+	}
+
+	for i := range recs {
+		rec := &recs[i]
+		if rec.Layer != trace.LayerMPI && rec.Layer != trace.LayerMPIIO {
+			continue
+		}
+		ref := trace.Ref{Rank: rank, Seq: rec.Seq}
+		malformed := func(why string) {
+			m.problem(MalformedRecord, fmt.Sprintf("%s: %s", rec.Func, why), ref)
+		}
+
+		switch rec.Func {
+		case "MPI_Send":
+			comm, dst, tag, ok := commPeerTag(rec)
+			if !ok {
+				malformed("bad arguments")
+				continue
+			}
+			dstWorld, ok := m.worldRank(comm, dst)
+			if !ok {
+				malformed("unknown communicator " + comm)
+				continue
+			}
+			srcComm, _ := m.commRank(comm, rank)
+			key := p2pKey{comm: comm, src: srcComm, dst: dstWorld, tag: tag}
+			m.sends[key] = append(m.sends[key], sendEntry{init: ref, tag: tag})
+
+		case "MPI_Sendrecv":
+			// [comm, dst, stag, scount, src, rtag, nrecv, aSrc, aTag]
+			// — one record, two events: a send and a completed receive.
+			comm, dst, stag, ok := commPeerTag(rec)
+			aSrc, ok1 := rec.IntArg(7)
+			aTag, ok2 := rec.IntArg(8)
+			if !ok || !ok1 || !ok2 {
+				malformed("bad arguments")
+				continue
+			}
+			dstWorld, okD := m.worldRank(comm, dst)
+			if !okD {
+				malformed("unknown communicator " + comm)
+				continue
+			}
+			srcComm, _ := m.commRank(comm, rank)
+			sKey := p2pKey{comm: comm, src: srcComm, dst: dstWorld, tag: stag}
+			m.sends[sKey] = append(m.sends[sKey], sendEntry{init: ref, tag: stag})
+			rKey := p2pKey{comm: comm, src: int(aSrc), dst: rank, tag: int(aTag)}
+			m.recvs[rKey] = append(m.recvs[rKey], recvEntry{
+				init: ref, completion: ref, src: int(aSrc), tag: int(aTag), resolved: true,
+			})
+
+		case "MPI_Isend":
+			comm, dst, tag, ok := commPeerTag(rec)
+			req := rec.Arg(4)
+			if !ok || req == "" {
+				malformed("bad arguments")
+				continue
+			}
+			dstWorld, ok := m.worldRank(comm, dst)
+			if !ok {
+				malformed("unknown communicator " + comm)
+				continue
+			}
+			srcComm, _ := m.commRank(comm, rank)
+			key := p2pKey{comm: comm, src: srcComm, dst: dstWorld, tag: tag}
+			m.sends[key] = append(m.sends[key], sendEntry{init: ref, tag: tag})
+			pending[req] = &pendingReq{fn: rec.Func, init: ref, comm: comm, peer: dst, tag: tag}
+
+		case "MPI_Recv":
+			// [comm, src, tag, n, actualSrc, actualTag]
+			comm := rec.Arg(0)
+			aSrc, ok1 := rec.IntArg(4)
+			aTag, ok2 := rec.IntArg(5)
+			if comm == "" || !ok1 || !ok2 {
+				malformed("bad arguments")
+				continue
+			}
+			key := p2pKey{comm: comm, src: int(aSrc), dst: rank, tag: int(aTag)}
+			m.recvs[key] = append(m.recvs[key], recvEntry{
+				init: ref, completion: ref, src: int(aSrc), tag: int(aTag), resolved: true,
+			})
+
+		case "MPI_Irecv":
+			comm, src, tag, ok := commPeerTag(rec)
+			req := rec.Arg(3)
+			if !ok || req == "" {
+				malformed("bad arguments")
+				continue
+			}
+			pending[req] = &pendingReq{fn: rec.Func, init: ref, comm: comm, peer: src, tag: tag}
+
+		case "MPI_Wait":
+			// [req, src, tag]
+			src, _ := rec.IntArg(1)
+			tag, _ := rec.IntArg(2)
+			complete(rec.Arg(0), ref, int(src), int(tag))
+
+		case "MPI_Waitall", "MPI_Testall":
+			n, ok := rec.IntArg(0)
+			if !ok || n < 0 || n > int64(len(rec.Args)) {
+				malformed("bad count")
+				continue
+			}
+			statusBase := 1 + int(n)
+			if rec.Func == "MPI_Testall" {
+				if rec.Arg(statusBase) != "1" {
+					continue // flag=0: nothing completed
+				}
+				statusBase++
+			}
+			for k := 0; k < int(n); k++ {
+				src, _ := rec.IntArg(statusBase + 2*k)
+				tag, _ := rec.IntArg(statusBase + 2*k + 1)
+				complete(rec.Arg(1+k), ref, int(src), int(tag))
+			}
+
+		case "MPI_Test":
+			// [req, flag, src, tag]
+			if rec.Arg(1) != "1" {
+				continue
+			}
+			src, _ := rec.IntArg(2)
+			tag, _ := rec.IntArg(3)
+			complete(rec.Arg(0), ref, int(src), int(tag))
+
+		case "MPI_Waitany":
+			// [n, reqs..., idx, src, tag]
+			n, ok := rec.IntArg(0)
+			if !ok || n < 0 || n > int64(len(rec.Args)) {
+				malformed("bad count")
+				continue
+			}
+			idx, okI := rec.IntArg(1 + int(n))
+			if !okI || idx < 0 || idx >= n {
+				malformed("bad completion index")
+				continue
+			}
+			src, _ := rec.IntArg(1 + int(n) + 1)
+			tag, _ := rec.IntArg(1 + int(n) + 2)
+			complete(rec.Arg(1+int(idx)), ref, int(src), int(tag))
+
+		case "MPI_Waitsome", "MPI_Testsome":
+			// [n, reqs..., outcount, indices..., (src,tag)...]
+			n, ok := rec.IntArg(0)
+			if !ok || n < 0 || n > int64(len(rec.Args)) {
+				malformed("bad count")
+				continue
+			}
+			base := 1 + int(n)
+			outc, okC := rec.IntArg(base)
+			if !okC || outc < 0 || outc > n {
+				malformed("bad outcount")
+				continue
+			}
+			for k := 0; k < int(outc); k++ {
+				idx, okI := rec.IntArg(base + 1 + k)
+				if !okI || idx < 0 || idx >= n {
+					malformed("bad completion index")
+					continue
+				}
+				src, _ := rec.IntArg(base + 1 + int(outc) + 2*k)
+				tag, _ := rec.IntArg(base + 1 + int(outc) + 2*k + 1)
+				complete(rec.Arg(1+int(idx)), ref, int(src), int(tag))
+			}
+
+		case "MPI_Comm_dup":
+			// [parent, new, members]
+			m.registerComm(rec.Arg(1), rec.Arg(2))
+			addColl(rec.Arg(0), collEntry{fn: rec.Func, init: ref, completion: ref, rootArg: -1})
+
+		case "MPI_Comm_split":
+			// [parent, color, key, new, members]
+			m.registerComm(rec.Arg(3), rec.Arg(4))
+			addColl(rec.Arg(0), collEntry{fn: rec.Func, init: ref, completion: ref, rootArg: -1})
+
+		case "MPI_Ibarrier", "MPI_Iallreduce":
+			// [comm, (op,) req]
+			comm := rec.Arg(0)
+			req := rec.Arg(len(rec.Args) - 1)
+			if comm == "" || req == "" {
+				malformed("bad arguments")
+				continue
+			}
+			idx := addColl(comm, collEntry{fn: rec.Func, init: ref, completion: ref, rootArg: -1})
+			pending[req] = &pendingReq{fn: rec.Func, init: ref, comm: comm, collGID: comm, collIdx: idx}
+
+		default:
+			if _, isColl := collectiveClass(rec.Func); !isColl {
+				continue
+			}
+			root := -1
+			if scatterLike[rec.Func] || gatherLike[rec.Func] {
+				if v, ok := rec.IntArg(1); ok {
+					root = int(v)
+				}
+			}
+			comm := rec.Arg(0)
+			if rec.Func == "MPI_File_close" || rec.Func == "MPI_File_sync" ||
+				rec.Func == "MPI_File_set_view" || rec.Func == "MPI_File_set_size" ||
+				strings.HasPrefix(rec.Func, "MPI_File_read") || strings.HasPrefix(rec.Func, "MPI_File_write") {
+				// MPI-IO collectives carry an fh, not a comm; they
+				// are matched on the communicator of the enclosing
+				// open — recovered per rank below.
+				comm = ""
+			}
+			if rec.Func == "MPI_File_open" {
+				comm = rec.Arg(0)
+			}
+			addColl(m.fileComm(rank, rec, comm), collEntry{fn: rec.Func, init: ref, completion: ref, rootArg: root})
+		}
+	}
+
+	for req, p := range pending {
+		m.problem(DanglingRequest,
+			fmt.Sprintf("%s request %s never completed by MPI_Wait*/MPI_Test*", p.fn, req), p.init)
+	}
+}
+
+// fileComm resolves the communicator for MPI-IO collective records: the comm
+// of the most recent MPI_File_open on this rank. (A single open file per
+// rank at a time covers this simulation's programs; files opened on
+// different comms interleaved would need an fh→comm table, which the traces
+// also contain via the open records.)
+func (m *matcher) fileComm(rank int, rec *trace.Record, explicit string) string {
+	if explicit != "" {
+		return explicit
+	}
+	fd := rec.Arg(0)
+	recs := m.tr.Ranks[rank]
+	for i := rec.Seq; i >= 0; i-- {
+		r := &recs[i]
+		if r.Func == "MPI_File_open" && r.Arg(3) == fd {
+			return r.Arg(0)
+		}
+	}
+	// Fall back to the last open of any fd.
+	for i := rec.Seq; i >= 0; i-- {
+		r := &recs[i]
+		if r.Func == "MPI_File_open" {
+			return r.Arg(0)
+		}
+	}
+	return "comm-world"
+}
+
+func (m *matcher) registerComm(gid, members string) {
+	if gid == "" || members == "" {
+		return
+	}
+	if _, ok := m.members[gid]; ok {
+		return
+	}
+	parts := strings.Split(members, ",")
+	ranks := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			return
+		}
+		ranks = append(ranks, v)
+	}
+	m.members[gid] = ranks
+}
+
+func (m *matcher) worldRank(gid string, commRank int) (int, bool) {
+	mem, ok := m.members[gid]
+	if !ok || commRank < 0 || commRank >= len(mem) {
+		return -1, false
+	}
+	return mem[commRank], true
+}
+
+func (m *matcher) commRank(gid string, worldRank int) (int, bool) {
+	for i, w := range m.members[gid] {
+		if w == worldRank {
+			return i, true
+		}
+	}
+	return -1, false
+}
+
+func commPeerTag(rec *trace.Record) (comm string, peer, tag int, ok bool) {
+	comm = rec.Arg(0)
+	p, ok1 := rec.IntArg(1)
+	t, ok2 := rec.IntArg(2)
+	if comm == "" || !ok1 || !ok2 {
+		return "", 0, 0, false
+	}
+	return comm, int(p), int(t), true
+}

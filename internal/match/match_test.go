@@ -1,0 +1,462 @@
+package match
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"verifyio/internal/recorder"
+	"verifyio/internal/sim/mpi"
+	"verifyio/internal/sim/posixfs"
+	"verifyio/internal/trace"
+)
+
+func runTraced(t *testing.T, nranks int, prog func(r *recorder.Rank) error) *trace.Trace {
+	t.Helper()
+	env := recorder.NewEnv(nranks, recorder.Options{FSMode: posixfs.ModePOSIX,
+		MPIOptions: []mpi.Option{mpi.WithTimeout(2 * time.Second)}})
+	if err := env.Run(prog); err != nil {
+		t.Fatalf("traced program failed: %v", err)
+	}
+	return env.Trace()
+}
+
+func mustMatch(t *testing.T, tr *trace.Trace) *Result {
+	t.Helper()
+	res, err := Match(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func hasEdge(res *Result, from, to trace.Ref) bool {
+	for _, e := range res.Edges {
+		if e.From == from && e.To == to {
+			return true
+		}
+	}
+	return false
+}
+
+func problems(res *Result, kind ProblemKind) []Problem {
+	var out []Problem
+	for _, p := range res.Problems {
+		if p.Kind == kind {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func TestBlockingSendRecvEdge(t *testing.T) {
+	tr := runTraced(t, 2, func(r *recorder.Rank) error {
+		c := r.Proc().CommWorld()
+		if r.Rank() == 0 {
+			return r.Send(c, 1, 5, []byte("x"))
+		}
+		_, _, err := r.Recv(c, 0, 5)
+		return err
+	})
+	res := mustMatch(t, tr)
+	if len(res.Problems) != 0 {
+		t.Fatalf("problems = %v", res.Problems)
+	}
+	if res.P2P != 1 {
+		t.Fatalf("p2p = %d", res.P2P)
+	}
+	if !hasEdge(res, trace.Ref{Rank: 0, Seq: 0}, trace.Ref{Rank: 1, Seq: 0}) {
+		t.Errorf("missing send→recv edge; edges = %v", res.Edges)
+	}
+}
+
+func TestWildcardRecvResolvedFromStatus(t *testing.T) {
+	tr := runTraced(t, 3, func(r *recorder.Rank) error {
+		c := r.Proc().CommWorld()
+		switch r.Rank() {
+		case 0:
+			return r.Send(c, 2, 10, []byte("a"))
+		case 1:
+			return r.Send(c, 2, 20, []byte("b"))
+		default:
+			for i := 0; i < 2; i++ {
+				if _, _, err := r.Recv(c, mpi.AnySource, mpi.AnyTag); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	})
+	res := mustMatch(t, tr)
+	if len(res.Problems) != 0 {
+		t.Fatalf("problems = %v", res.Problems)
+	}
+	if res.P2P != 2 {
+		t.Fatalf("p2p = %d, want 2 (wildcards resolved)", res.P2P)
+	}
+}
+
+func TestNonBlockingMatchedThroughWait(t *testing.T) {
+	tr := runTraced(t, 2, func(r *recorder.Rank) error {
+		c := r.Proc().CommWorld()
+		if r.Rank() == 0 {
+			req, err := r.Isend(c, 1, 3, []byte("z"))
+			if err != nil {
+				return err
+			}
+			_, err = r.Wait(req)
+			return err
+		}
+		req, err := r.Irecv(c, 0, 3)
+		if err != nil {
+			return err
+		}
+		_, err = r.Wait(req)
+		return err
+	})
+	res := mustMatch(t, tr)
+	if len(res.Problems) != 0 {
+		t.Fatalf("problems = %v", res.Problems)
+	}
+	// Edge runs from the Isend initiation (rank 0 seq 0) to the Wait that
+	// completed the Irecv (rank 1 seq 1).
+	if !hasEdge(res, trace.Ref{Rank: 0, Seq: 0}, trace.Ref{Rank: 1, Seq: 1}) {
+		t.Errorf("edge should land on the receive's completion; edges = %v", res.Edges)
+	}
+}
+
+func TestTestsomeCompletion(t *testing.T) {
+	tr := runTraced(t, 2, func(r *recorder.Rank) error {
+		c := r.Proc().CommWorld()
+		if r.Rank() == 0 {
+			return r.Send(c, 1, 1, []byte("p"))
+		}
+		req, err := r.Irecv(c, 0, 1)
+		if err != nil {
+			return err
+		}
+		for {
+			idx, _, err := r.Testsome([]*mpi.Request{req})
+			if err != nil {
+				return err
+			}
+			if len(idx) == 1 {
+				return nil
+			}
+			time.Sleep(time.Millisecond)
+		}
+	})
+	res := mustMatch(t, tr)
+	if len(res.Problems) != 0 {
+		t.Fatalf("problems = %v", res.Problems)
+	}
+	if res.P2P != 1 {
+		t.Fatalf("p2p = %d", res.P2P)
+	}
+	// Completion must be the successful Testsome record (flag set).
+	found := false
+	for _, e := range res.Edges {
+		rec := tr.Record(e.To)
+		if rec.Func == "MPI_Testsome" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("edge does not land on Testsome; edges = %v", res.Edges)
+	}
+}
+
+func TestBarrierEdgesUsePredecessors(t *testing.T) {
+	tr := runTraced(t, 2, func(r *recorder.Rank) error {
+		c := r.Proc().CommWorld()
+		// One record before the barrier on each rank.
+		if _, err := r.Allreduce(c, 1, mpi.OpSum); err != nil {
+			return err
+		}
+		return r.Barrier(c)
+	})
+	res := mustMatch(t, tr)
+	if len(res.Problems) != 0 {
+		t.Fatalf("problems = %v", res.Problems)
+	}
+	if res.Collectives != 2 {
+		t.Fatalf("collectives = %d, want 2", res.Collectives)
+	}
+	// Barrier (seq 1) edges: pred on rank0 (seq 0) → barrier on rank1.
+	if !hasEdge(res, trace.Ref{Rank: 0, Seq: 0}, trace.Ref{Rank: 1, Seq: 1}) {
+		t.Errorf("missing pred-edge; edges = %v", res.Edges)
+	}
+	// No cycle: barrier_0 → barrier_1 and barrier_1 → barrier_0 both
+	// absent.
+	if hasEdge(res, trace.Ref{Rank: 0, Seq: 1}, trace.Ref{Rank: 1, Seq: 1}) &&
+		hasEdge(res, trace.Ref{Rank: 1, Seq: 1}, trace.Ref{Rank: 0, Seq: 1}) {
+		t.Error("mutual barrier edges form a cycle")
+	}
+}
+
+func TestRootedCollectiveEdges(t *testing.T) {
+	tr := runTraced(t, 3, func(r *recorder.Rank) error {
+		c := r.Proc().CommWorld()
+		if _, err := r.Bcast(c, 1, []byte("d")); err != nil {
+			return err
+		}
+		_, err := r.Reduce(c, 2, int64(r.Rank()), mpi.OpSum)
+		return err
+	})
+	res := mustMatch(t, tr)
+	if len(res.Problems) != 0 {
+		t.Fatalf("problems = %v", res.Problems)
+	}
+	// Bcast: root (rank 1, seq 0) → others' bcast records.
+	if !hasEdge(res, trace.Ref{Rank: 1, Seq: 0}, trace.Ref{Rank: 0, Seq: 0}) ||
+		!hasEdge(res, trace.Ref{Rank: 1, Seq: 0}, trace.Ref{Rank: 2, Seq: 0}) {
+		t.Errorf("bcast edges wrong: %v", res.Edges)
+	}
+	// Bcast must NOT order non-root pairs.
+	if hasEdge(res, trace.Ref{Rank: 0, Seq: 0}, trace.Ref{Rank: 2, Seq: 0}) {
+		t.Error("bcast created a non-root→non-root edge")
+	}
+	// Reduce: others (seq 1) → root (rank 2, seq 1).
+	if !hasEdge(res, trace.Ref{Rank: 0, Seq: 1}, trace.Ref{Rank: 2, Seq: 1}) {
+		t.Errorf("reduce edges wrong: %v", res.Edges)
+	}
+}
+
+func TestUserCommunicatorCollectives(t *testing.T) {
+	tr := runTraced(t, 4, func(r *recorder.Rank) error {
+		c := r.Proc().CommWorld()
+		sub, err := r.CommSplit(c, r.Rank()%2, r.Rank())
+		if err != nil {
+			return err
+		}
+		return r.Barrier(sub)
+	})
+	res := mustMatch(t, tr)
+	if len(res.Problems) != 0 {
+		t.Fatalf("problems = %v", res.Problems)
+	}
+	// 1 split on world + 2 sub-barriers (one per half).
+	if res.Collectives != 3 {
+		t.Fatalf("collectives = %d, want 3", res.Collectives)
+	}
+	// Barrier on the even half must not order the odd half: rank0's
+	// pre-barrier record to rank1's barrier.
+	if hasEdge(res, trace.Ref{Rank: 0, Seq: 0}, trace.Ref{Rank: 1, Seq: 1}) {
+		t.Error("sub-communicator barrier leaked across halves")
+	}
+}
+
+func TestMismatchedCollectiveDetected(t *testing.T) {
+	tr := runTraced(t, 2, func(r *recorder.Rank) error {
+		c := r.Proc().CommWorld()
+		if r.Rank() == 0 {
+			return r.Barrier(c)
+		}
+		_, err := r.Allreduce(c, 1, mpi.OpSum)
+		return err
+	})
+	res := mustMatch(t, tr)
+	ps := problems(res, MismatchedCollective)
+	if len(ps) != 1 {
+		t.Fatalf("mismatched problems = %v", res.Problems)
+	}
+	if !strings.Contains(ps[0].Detail, "MPI_Barrier") || !strings.Contains(ps[0].Detail, "MPI_Allreduce") {
+		t.Errorf("detail = %s", ps[0].Detail)
+	}
+}
+
+func TestMissingCollectiveDetected(t *testing.T) {
+	// Build the trace by hand: rank 1 simply never reaches the barrier
+	// (at runtime this would hang; the matcher sees the truncated trace).
+	tr := trace.New(2)
+	tr.Append(trace.Record{Rank: 0, Func: "MPI_Barrier", Layer: trace.LayerMPI,
+		Args: []string{"comm-world"}, Tick: 1, Ret: 2})
+	res := mustMatch(t, tr)
+	ps := problems(res, MissingCollective)
+	if len(ps) != 1 || !strings.Contains(ps[0].Detail, "rank 1") {
+		t.Fatalf("problems = %v", res.Problems)
+	}
+}
+
+func TestUnmatchedSendAndRecv(t *testing.T) {
+	tr := trace.New(2)
+	tr.Append(trace.Record{Rank: 0, Func: "MPI_Send", Layer: trace.LayerMPI,
+		Args: []string{"comm-world", "1", "7", "4"}, Tick: 1, Ret: 2})
+	tr.Append(trace.Record{Rank: 1, Func: "MPI_Recv", Layer: trace.LayerMPI,
+		Args: []string{"comm-world", "0", "9", "4", "0", "9"}, Tick: 1, Ret: 2})
+	res := mustMatch(t, tr)
+	if len(problems(res, UnmatchedSend)) != 1 {
+		t.Errorf("unmatched sends: %v", res.Problems)
+	}
+	if len(problems(res, UnmatchedRecv)) != 1 {
+		t.Errorf("unmatched recvs: %v", res.Problems)
+	}
+}
+
+func TestDanglingRequestDetected(t *testing.T) {
+	tr := trace.New(1)
+	tr.Append(trace.Record{Rank: 0, Func: "MPI_Irecv", Layer: trace.LayerMPI,
+		Args: []string{"comm-world", "0", "1", "req-0.0"}, Tick: 1, Ret: 2})
+	res := mustMatch(t, tr)
+	if len(problems(res, DanglingRequest)) != 1 {
+		t.Errorf("problems = %v", res.Problems)
+	}
+}
+
+func TestMalformedRecordsReported(t *testing.T) {
+	tr := trace.New(1)
+	tr.Append(trace.Record{Rank: 0, Func: "MPI_Send", Layer: trace.LayerMPI,
+		Args: []string{"comm-world", "notanint", "1", "4"}, Tick: 1, Ret: 2})
+	res := mustMatch(t, tr)
+	if len(problems(res, MalformedRecord)) != 1 {
+		t.Errorf("problems = %v", res.Problems)
+	}
+}
+
+func TestFileCollectivesMatchedButNotSynchronizing(t *testing.T) {
+	tr := runTraced(t, 2, func(r *recorder.Rank) error {
+		c := r.Proc().CommWorld()
+		return r.Record(trace.LayerMPIIO, "MPI_File_open", func() []string {
+			return []string{c.GID(), "f", "rw", "3"}
+		}, func() error { return nil })
+	})
+	res := mustMatch(t, tr)
+	if len(res.Problems) != 0 {
+		t.Fatalf("problems = %v", res.Problems)
+	}
+	if res.Collectives != 1 {
+		t.Fatalf("collectives = %d", res.Collectives)
+	}
+	if len(res.Edges) != 0 {
+		t.Errorf("MPI-IO open produced sync edges: %v", res.Edges)
+	}
+}
+
+func TestNcmpiWaitBugShapeFlagged(t *testing.T) {
+	// Hand-built §V-D shape: rank 0 records MPI_File_write_at_all, rank 1
+	// records MPI_File_write_all, both after an MPI_File_open on world.
+	tr := trace.New(2)
+	for rank := 0; rank < 2; rank++ {
+		tr.Append(trace.Record{Rank: rank, Func: "MPI_File_open", Layer: trace.LayerMPIIO,
+			Args: []string{"comm-world", "f", "rw", "3"}, Tick: 1, Ret: 2})
+	}
+	tr.Append(trace.Record{Rank: 0, Func: "MPI_File_write_at_all", Layer: trace.LayerMPIIO,
+		Args: []string{"3", "0", "4"}, Tick: 3, Ret: 4})
+	tr.Append(trace.Record{Rank: 1, Func: "MPI_File_write_all", Layer: trace.LayerMPIIO,
+		Args: []string{"3", "4"}, Tick: 3, Ret: 4})
+	res := mustMatch(t, tr)
+	ps := problems(res, MismatchedCollective)
+	if len(ps) != 1 {
+		t.Fatalf("problems = %v", res.Problems)
+	}
+	if !strings.Contains(ps[0].Detail, "MPI_File_write_at_all") || !strings.Contains(ps[0].Detail, "MPI_File_write_all") {
+		t.Errorf("detail = %s", ps[0].Detail)
+	}
+}
+
+func TestNonBlockingCollectiveCompletionTarget(t *testing.T) {
+	tr := runTraced(t, 2, func(r *recorder.Rank) error {
+		c := r.Proc().CommWorld()
+		// A data record before the Ibarrier so pred edges exist.
+		if _, err := r.Allreduce(c, 0, mpi.OpSum); err != nil {
+			return err
+		}
+		req, err := r.Ibarrier(c)
+		if err != nil {
+			return err
+		}
+		_, err = r.Wait(req)
+		return err
+	})
+	res := mustMatch(t, tr)
+	if len(res.Problems) != 0 {
+		t.Fatalf("problems = %v", res.Problems)
+	}
+	// The Ibarrier edge must land on the MPI_Wait record (seq 2), sourced
+	// from the other rank's pred (seq 0).
+	if !hasEdge(res, trace.Ref{Rank: 0, Seq: 0}, trace.Ref{Rank: 1, Seq: 2}) {
+		t.Errorf("ibarrier edge should target the Wait; edges = %v", res.Edges)
+	}
+}
+
+func TestDeterministicOutput(t *testing.T) {
+	prog := func(r *recorder.Rank) error {
+		c := r.Proc().CommWorld()
+		if r.Rank() == 0 {
+			if err := r.Send(c, 1, 1, []byte("a")); err != nil {
+				return err
+			}
+		} else {
+			if _, _, err := r.Recv(c, 0, 1); err != nil {
+				return err
+			}
+		}
+		return r.Barrier(c)
+	}
+	tr := runTraced(t, 2, prog)
+	a := mustMatch(t, tr)
+	b := mustMatch(t, tr)
+	if fmt.Sprint(a.Edges) != fmt.Sprint(b.Edges) {
+		t.Error("matcher output is not deterministic")
+	}
+}
+
+func TestSendrecvMatchesBothHalves(t *testing.T) {
+	// A ring shift with MPI_Sendrecv: every rank sends right, receives
+	// from the left. Each record is both a send and a receive event.
+	tr := runTraced(t, 3, func(r *recorder.Rank) error {
+		c := r.Proc().CommWorld()
+		right := (r.Rank() + 1) % 3
+		left := (r.Rank() + 2) % 3
+		data, st, err := r.Sendrecv(c, right, 9, []byte{byte(r.Rank())}, left, 9)
+		if err != nil {
+			return err
+		}
+		if st.Source != left || data[0] != byte(left) {
+			return fmt.Errorf("rank %d got %v from %d", r.Rank(), data, st.Source)
+		}
+		return nil
+	})
+	res := mustMatch(t, tr)
+	if len(res.Problems) != 0 {
+		t.Fatalf("problems = %v", res.Problems)
+	}
+	if res.P2P != 3 {
+		t.Fatalf("p2p = %d, want 3 ring edges", res.P2P)
+	}
+	// Each edge runs from a Sendrecv record to the right neighbour's
+	// Sendrecv record.
+	for _, e := range res.Edges {
+		if tr.Record(e.From).Func != "MPI_Sendrecv" || tr.Record(e.To).Func != "MPI_Sendrecv" {
+			t.Errorf("edge endpoints %s -> %s", tr.Record(e.From).Func, tr.Record(e.To).Func)
+		}
+		if (e.From.Rank+1)%3 != e.To.Rank {
+			t.Errorf("edge %v -> %v is not a ring-right edge", e.From, e.To)
+		}
+	}
+}
+
+func TestPrefixCollectiveEdges(t *testing.T) {
+	tr := runTraced(t, 3, func(r *recorder.Rank) error {
+		_, err := r.Scan(r.Proc().CommWorld(), int64(r.Rank()), mpi.OpSum)
+		return err
+	})
+	res := mustMatch(t, tr)
+	if len(res.Problems) != 0 {
+		t.Fatalf("problems = %v", res.Problems)
+	}
+	// Edges only from lower to higher ranks: 0→1, 0→2, 1→2.
+	if len(res.Edges) != 3 {
+		t.Fatalf("edges = %v", res.Edges)
+	}
+	for _, e := range res.Edges {
+		if e.From.Rank >= e.To.Rank {
+			t.Errorf("prefix edge %v→%v goes the wrong way", e.From, e.To)
+		}
+	}
+	// A higher rank's value must not be ordered before a lower rank's.
+	if hasEdge(res, trace.Ref{Rank: 2, Seq: 0}, trace.Ref{Rank: 0, Seq: 0}) {
+		t.Error("Scan ordered rank 2 before rank 0")
+	}
+}

@@ -1,0 +1,69 @@
+package recorder
+
+import (
+	"testing"
+
+	"verifyio/internal/sim/posixfs"
+	"verifyio/internal/trace"
+)
+
+// BenchmarkRecordOverhead measures the wrapper skeleton itself: prologue,
+// body, argument capture, chain snapshot, record append.
+func BenchmarkRecordOverhead(b *testing.B) {
+	env := NewEnv(1, Options{})
+	done := make(chan struct{})
+	go func() {
+		env.Run(func(r *Rank) error {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r.Record(trace.LayerPOSIX, "pwrite", func() []string {
+					return []string{"3", "8", "0"}
+				}, func() error { return nil })
+			}
+			b.StopTimer()
+			return nil
+		})
+		close(done)
+	}()
+	<-done
+}
+
+// BenchmarkTracedPosixCall measures a full traced pwrite against the
+// simulated file system (wrapper + FS work together).
+func BenchmarkTracedPosixCall(b *testing.B) {
+	env := NewEnv(1, Options{FSMode: posixfs.ModePOSIX})
+	done := make(chan struct{})
+	go func() {
+		env.Run(func(r *Rank) error {
+			fd, err := r.Open("bench", posixfs.ORdwr|posixfs.OCreate)
+			if err != nil {
+				return err
+			}
+			payload := []byte("12345678")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := r.Pwrite(fd, payload, int64(i%4096)); err != nil {
+					return err
+				}
+			}
+			b.StopTimer()
+			return nil
+		})
+		close(done)
+	}()
+	<-done
+}
+
+// BenchmarkRegistryLookup measures the coverage check on the hot wrapper
+// path.
+func BenchmarkRegistryLookup(b *testing.B) {
+	reg := DefaultRegistry()
+	fns := []string{"pwrite", "MPI_Barrier", "H5Dwrite", "ncmpi_put_vara_int_all", "unknown_fn"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, fn := range fns {
+			reg.Supported(CoveragePlus, fn)
+			reg.Supported(CoverageLegacy, fn)
+		}
+	}
+}

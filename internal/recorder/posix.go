@@ -1,0 +1,270 @@
+package recorder
+
+import (
+	"verifyio/internal/sim/posixfs"
+	"verifyio/internal/trace"
+)
+
+// Traced POSIX wrappers. Argument layouts are a contract with the conflict
+// detector (package conflict); keep the two in sync:
+//
+//	open      [path, flags, fd]
+//	close     [fd]
+//	fsync     [fd]
+//	read      [fd, count]
+//	write     [fd, count]
+//	pread     [fd, count, offset]
+//	pwrite    [fd, count, offset]
+//	lseek     [fd, offset, whence, newpos]
+//	ftruncate [fd, size]
+//	fopen     [path, mode, stream]
+//	fclose    [stream]
+//	fread     [stream, size, count]
+//	fwrite    [stream, size, count]
+//	fseek     [stream, offset, whence, newpos]
+//
+// Offsets are deliberately NOT recorded for read/write/fread/fwrite — those
+// POSIX functions have no offset argument, so the detector must reconstruct
+// positions from open/lseek/fseek history exactly as the paper describes
+// (§IV-B, the (FP, EOF) tracking).
+
+// Open is the traced open(2).
+func (r *Rank) Open(path string, flags posixfs.OpenFlag) (int, error) {
+	fd := -1
+	var err error
+	rerr := r.Record(trace.LayerPOSIX, "open", func() []string {
+		return []string{path, flags.String(), itoa(int64(fd))}
+	}, func() error {
+		fd, err = r.fs.Open(path, flags)
+		return err
+	})
+	_ = rerr
+	return fd, err
+}
+
+// Close is the traced close(2).
+func (r *Rank) Close(fd int) error {
+	return r.Record(trace.LayerPOSIX, "close", func() []string {
+		return []string{itoa(int64(fd))}
+	}, func() error { return r.fs.Close(fd) })
+}
+
+// Fsync is the traced fsync(2) — the commit operation under commit
+// consistency.
+func (r *Rank) Fsync(fd int) error {
+	return r.Record(trace.LayerPOSIX, "fsync", func() []string {
+		return []string{itoa(int64(fd))}
+	}, func() error { return r.fs.Fsync(fd) })
+}
+
+// Read is the traced read(2); it returns the bytes read. The recorded
+// access size is the requested count — the call argument, which is what the
+// tracer captures and the conflict detector consumes (§IV-B) — keeping the
+// trace independent of scheduling-dependent short reads.
+func (r *Rank) Read(fd int, count int) ([]byte, error) {
+	buf := make([]byte, count)
+	n := 0
+	var err error
+	r.Record(trace.LayerPOSIX, "read", func() []string {
+		return []string{itoa(int64(fd)), itoa(int64(count))}
+	}, func() error {
+		n, err = r.fs.Read(fd, buf)
+		return err
+	})
+	return buf[:n], err
+}
+
+// Write is the traced write(2).
+func (r *Rank) Write(fd int, data []byte) (int, error) {
+	n := 0
+	var err error
+	r.Record(trace.LayerPOSIX, "write", func() []string {
+		return []string{itoa(int64(fd)), itoa(int64(len(data)))}
+	}, func() error {
+		n, err = r.fs.Write(fd, data)
+		return err
+	})
+	return n, err
+}
+
+// Pread is the traced pread(2).
+func (r *Rank) Pread(fd int, count int, off int64) ([]byte, error) {
+	buf := make([]byte, count)
+	n := 0
+	var err error
+	r.Record(trace.LayerPOSIX, "pread", func() []string {
+		return []string{itoa(int64(fd)), itoa(int64(count)), itoa(off)}
+	}, func() error {
+		n, err = r.fs.Pread(fd, buf, off)
+		return err
+	})
+	return buf[:n], err
+}
+
+// Pwrite is the traced pwrite(2).
+func (r *Rank) Pwrite(fd int, data []byte, off int64) (int, error) {
+	n := 0
+	var err error
+	r.Record(trace.LayerPOSIX, "pwrite", func() []string {
+		return []string{itoa(int64(fd)), itoa(int64(len(data))), itoa(off)}
+	}, func() error {
+		n, err = r.fs.Pwrite(fd, data, off)
+		return err
+	})
+	return n, err
+}
+
+// Lseek is the traced lseek(2).
+func (r *Rank) Lseek(fd int, off int64, whence int) (int64, error) {
+	var pos int64
+	var err error
+	r.Record(trace.LayerPOSIX, "lseek", func() []string {
+		return []string{itoa(int64(fd)), itoa(off), whenceName(whence), itoa(pos)}
+	}, func() error {
+		pos, err = r.fs.Lseek(fd, off, whence)
+		return err
+	})
+	return pos, err
+}
+
+// Ftruncate is the traced ftruncate(2).
+func (r *Rank) Ftruncate(fd int, size int64) error {
+	return r.Record(trace.LayerPOSIX, "ftruncate", func() []string {
+		return []string{itoa(int64(fd)), itoa(size)}
+	}, func() error { return r.fs.Ftruncate(fd, size) })
+}
+
+// Writev is the traced writev(2): [fd, iovcnt, len1, len2, ...]. The file
+// range is contiguous at the current position (vector I/O scatters in
+// memory, not in the file).
+func (r *Rank) Writev(fd int, bufs [][]byte) (int, error) {
+	n := 0
+	var err error
+	r.Record(trace.LayerPOSIX, "writev", func() []string {
+		args := []string{itoa(int64(fd)), itoa(int64(len(bufs)))}
+		for _, b := range bufs {
+			args = append(args, itoa(int64(len(b))))
+		}
+		return args
+	}, func() error {
+		n, err = r.fs.Writev(fd, bufs)
+		return err
+	})
+	return n, err
+}
+
+// Readv is the traced readv(2): [fd, iovcnt, len1, len2, ...].
+func (r *Rank) Readv(fd int, lens []int) ([]byte, error) {
+	var out []byte
+	var err error
+	r.Record(trace.LayerPOSIX, "readv", func() []string {
+		args := []string{itoa(int64(fd)), itoa(int64(len(lens)))}
+		for _, n := range lens {
+			args = append(args, itoa(int64(n)))
+		}
+		return args
+	}, func() error {
+		out, err = r.fs.Readv(fd, lens)
+		return err
+	})
+	return out, err
+}
+
+// Unlink is the traced unlink(2). The conflict detector retires the path's
+// file identity: accesses to a later file created at the same path are a
+// different file and must not be compared against the unlinked one.
+func (r *Rank) Unlink(path string) error {
+	return r.Record(trace.LayerPOSIX, "unlink", func() []string {
+		return []string{path}
+	}, func() error { return r.fs.FS().Unlink(path) })
+}
+
+// Stat is the traced stat(2); it returns the committed file size.
+func (r *Rank) Stat(path string) (int64, error) {
+	var size int64
+	var err error
+	r.Record(trace.LayerPOSIX, "stat", func() []string {
+		return []string{path, itoa(size)}
+	}, func() error {
+		size, err = r.fs.FS().Stat(path)
+		return err
+	})
+	return size, err
+}
+
+// Stream is a traced FILE* handle.
+type Stream struct {
+	r  *Rank
+	st *posixfs.Stream
+}
+
+// Fopen is the traced fopen(3).
+func (r *Rank) Fopen(path, mode string) (*Stream, error) {
+	var st *posixfs.Stream
+	var err error
+	r.Record(trace.LayerPOSIX, "fopen", func() []string {
+		id := int64(-1)
+		if st != nil {
+			id = int64(st.ID())
+		}
+		return []string{path, mode, itoa(id)}
+	}, func() error {
+		st, err = r.fs.Fopen(path, mode)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Stream{r: r, st: st}, nil
+}
+
+// Fwrite is the traced fwrite(3).
+func (s *Stream) Fwrite(data []byte, size, count int) (int, error) {
+	n := 0
+	var err error
+	s.r.Record(trace.LayerPOSIX, "fwrite", func() []string {
+		return []string{itoa(int64(s.st.ID())), itoa(int64(size)), itoa(int64(count))}
+	}, func() error {
+		n, err = s.st.Fwrite(data, size, count)
+		return err
+	})
+	return n, err
+}
+
+// Fread is the traced fread(3). The recorded item count is the requested
+// count (the call argument), like the other read wrappers.
+func (s *Stream) Fread(size, count int) ([]byte, error) {
+	buf := make([]byte, size*count)
+	n := 0
+	var err error
+	s.r.Record(trace.LayerPOSIX, "fread", func() []string {
+		return []string{itoa(int64(s.st.ID())), itoa(int64(size)), itoa(int64(count))}
+	}, func() error {
+		n, err = s.st.Fread(buf, size, count)
+		return err
+	})
+	return buf[:n*size], err
+}
+
+// Fseek is the traced fseek(3).
+func (s *Stream) Fseek(off int64, whence int) error {
+	var err error
+	s.r.Record(trace.LayerPOSIX, "fseek", func() []string {
+		pos := int64(-1)
+		if err == nil {
+			pos, _ = s.st.Ftell()
+		}
+		return []string{itoa(int64(s.st.ID())), itoa(off), whenceName(whence), itoa(pos)}
+	}, func() error {
+		err = s.st.Fseek(off, whence)
+		return err
+	})
+	return err
+}
+
+// Fclose is the traced fclose(3).
+func (s *Stream) Fclose() error {
+	return s.r.Record(trace.LayerPOSIX, "fclose", func() []string {
+		return []string{itoa(int64(s.st.ID()))}
+	}, func() error { return s.st.Fclose() })
+}

@@ -1,0 +1,211 @@
+// Package recorder implements Recorder⁺, the tracing component of VerifyIO
+// (step 1 of the workflow).
+//
+// The real Recorder⁺ intercepts calls via LD_PRELOAD wrappers generated from
+// function-signature files; in this simulation every library layer routes
+// its calls through a Rank, which plays the wrapper role: it records the
+// prologue (entry timestamp, call chain), invokes the real operation, then
+// records the epilogue (all runtime arguments, including post-invocation
+// values such as the MPI_Status of a wildcard receive or the descriptor
+// returned by open). Nesting is captured exactly the way the paper needs it:
+// when PnetCDF calls MPI-IO which calls POSIX, all three records appear,
+// each carrying its enclosing call chain, which the verifier reports for
+// data races so users can tell application-level misuse from library-level
+// bugs.
+//
+// Coverage is signature-driven. A Registry lists the functions the tracer
+// supports, loaded from the signature files under sigs/ (the same files
+// cmd/wrappergen consumes). CoverageLegacy reproduces the original
+// Recorder's partial coverage — only a small, fixed HDF5 subset plus the
+// POSIX/MPI core — so the evaluation can show what full coverage buys
+// (Table II) and what partial coverage silently misses.
+package recorder
+
+import (
+	"fmt"
+	"strconv"
+
+	"verifyio/internal/sim/mpi"
+	"verifyio/internal/sim/posixfs"
+	"verifyio/internal/trace"
+)
+
+// Coverage selects which tracer generation to simulate.
+type Coverage int
+
+const (
+	// CoveragePlus is Recorder⁺: every function in the signature registry
+	// is recorded (full coverage of HDF5, NetCDF, and PnetCDF).
+	CoveragePlus Coverage = iota
+	// CoverageLegacy is the original Recorder: POSIX, MPI, MPI-IO, and a
+	// fixed subset of HDF5 functions only. Calls outside the subset still
+	// execute but leave no trace records.
+	CoverageLegacy
+)
+
+func (c Coverage) String() string {
+	if c == CoverageLegacy {
+		return "recorder"
+	}
+	return "recorder+"
+}
+
+// Env is one traced execution: a simulated MPI world, a simulated file
+// system, and the trace being collected.
+type Env struct {
+	world    *mpi.World
+	fs       *posixfs.FS
+	tr       *trace.Trace
+	reg      *Registry
+	coverage Coverage
+}
+
+// Options configures a traced execution.
+type Options struct {
+	// FSMode is the simulated file system's consistency mode.
+	FSMode posixfs.Mode
+	// Coverage selects Recorder⁺ (default) or legacy Recorder.
+	Coverage Coverage
+	// Registry overrides the default signature registry (tests).
+	Registry *Registry
+	// MPIOptions are passed through to the simulated MPI world.
+	MPIOptions []mpi.Option
+}
+
+// NewEnv creates a traced execution with nranks ranks.
+func NewEnv(nranks int, opts Options) *Env {
+	reg := opts.Registry
+	if reg == nil {
+		reg = DefaultRegistry()
+	}
+	e := &Env{
+		world:    mpi.NewWorld(nranks, opts.MPIOptions...),
+		fs:       posixfs.New(opts.FSMode),
+		tr:       trace.New(nranks),
+		reg:      reg,
+		coverage: opts.Coverage,
+	}
+	e.tr.Meta["fs.mode"] = opts.FSMode.String()
+	e.tr.Meta["tracer"] = opts.Coverage.String()
+	return e
+}
+
+// FS exposes the simulated file system (examples inspect committed data).
+func (e *Env) FS() *posixfs.FS { return e.fs }
+
+// Trace returns the collected trace. Call it after Run has returned.
+func (e *Env) Trace() *trace.Trace { return e.tr }
+
+// Run executes prog once per rank under tracing and waits for completion.
+func (e *Env) Run(prog func(r *Rank) error) error {
+	return e.world.Run(func(p *mpi.Proc) error {
+		return prog(&Rank{
+			env:  e,
+			proc: p,
+			fs:   e.fs.Proc(p.Rank()),
+		})
+	})
+}
+
+// Rank is one traced process: the wrapper layer in front of the simulated
+// MPI and POSIX substrates. It must be used only from its rank's goroutine.
+type Rank struct {
+	env  *Env
+	proc *mpi.Proc
+	fs   *posixfs.Proc
+
+	tick  int64
+	chain []string
+	site  string
+}
+
+// Rank returns the MPI world rank.
+func (r *Rank) Rank() int { return r.proc.Rank() }
+
+// Size returns the MPI world size.
+func (r *Rank) Size() int { return r.proc.Size() }
+
+// Proc exposes the raw (untraced) MPI handle. Library layers use Record
+// around it; application code should use the traced wrappers instead.
+func (r *Rank) Proc() *mpi.Proc { return r.proc }
+
+// FSProc exposes the raw (untraced) file-system view.
+func (r *Rank) FSProc() *posixfs.Proc { return r.fs }
+
+// SetSite labels subsequent records with a call-site string — the paper's
+// future-work backtrace feature, which disambiguates repeated calls to the
+// same function from different source locations.
+func (r *Rank) SetSite(site string) { r.site = site }
+
+// Record is the wrapper skeleton from the paper (§IV-A):
+//
+//	wrapper(func, ...) { prologue(); ret = func(args); epilogue(args); }
+//
+// It runs body inside a recorded frame of the given layer. args is evaluated
+// after body so post-invocation values (statuses, returned descriptors) are
+// captured. If the registry (under the configured coverage) does not support
+// fn, body still runs but no record is written — exactly how an uninstru-
+// mented function behaves under LD_PRELOAD tracing.
+func (r *Rank) Record(layer trace.Layer, fn string, args func() []string, body func() error) error {
+	if !r.env.reg.Supported(r.env.coverage, fn) {
+		return body()
+	}
+	entry := r.nextTick()
+	frame := trace.FormatFrame(layer, fn, r.site)
+	r.chain = append(r.chain, frame)
+	err := body()
+	r.chain = r.chain[:len(r.chain)-1]
+	ret := r.nextTick()
+
+	var argv []string
+	if args != nil {
+		argv = args()
+	}
+	chain := make([]string, len(r.chain))
+	copy(chain, r.chain)
+	r.env.tr.Append(trace.Record{
+		Rank:  r.Rank(),
+		Func:  fn,
+		Layer: layer,
+		Depth: len(chain),
+		Args:  argv,
+		Tick:  entry,
+		Ret:   ret,
+		Chain: chain,
+		Site:  r.site,
+	})
+	return err
+}
+
+func (r *Rank) nextTick() int64 {
+	r.tick++
+	return r.tick
+}
+
+func itoa(v int64) string { return strconv.FormatInt(v, 10) }
+
+func whenceName(whence int) string {
+	switch whence {
+	case posixfs.SeekSet:
+		return "SEEK_SET"
+	case posixfs.SeekCur:
+		return "SEEK_CUR"
+	case posixfs.SeekEnd:
+		return "SEEK_END"
+	}
+	return fmt.Sprintf("whence(%d)", whence)
+}
+
+// ParseWhence is the inverse of the whence encoding used in lseek/fseek
+// records; the conflict detector uses it to replay file positions.
+func ParseWhence(s string) (int, error) {
+	switch s {
+	case "SEEK_SET":
+		return posixfs.SeekSet, nil
+	case "SEEK_CUR":
+		return posixfs.SeekCur, nil
+	case "SEEK_END":
+		return posixfs.SeekEnd, nil
+	}
+	return 0, fmt.Errorf("recorder: unknown whence %q", s)
+}

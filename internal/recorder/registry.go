@@ -1,0 +1,189 @@
+package recorder
+
+import (
+	"embed"
+	"fmt"
+	"io/fs"
+	"sort"
+	"sync"
+)
+
+//go:embed sigs/*.sig
+var sigFS embed.FS
+
+// Registry is the set of functions the tracer can intercept, grouped by
+// library. Recorder⁺ builds it from signature files (the same files
+// cmd/wrappergen consumes); the legacy Recorder view is the POSIX/MPI core
+// plus a fixed 84-function HDF5 subset, reproducing the partial coverage
+// column of Table II.
+type Registry struct {
+	byLib map[string][]string // lib -> function names, file order
+	owner map[string]string   // function -> lib
+	proto map[string]string   // function -> prototype
+	leg   map[string]bool     // legacy HDF5 subset
+}
+
+// NewRegistry builds a registry from parsed signature files.
+func NewRegistry(files ...*SigFile) (*Registry, error) {
+	r := &Registry{
+		byLib: make(map[string][]string),
+		owner: make(map[string]string),
+		proto: make(map[string]string),
+		leg:   make(map[string]bool),
+	}
+	for _, sf := range files {
+		if _, dup := r.byLib[sf.Library]; dup {
+			return nil, fmt.Errorf("recorder: duplicate signature file for library %q", sf.Library)
+		}
+		r.byLib[sf.Library] = sf.Funcs
+		for _, fn := range sf.Funcs {
+			if prev, dup := r.owner[fn]; dup {
+				return nil, fmt.Errorf("recorder: function %s declared by both %s and %s", fn, prev, sf.Library)
+			}
+			r.owner[fn] = sf.Library
+			r.proto[fn] = sf.Protos[fn]
+		}
+	}
+	for _, fn := range legacyHDF5 {
+		if r.owner[fn] != "hdf5" {
+			return nil, fmt.Errorf("recorder: legacy subset entry %s not in the hdf5 signature file", fn)
+		}
+		r.leg[fn] = true
+	}
+	return r, nil
+}
+
+var (
+	defaultReg     *Registry
+	defaultRegOnce sync.Once
+	defaultRegErr  error
+)
+
+// DefaultRegistry parses the embedded signature files. It panics on a
+// malformed embedded file — that is a build defect, not a runtime condition.
+func DefaultRegistry() *Registry {
+	defaultRegOnce.Do(func() {
+		var files []*SigFile
+		err := fs.WalkDir(sigFS, "sigs", func(path string, d fs.DirEntry, err error) error {
+			if err != nil || d.IsDir() {
+				return err
+			}
+			data, err := sigFS.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			sf, err := ParseSigFile(string(data))
+			if err != nil {
+				return fmt.Errorf("%s: %w", path, err)
+			}
+			files = append(files, sf)
+			return nil
+		})
+		if err != nil {
+			defaultRegErr = err
+			return
+		}
+		sort.Slice(files, func(i, j int) bool { return files[i].Library < files[j].Library })
+		defaultReg, defaultRegErr = NewRegistry(files...)
+	})
+	if defaultRegErr != nil {
+		panic(fmt.Sprintf("recorder: embedded signature files invalid: %v", defaultRegErr))
+	}
+	return defaultReg
+}
+
+// Supported reports whether fn is intercepted under the given coverage.
+func (r *Registry) Supported(cov Coverage, fn string) bool {
+	lib, ok := r.owner[fn]
+	if !ok {
+		return false
+	}
+	if cov == CoveragePlus {
+		return true
+	}
+	// Legacy Recorder: POSIX, MPI and MPI-IO fully; HDF5 partially; the
+	// NetCDF and PnetCDF layers not at all.
+	switch lib {
+	case "posix", "mpi":
+		return true
+	case "hdf5":
+		return r.leg[fn]
+	default:
+		return false
+	}
+}
+
+// Count returns the number of functions a coverage level supports for lib —
+// the numbers Table II reports.
+func (r *Registry) Count(cov Coverage, lib string) int {
+	fns, ok := r.byLib[lib]
+	if !ok {
+		return 0
+	}
+	if cov == CoveragePlus {
+		return len(fns)
+	}
+	n := 0
+	for _, fn := range fns {
+		if r.Supported(CoverageLegacy, fn) {
+			n++
+		}
+	}
+	return n
+}
+
+// Libraries lists the libraries in the registry, sorted.
+func (r *Registry) Libraries() []string {
+	out := make([]string, 0, len(r.byLib))
+	for lib := range r.byLib {
+		out = append(out, lib)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Library returns the library owning fn ("" when unknown).
+func (r *Registry) Library(fn string) string { return r.owner[fn] }
+
+// Prototype returns the C prototype recorded for fn ("" when unknown).
+func (r *Registry) Prototype(fn string) string { return r.proto[fn] }
+
+// EmbeddedSig returns the raw embedded signature-file text for a library —
+// the same input cmd/wrappergen consumes, so codegen and the tracer registry
+// can be cross-checked.
+func EmbeddedSig(lib string) (string, error) {
+	data, err := sigFS.ReadFile("sigs/" + lib + ".sig")
+	if err != nil {
+		return "", fmt.Errorf("recorder: no embedded signature file for %q: %w", lib, err)
+	}
+	return string(data), nil
+}
+
+// legacyHDF5 is the fixed 84-function HDF5 subset the original Recorder
+// supported (Table II's "Recorder / HDF5 = 84" cell).
+var legacyHDF5 = []string{
+	"H5Fcreate", "H5Fopen", "H5Freopen", "H5Fclose", "H5Fflush",
+	"H5Fis_hdf5", "H5Fget_create_plist", "H5Fget_access_plist",
+	"H5Fget_name", "H5Fget_filesize",
+	"H5Dcreate", "H5Dcreate2", "H5Dopen", "H5Dopen2", "H5Dclose",
+	"H5Dread", "H5Dwrite", "H5Dget_space", "H5Dget_type",
+	"H5Dget_create_plist", "H5Dset_extent", "H5Dfill",
+	"H5Acreate", "H5Acreate2", "H5Aopen", "H5Aopen_by_name", "H5Aclose",
+	"H5Aread", "H5Awrite", "H5Adelete", "H5Aexists", "H5Aget_name",
+	"H5Aget_space", "H5Aget_type", "H5Aiterate", "H5Arename",
+	"H5Screate", "H5Screate_simple", "H5Scopy", "H5Sclose",
+	"H5Sselect_hyperslab", "H5Sselect_elements", "H5Sselect_all",
+	"H5Sselect_none", "H5Sget_select_npoints", "H5Sget_simple_extent_dims",
+	"H5Sget_simple_extent_ndims", "H5Sget_simple_extent_npoints",
+	"H5Sset_extent_simple", "H5Sis_simple", "H5Soffset_simple",
+	"H5Tcreate", "H5Topen", "H5Tclose", "H5Tcopy", "H5Tequal",
+	"H5Tget_class", "H5Tget_size", "H5Tset_size", "H5Tget_order",
+	"H5Tset_order", "H5Tinsert", "H5Tget_native_type",
+	"H5Gcreate", "H5Gcreate2", "H5Gopen", "H5Gopen2", "H5Gclose",
+	"H5Gget_info", "H5Giterate",
+	"H5Pcreate", "H5Pclose", "H5Pcopy", "H5Pset_chunk", "H5Pget_chunk",
+	"H5Pset_deflate", "H5Pset_fapl_mpio", "H5Pset_dxpl_mpio",
+	"H5Pset_fill_value", "H5Pget_fill_value", "H5Pset_layout",
+	"H5Pset_alignment",
+	"H5open", "H5close",
+}

@@ -1,0 +1,154 @@
+package recorder
+
+import (
+	"bufio"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Signature files describe the API surface of a library, one C prototype per
+// line. cmd/wrappergen turns them into wrapper registrations, mirroring the
+// code-generation approach the paper introduces for Recorder⁺ (§IV-A): "a
+// code-generation tool that takes a function signature file as input and
+// automatically generates wrapper functions for each function in the file".
+//
+// Because the NetCDF and PnetCDF APIs are themselves macro-generated
+// (kind × type × blocking × collective matrices — how PnetCDF reaches 900+
+// functions), signature files support the same style of expansion:
+//
+//	# library: pnetcdf                  -- header, names the library
+//	expand TYPE: text schar uchar ...   -- declares an expansion variable
+//	int ncmpi_put_var1_${TYPE}_all(...) -- expands to one prototype per value
+//
+// A line may reference several variables; the cartesian product is emitted.
+
+// SigFile is a parsed signature file.
+type SigFile struct {
+	// Library is the library name from the "# library:" header.
+	Library string
+	// Funcs are the expanded function names, in file order,
+	// de-duplicated.
+	Funcs []string
+	// Protos maps each function name to its (expanded) prototype line.
+	Protos map[string]string
+}
+
+// ParseSigFile parses signature-file text.
+func ParseSigFile(text string) (*SigFile, error) {
+	sf := &SigFile{Protos: make(map[string]string)}
+	vars := make(map[string][]string)
+	seen := make(map[string]bool)
+	sc := bufio.NewScanner(strings.NewReader(text))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+			continue
+		case strings.HasPrefix(line, "# library:"):
+			sf.Library = strings.TrimSpace(strings.TrimPrefix(line, "# library:"))
+		case strings.HasPrefix(line, "#"):
+			continue
+		case strings.HasPrefix(line, "expand "):
+			name, vals, ok := strings.Cut(strings.TrimPrefix(line, "expand "), ":")
+			if !ok {
+				return nil, fmt.Errorf("sigfile line %d: malformed expand directive", lineNo)
+			}
+			vars[strings.TrimSpace(name)] = strings.Fields(vals)
+		default:
+			expanded, err := expandLine(line, vars)
+			if err != nil {
+				return nil, fmt.Errorf("sigfile line %d: %w", lineNo, err)
+			}
+			for _, proto := range expanded {
+				fn, err := protoName(proto)
+				if err != nil {
+					return nil, fmt.Errorf("sigfile line %d: %w", lineNo, err)
+				}
+				if seen[fn] {
+					continue
+				}
+				seen[fn] = true
+				sf.Funcs = append(sf.Funcs, fn)
+				sf.Protos[fn] = proto
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if sf.Library == "" {
+		return nil, fmt.Errorf("sigfile: missing \"# library:\" header")
+	}
+	return sf, nil
+}
+
+// expandLine substitutes every ${VAR} reference, producing the cartesian
+// product over the variables used in the line.
+func expandLine(line string, vars map[string][]string) ([]string, error) {
+	used := usedVars(line)
+	if len(used) == 0 {
+		return []string{line}, nil
+	}
+	out := []string{line}
+	for _, v := range used {
+		vals, ok := vars[v]
+		if !ok {
+			return nil, fmt.Errorf("undefined expansion variable ${%s}", v)
+		}
+		var next []string
+		for _, l := range out {
+			for _, val := range vals {
+				next = append(next, strings.ReplaceAll(l, "${"+v+"}", val))
+			}
+		}
+		out = next
+	}
+	return out, nil
+}
+
+// usedVars returns the expansion variables referenced in line, sorted for
+// deterministic expansion order.
+func usedVars(line string) []string {
+	set := make(map[string]bool)
+	for rest := line; ; {
+		i := strings.Index(rest, "${")
+		if i < 0 {
+			break
+		}
+		rest = rest[i+2:]
+		j := strings.Index(rest, "}")
+		if j < 0 {
+			break
+		}
+		set[rest[:j]] = true
+		rest = rest[j+1:]
+	}
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// protoName extracts the function name from a C prototype: the identifier
+// immediately before the first '('.
+func protoName(proto string) (string, error) {
+	i := strings.IndexByte(proto, '(')
+	if i < 0 {
+		return "", fmt.Errorf("not a prototype: %q", proto)
+	}
+	head := strings.TrimSpace(proto[:i])
+	j := strings.LastIndexFunc(head, func(r rune) bool {
+		return !(r == '_' || r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9')
+	})
+	name := head[j+1:]
+	if name == "" {
+		return "", fmt.Errorf("no function name in %q", proto)
+	}
+	return name, nil
+}

@@ -1,0 +1,81 @@
+# library: netcdf
+# NetCDF-4 API surface; the typed var/att accessors are the usual generated
+# matrix (kind x type).
+expand TYPE: text schar uchar short ushort int uint long float double longlong ulonglong string
+expand KIND: var var1 vara vars varm
+
+int nc_put_${KIND}_${TYPE}(int ncid, int varid, const void *op);
+int nc_get_${KIND}_${TYPE}(int ncid, int varid, void *ip);
+int nc_put_${KIND}(int ncid, int varid, const void *op);
+int nc_get_${KIND}(int ncid, int varid, void *ip);
+
+int nc_put_att_${TYPE}(int ncid, int varid, const char *name, nc_type xtype, size_t len, const void *op);
+int nc_get_att_${TYPE}(int ncid, int varid, const char *name, void *ip);
+int nc_put_att(int ncid, int varid, const char *name, nc_type xtype, size_t len, const void *op);
+int nc_get_att(int ncid, int varid, const char *name, void *ip);
+int nc_inq_att(int ncid, int varid, const char *name, nc_type *xtypep, size_t *lenp);
+int nc_inq_attid(int ncid, int varid, const char *name, int *idp);
+int nc_inq_attname(int ncid, int varid, int attnum, char *name);
+int nc_inq_natts(int ncid, int *nattsp);
+int nc_rename_att(int ncid, int varid, const char *name, const char *newname);
+int nc_del_att(int ncid, int varid, const char *name);
+int nc_copy_att(int ncid_in, int varid_in, const char *name, int ncid_out, int varid_out);
+
+int nc_create(const char *path, int cmode, int *ncidp);
+int nc_open(const char *path, int omode, int *ncidp);
+int nc_create_par(const char *path, int cmode, MPI_Comm comm, MPI_Info info, int *ncidp);
+int nc_open_par(const char *path, int omode, MPI_Comm comm, MPI_Info info, int *ncidp);
+int nc_var_par_access(int ncid, int varid, int par_access);
+int nc_enddef(int ncid);
+int nc__enddef(int ncid, size_t h_minfree, size_t v_align, size_t v_minfree, size_t r_align);
+int nc_redef(int ncid);
+int nc_close(int ncid);
+int nc_sync(int ncid);
+int nc_abort(int ncid);
+int nc_set_fill(int ncid, int fillmode, int *old_modep);
+int nc_set_default_format(int format, int *old_formatp);
+
+int nc_def_dim(int ncid, const char *name, size_t len, int *idp);
+int nc_def_var(int ncid, const char *name, nc_type xtype, int ndims, const int *dimidsp, int *varidp);
+int nc_def_var_fill(int ncid, int varid, int no_fill, const void *fill_value);
+int nc_def_var_chunking(int ncid, int varid, int storage, const size_t *chunksizesp);
+int nc_def_var_deflate(int ncid, int varid, int shuffle, int deflate, int deflate_level);
+int nc_def_var_fletcher32(int ncid, int varid, int fletcher32);
+int nc_def_var_endian(int ncid, int varid, int endian);
+int nc_def_grp(int ncid, const char *name, int *new_ncid);
+int nc_rename_dim(int ncid, int dimid, const char *name);
+int nc_rename_var(int ncid, int varid, const char *name);
+int nc_rename_grp(int grpid, const char *name);
+
+int nc_inq(int ncid, int *ndimsp, int *nvarsp, int *nattsp, int *unlimdimidp);
+int nc_inq_ndims(int ncid, int *ndimsp);
+int nc_inq_nvars(int ncid, int *nvarsp);
+int nc_inq_unlimdim(int ncid, int *unlimdimidp);
+int nc_inq_unlimdims(int ncid, int *nunlimdimsp, int *unlimdimidsp);
+int nc_inq_dimid(int ncid, const char *name, int *idp);
+int nc_inq_dim(int ncid, int dimid, char *name, size_t *lenp);
+int nc_inq_dimname(int ncid, int dimid, char *name);
+int nc_inq_dimlen(int ncid, int dimid, size_t *lenp);
+int nc_inq_varid(int ncid, const char *name, int *varidp);
+int nc_inq_var(int ncid, int varid, char *name, nc_type *xtypep, int *ndimsp, int *dimidsp, int *nattsp);
+int nc_inq_varname(int ncid, int varid, char *name);
+int nc_inq_vartype(int ncid, int varid, nc_type *xtypep);
+int nc_inq_varndims(int ncid, int varid, int *ndimsp);
+int nc_inq_vardimid(int ncid, int varid, int *dimidsp);
+int nc_inq_varnatts(int ncid, int varid, int *nattsp);
+int nc_inq_var_fill(int ncid, int varid, int *no_fill, void *fill_value);
+int nc_inq_var_chunking(int ncid, int varid, int *storagep, size_t *chunksizesp);
+int nc_inq_var_deflate(int ncid, int varid, int *shufflep, int *deflatep, int *deflate_levelp);
+int nc_inq_var_endian(int ncid, int varid, int *endianp);
+int nc_inq_format(int ncid, int *formatp);
+int nc_inq_format_extended(int ncid, int *formatp, int *modep);
+int nc_inq_grps(int ncid, int *numgrps, int *ncids);
+int nc_inq_grpname(int ncid, char *name);
+int nc_inq_grpname_full(int ncid, size_t *lenp, char *full_name);
+int nc_inq_grp_parent(int ncid, int *parent_ncid);
+int nc_inq_grp_ncid(int ncid, const char *grp_name, int *grp_ncid);
+int nc_inq_ncid(int ncid, const char *name, int *grp_ncid);
+int nc_inq_libvers(void);
+int nc_inq_path(int ncid, size_t *pathlen, char *path);
+int nc_inq_type(int ncid, nc_type xtype, char *name, size_t *size);
+const char *nc_strerror(int ncerr);

@@ -1,0 +1,110 @@
+# library: pnetcdf
+# PnetCDF API surface. The var-access API is a generated matrix, exactly as
+# in PnetCDF itself (kind x type x blocking x collective); the expansion
+# directives below mirror that generation.
+expand TYPE: text schar uchar short ushort int uint long float double longlong ulonglong
+expand KIND: var var1 vara vars varm varn
+
+# Blocking typed var APIs, independent and collective.
+int ncmpi_put_${KIND}_${TYPE}(int ncid, int varid, const void *op);
+int ncmpi_put_${KIND}_${TYPE}_all(int ncid, int varid, const void *op);
+int ncmpi_get_${KIND}_${TYPE}(int ncid, int varid, void *ip);
+int ncmpi_get_${KIND}_${TYPE}_all(int ncid, int varid, void *ip);
+
+# Flexible (MPI-datatype) var APIs.
+int ncmpi_put_${KIND}(int ncid, int varid, const void *buf, MPI_Offset bufcount, MPI_Datatype buftype);
+int ncmpi_put_${KIND}_all(int ncid, int varid, const void *buf, MPI_Offset bufcount, MPI_Datatype buftype);
+int ncmpi_get_${KIND}(int ncid, int varid, void *buf, MPI_Offset bufcount, MPI_Datatype buftype);
+int ncmpi_get_${KIND}_all(int ncid, int varid, void *buf, MPI_Offset bufcount, MPI_Datatype buftype);
+
+# Non-blocking typed var APIs (completed by ncmpi_wait / ncmpi_wait_all).
+int ncmpi_iput_${KIND}_${TYPE}(int ncid, int varid, const void *op, int *req);
+int ncmpi_iget_${KIND}_${TYPE}(int ncid, int varid, void *ip, int *req);
+int ncmpi_bput_${KIND}_${TYPE}(int ncid, int varid, const void *op, int *req);
+
+# Non-blocking flexible var APIs.
+int ncmpi_iput_${KIND}(int ncid, int varid, const void *buf, MPI_Offset bufcount, MPI_Datatype buftype, int *req);
+int ncmpi_iget_${KIND}(int ncid, int varid, void *buf, MPI_Offset bufcount, MPI_Datatype buftype, int *req);
+int ncmpi_bput_${KIND}(int ncid, int varid, const void *buf, MPI_Offset bufcount, MPI_Datatype buftype, int *req);
+
+# Attribute APIs.
+int ncmpi_put_att_${TYPE}(int ncid, int varid, const char *name, nc_type xtype, MPI_Offset len, const void *op);
+int ncmpi_get_att_${TYPE}(int ncid, int varid, const char *name, void *ip);
+int ncmpi_put_att(int ncid, int varid, const char *name, nc_type xtype, MPI_Offset len, const void *op);
+int ncmpi_get_att(int ncid, int varid, const char *name, void *ip);
+int ncmpi_inq_att(int ncid, int varid, const char *name, nc_type *xtypep, MPI_Offset *lenp);
+int ncmpi_inq_attid(int ncid, int varid, const char *name, int *idp);
+int ncmpi_inq_attname(int ncid, int varid, int attnum, char *name);
+int ncmpi_inq_natts(int ncid, int *nattsp);
+int ncmpi_rename_att(int ncid, int varid, const char *name, const char *newname);
+int ncmpi_del_att(int ncid, int varid, const char *name);
+int ncmpi_copy_att(int ncid_in, int varid_in, const char *name, int ncid_out, int varid_out);
+
+# File and define-mode APIs.
+int ncmpi_create(MPI_Comm comm, const char *path, int cmode, MPI_Info info, int *ncidp);
+int ncmpi_open(MPI_Comm comm, const char *path, int omode, MPI_Info info, int *ncidp);
+int ncmpi_enddef(int ncid);
+int ncmpi__enddef(int ncid, MPI_Offset h_minfree, MPI_Offset v_align, MPI_Offset v_minfree, MPI_Offset r_align);
+int ncmpi_redef(int ncid);
+int ncmpi_close(int ncid);
+int ncmpi_sync(int ncid);
+int ncmpi_sync_numrecs(int ncid);
+int ncmpi_abort(int ncid);
+int ncmpi_flush(int ncid);
+int ncmpi_begin_indep_data(int ncid);
+int ncmpi_end_indep_data(int ncid);
+int ncmpi_wait(int ncid, int count, int array_of_requests[], int array_of_statuses[]);
+int ncmpi_wait_all(int ncid, int count, int array_of_requests[], int array_of_statuses[]);
+int ncmpi_cancel(int ncid, int count, int array_of_requests[], int array_of_statuses[]);
+int ncmpi_buffer_attach(int ncid, MPI_Offset bufsize);
+int ncmpi_buffer_detach(int ncid);
+int ncmpi_delete(const char *filename, MPI_Info info);
+int ncmpi_set_fill(int ncid, int fillmode, int *old_modep);
+int ncmpi_set_default_format(int format, int *old_formatp);
+int ncmpi_inq_default_format(int *formatp);
+
+# Dimension and variable definition APIs.
+int ncmpi_def_dim(int ncid, const char *name, MPI_Offset len, int *idp);
+int ncmpi_def_var(int ncid, const char *name, nc_type xtype, int ndims, const int *dimidsp, int *varidp);
+int ncmpi_def_var_fill(int ncid, int varid, int no_fill, const void *fill_value);
+int ncmpi_fill_var_rec(int ncid, int varid, MPI_Offset recno);
+int ncmpi_rename_dim(int ncid, int dimid, const char *name);
+int ncmpi_rename_var(int ncid, int varid, const char *name);
+
+# Inquiry APIs.
+int ncmpi_inq(int ncid, int *ndimsp, int *nvarsp, int *nattsp, int *unlimdimidp);
+int ncmpi_inq_ndims(int ncid, int *ndimsp);
+int ncmpi_inq_nvars(int ncid, int *nvarsp);
+int ncmpi_inq_unlimdim(int ncid, int *unlimdimidp);
+int ncmpi_inq_dimid(int ncid, const char *name, int *idp);
+int ncmpi_inq_dim(int ncid, int dimid, char *name, MPI_Offset *lenp);
+int ncmpi_inq_dimname(int ncid, int dimid, char *name);
+int ncmpi_inq_dimlen(int ncid, int dimid, MPI_Offset *lenp);
+int ncmpi_inq_varid(int ncid, const char *name, int *varidp);
+int ncmpi_inq_var(int ncid, int varid, char *name, nc_type *xtypep, int *ndimsp, int *dimidsp, int *nattsp);
+int ncmpi_inq_varname(int ncid, int varid, char *name);
+int ncmpi_inq_vartype(int ncid, int varid, nc_type *xtypep);
+int ncmpi_inq_varndims(int ncid, int varid, int *ndimsp);
+int ncmpi_inq_vardimid(int ncid, int varid, int *dimidsp);
+int ncmpi_inq_varnatts(int ncid, int varid, int *nattsp);
+int ncmpi_inq_var_fill(int ncid, int varid, int *no_fill, void *fill_value);
+int ncmpi_inq_format(int ncid, int *formatp);
+int ncmpi_inq_file_format(const char *filename, int *formatp);
+int ncmpi_inq_version(int ncid, int *nc_mode);
+int ncmpi_inq_path(int ncid, int *pathlen, char *path);
+int ncmpi_inq_files_opened(int *num, int *ncids);
+int ncmpi_inq_libvers(void);
+int ncmpi_inq_malloc_size(MPI_Offset *size);
+int ncmpi_inq_malloc_max_size(MPI_Offset *size);
+int ncmpi_inq_put_size(int ncid, MPI_Offset *size);
+int ncmpi_inq_get_size(int ncid, MPI_Offset *size);
+int ncmpi_inq_header_size(int ncid, MPI_Offset *size);
+int ncmpi_inq_header_extent(int ncid, MPI_Offset *extent);
+int ncmpi_inq_striping(int ncid, int *striping_size, int *striping_count);
+int ncmpi_inq_nreqs(int ncid, int *nreqs);
+int ncmpi_inq_buffer_usage(int ncid, MPI_Offset *usage);
+int ncmpi_inq_buffer_size(int ncid, MPI_Offset *buf_size);
+int ncmpi_inq_file_info(int ncid, MPI_Info *info_used);
+int ncmpi_inq_recsize(int ncid, MPI_Offset *recsize);
+const char *ncmpi_strerror(int err);
+const char *ncmpi_strerrno(int err);

@@ -1,0 +1,27 @@
+# library: posix
+# Core POSIX I/O interface. Both Recorder and Recorder+ intercept these.
+int open(const char *pathname, int flags, mode_t mode);
+int close(int fd);
+ssize_t read(int fd, void *buf, size_t count);
+ssize_t write(int fd, const void *buf, size_t count);
+ssize_t pread(int fd, void *buf, size_t count, off_t offset);
+ssize_t pwrite(int fd, const void *buf, size_t count, off_t offset);
+off_t lseek(int fd, off_t offset, int whence);
+int fsync(int fd);
+int fdatasync(int fd);
+int ftruncate(int fd, off_t length);
+FILE *fopen(const char *pathname, const char *mode);
+int fclose(FILE *stream);
+size_t fread(void *ptr, size_t size, size_t nmemb, FILE *stream);
+size_t fwrite(const void *ptr, size_t size, size_t nmemb, FILE *stream);
+int fseek(FILE *stream, long offset, int whence);
+long ftell(FILE *stream);
+int fflush(FILE *stream);
+int unlink(const char *pathname);
+int rename(const char *oldpath, const char *newpath);
+int stat(const char *pathname, struct stat *statbuf);
+int fstat(int fd, struct stat *statbuf);
+int access(const char *pathname, int mode);
+int mkdir(const char *pathname, mode_t mode);
+ssize_t readv(int fd, const struct iovec *iov, int iovcnt);
+ssize_t writev(int fd, const struct iovec *iov, int iovcnt);

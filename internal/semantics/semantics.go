@@ -1,0 +1,196 @@
+// Package semantics specifies I/O consistency models in the unified
+// framework of Wang, Mohror and Snir [10], as adopted by the paper (§III-A):
+// a model is a set S of synchronization operations plus a minimum
+// synchronization construct (MSC, Def. 5) — an alternating sequence of
+// ordering edges (program order or happens-before) and synchronization
+// operations:
+//
+//	MSC = →r0 S1 →r1 S2 →r2 … Sk →rk,  rj ∈ {po, hb},  Si ∈ S
+//
+// Two conflicting operations X (a write) and Y are properly synchronized
+// when an instance of the MSC exists between them in the happens-before
+// order, with every Si acting on the conflicting file.
+//
+// The four models of Table I are built in; new models are plain data — an
+// extension point, not code.
+package semantics
+
+import (
+	"fmt"
+	"strings"
+)
+
+// EdgeKind is the ordering requirement between consecutive MSC elements.
+type EdgeKind int
+
+// Edge kinds.
+const (
+	// PO requires program order: same process, later (or earlier, for the
+	// edge into Y) in that process's execution.
+	PO EdgeKind = iota
+	// HB requires happens-before order (Def. 3).
+	HB
+)
+
+func (e EdgeKind) String() string {
+	if e == PO {
+		return "po"
+	}
+	return "hb"
+}
+
+// OpClass is one synchronization-operation position in an MSC: the set of
+// function names that may fill it. Names are trace-record function names;
+// each candidate must act on the file of the conflicting accesses.
+type OpClass struct {
+	// Name labels the class for display (e.g. "commit").
+	Name string
+	// Funcs are the trace function names that realize the operation.
+	Funcs []string
+}
+
+// Contains reports whether fn realizes this operation class.
+func (c OpClass) Contains(fn string) bool {
+	for _, f := range c.Funcs {
+		if f == fn {
+			return true
+		}
+	}
+	return false
+}
+
+// MSC is the minimum synchronization construct: k+1 edges around k
+// synchronization operations.
+type MSC struct {
+	// Edges has length k+1.
+	Edges []EdgeKind
+	// Ops has length k.
+	Ops []OpClass
+}
+
+// K returns the number of synchronization operations in the construct.
+func (m MSC) K() int { return len(m.Ops) }
+
+// Validate checks the structural invariant len(Edges) == len(Ops)+1.
+func (m MSC) Validate() error {
+	if len(m.Edges) != len(m.Ops)+1 {
+		return fmt.Errorf("semantics: MSC has %d edges for %d ops (want %d)",
+			len(m.Edges), len(m.Ops), len(m.Ops)+1)
+	}
+	return nil
+}
+
+// String renders the construct in the paper's arrow notation.
+func (m MSC) String() string {
+	var b strings.Builder
+	for i, e := range m.Edges {
+		fmt.Fprintf(&b, "-%s->", e)
+		if i < len(m.Ops) {
+			fmt.Fprintf(&b, " %s ", m.Ops[i].Name)
+		}
+	}
+	return b.String()
+}
+
+// ID identifies a built-in model.
+type ID int
+
+// Built-in models, in the paper's column order.
+const (
+	POSIX ID = iota
+	Commit
+	Session
+	MPIIO
+)
+
+// Model is a consistency model: its synchronization-operation set and MSC.
+type Model struct {
+	ID   ID
+	Name string
+	// SyncSet is S — every function name that is a synchronization
+	// operation under this model (the union of the MSC op classes).
+	SyncSet []string
+	// MSC is the minimum synchronization construct of Table I.
+	MSC MSC
+}
+
+// String returns the model name.
+func (m Model) String() string { return m.Name }
+
+// Table I: the synchronization operation set (S) and minimum
+// synchronization construct (MSC) for the four commonly-seen storage
+// consistency models.
+var (
+	// commitOps: commit consistency maps "commit" onto fsync (UnifyFS
+	// signals commits with fsync, §II-A2); MPI_File_sync reaches fsync
+	// through its nested POSIX call, so the POSIX name suffices.
+	commitOps = OpClass{Name: "commit", Funcs: []string{"fsync", "fdatasync"}}
+
+	sessionClose = OpClass{Name: "session_close", Funcs: []string{"close", "fclose"}}
+	sessionOpen  = OpClass{Name: "session_open", Funcs: []string{"open", "fopen"}}
+
+	mpiioS1 = OpClass{Name: "s1", Funcs: []string{"MPI_File_close", "MPI_File_sync"}}
+	mpiioS2 = OpClass{Name: "s2", Funcs: []string{"MPI_File_sync", "MPI_File_open"}}
+)
+
+// POSIXModel returns POSIX consistency: S = {}, MSC = -hb->.
+func POSIXModel() Model {
+	return Model{
+		ID: POSIX, Name: "POSIX",
+		SyncSet: nil,
+		MSC:     MSC{Edges: []EdgeKind{HB}},
+	}
+}
+
+// CommitModel returns commit consistency: S = {commit},
+// MSC = -hb-> commit -hb->.
+func CommitModel() Model {
+	return Model{
+		ID: Commit, Name: "Commit",
+		SyncSet: commitOps.Funcs,
+		MSC:     MSC{Edges: []EdgeKind{HB, HB}, Ops: []OpClass{commitOps}},
+	}
+}
+
+// SessionModel returns session (close-to-open) consistency:
+// S = {session_close, session_open},
+// MSC = -po-> session_close -hb-> session_open -po->.
+func SessionModel() Model {
+	return Model{
+		ID: Session, Name: "Session",
+		SyncSet: append(append([]string{}, sessionClose.Funcs...), sessionOpen.Funcs...),
+		MSC: MSC{
+			Edges: []EdgeKind{PO, HB, PO},
+			Ops:   []OpClass{sessionClose, sessionOpen},
+		},
+	}
+}
+
+// MPIIOModel returns MPI-IO consistency:
+// S = {MPI_File_sync, MPI_File_close, MPI_File_open},
+// MSC = -po-> s1 -hb-> s2 -po-> with s1 ∈ {close, sync}, s2 ∈ {sync, open}.
+func MPIIOModel() Model {
+	return Model{
+		ID: MPIIO, Name: "MPI-IO",
+		SyncSet: []string{"MPI_File_sync", "MPI_File_close", "MPI_File_open"},
+		MSC: MSC{
+			Edges: []EdgeKind{PO, HB, PO},
+			Ops:   []OpClass{mpiioS1, mpiioS2},
+		},
+	}
+}
+
+// All returns the four built-in models in the paper's order.
+func All() []Model {
+	return []Model{POSIXModel(), CommitModel(), SessionModel(), MPIIOModel()}
+}
+
+// ByName resolves a model by its (case-insensitive) name.
+func ByName(name string) (Model, error) {
+	for _, m := range All() {
+		if strings.EqualFold(m.Name, name) {
+			return m, nil
+		}
+	}
+	return Model{}, fmt.Errorf("semantics: unknown consistency model %q (have posix, commit, session, mpi-io)", name)
+}

@@ -1,0 +1,103 @@
+package semantics
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTableI pins the model specifications to the paper's Table I.
+func TestTableI(t *testing.T) {
+	posix := POSIXModel()
+	if posix.MSC.K() != 0 || len(posix.SyncSet) != 0 || posix.MSC.Edges[0] != HB {
+		t.Errorf("POSIX spec wrong: %+v", posix)
+	}
+
+	commit := CommitModel()
+	if commit.MSC.K() != 1 {
+		t.Fatalf("Commit k = %d", commit.MSC.K())
+	}
+	if commit.MSC.Edges[0] != HB || commit.MSC.Edges[1] != HB {
+		t.Errorf("Commit edges = %v, want hb commit hb", commit.MSC.Edges)
+	}
+	if !commit.MSC.Ops[0].Contains("fsync") {
+		t.Error("Commit op must include fsync (UnifyFS maps commit to fsync)")
+	}
+
+	session := SessionModel()
+	if session.MSC.K() != 2 {
+		t.Fatalf("Session k = %d", session.MSC.K())
+	}
+	wantEdges := []EdgeKind{PO, HB, PO}
+	for i, e := range wantEdges {
+		if session.MSC.Edges[i] != e {
+			t.Errorf("Session edge %d = %v, want %v", i, session.MSC.Edges[i], e)
+		}
+	}
+	if !session.MSC.Ops[0].Contains("close") || !session.MSC.Ops[1].Contains("open") {
+		t.Errorf("Session ops = %+v", session.MSC.Ops)
+	}
+
+	mpiio := MPIIOModel()
+	if mpiio.MSC.K() != 2 {
+		t.Fatalf("MPI-IO k = %d", mpiio.MSC.K())
+	}
+	s1, s2 := mpiio.MSC.Ops[0], mpiio.MSC.Ops[1]
+	if !s1.Contains("MPI_File_close") || !s1.Contains("MPI_File_sync") || s1.Contains("MPI_File_open") {
+		t.Errorf("s1 = %+v, want {MPI_File_close, MPI_File_sync}", s1)
+	}
+	if !s2.Contains("MPI_File_sync") || !s2.Contains("MPI_File_open") || s2.Contains("MPI_File_close") {
+		t.Errorf("s2 = %+v, want {MPI_File_sync, MPI_File_open}", s2)
+	}
+	if len(mpiio.SyncSet) != 3 {
+		t.Errorf("MPI-IO S = %v", mpiio.SyncSet)
+	}
+}
+
+func TestMSCValidate(t *testing.T) {
+	for _, m := range All() {
+		if err := m.MSC.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+	bad := MSC{Edges: []EdgeKind{HB}, Ops: []OpClass{{Name: "x"}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("invalid MSC accepted")
+	}
+}
+
+func TestMSCString(t *testing.T) {
+	s := SessionModel().MSC.String()
+	for _, want := range []string{"-po->", "-hb->", "session_close", "session_open"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("MSC string %q missing %q", s, want)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"posix", "POSIX", "Commit", "session", "MPI-IO"} {
+		if _, err := ByName(name); err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+		}
+	}
+	if _, err := ByName("strict"); err == nil {
+		t.Error("ByName accepted unknown model")
+	}
+}
+
+func TestAllOrderMatchesPaper(t *testing.T) {
+	all := All()
+	wantNames := []string{"POSIX", "Commit", "Session", "MPI-IO"}
+	for i, m := range all {
+		if m.Name != wantNames[i] || m.ID != ID(i) {
+			t.Errorf("All()[%d] = %s/%d, want %s/%d", i, m.Name, m.ID, wantNames[i], i)
+		}
+	}
+}
+
+func TestOpClassContains(t *testing.T) {
+	c := OpClass{Name: "x", Funcs: []string{"a", "b"}}
+	if !c.Contains("a") || c.Contains("z") {
+		t.Error("Contains wrong")
+	}
+}

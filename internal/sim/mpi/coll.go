@@ -1,0 +1,457 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+)
+
+// Op is a reduction operator.
+type Op int
+
+// Reduction operators.
+const (
+	OpSum Op = iota
+	OpMax
+	OpMin
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpSum:
+		return "MPI_SUM"
+	case OpMax:
+		return "MPI_MAX"
+	case OpMin:
+		return "MPI_MIN"
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+func (o Op) apply(a, b int64) int64 {
+	switch o {
+	case OpMax:
+		if b > a {
+			return b
+		}
+		return a
+	case OpMin:
+		if b < a {
+			return b
+		}
+		return a
+	default:
+		return a + b
+	}
+}
+
+// slotIndexed is the completed rendezvous state handed back to collective
+// implementations.
+type completedSlot struct {
+	slotIndex int
+	op        map[int]string
+	data      map[int][]byte
+	parts     map[int][][]byte
+	colors    map[int][2]int
+}
+
+// collective performs the rendezvous for this rank's next collective call on
+// comm. All members of comm meet at the same slot index; the k-th collective
+// call on a communicator matches the k-th call on every other member — the
+// matching rule the paper uses offline. The call's name is recorded in the
+// slot so tests can observe runtime-tolerated mismatches (which VerifyIO
+// detects offline, cf. §V-D's collective_error).
+func (p *Proc) collective(comm *Comm, name string, me int, contrib []byte, parts [][]byte, colorKey *[2]int) (*completedSlot, error) {
+	slotIdx := p.collC[comm.gid]
+	p.collC[comm.gid] = slotIdx + 1
+
+	w := p.world
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	key := collKey{comm: comm.gid, slot: slotIdx}
+	s, ok := w.colls[key]
+	if !ok {
+		s = &collSlot{
+			expect: comm.Size(),
+			op:     make(map[int]string),
+			data:   make(map[int][]byte),
+			parts:  make(map[int][][]byte),
+			colors: make(map[int][2]int),
+		}
+		w.colls[key] = s
+	}
+	if _, dup := s.op[me]; dup {
+		return nil, fmt.Errorf("mpi: rank %d arrived twice at collective slot %d on %s", me, slotIdx, comm.gid)
+	}
+	s.op[me] = name
+	if contrib != nil {
+		cp := make([]byte, len(contrib))
+		copy(cp, contrib)
+		s.data[me] = cp
+	}
+	if parts != nil {
+		cps := make([][]byte, len(parts))
+		for i, part := range parts {
+			cps[i] = make([]byte, len(part))
+			copy(cps[i], part)
+		}
+		s.parts[me] = cps
+	}
+	if colorKey != nil {
+		s.colors[me] = *colorKey
+	}
+	s.arrived++
+	if s.arrived == s.expect {
+		s.done = true
+		w.cond.Broadcast()
+	} else {
+		deadline := w.deadline()
+		if err := w.waitLocked(func() bool { return s.done }, deadline); err != nil {
+			return nil, fmt.Errorf("%w: rank %d in collective %s slot %d on %s (%d/%d arrived)",
+				ErrDeadlock, p.rank, name, slotIdx, comm.gid, s.arrived, s.expect)
+		}
+	}
+	return &completedSlot{slotIndex: slotIdx, op: s.op, data: s.data, parts: s.parts, colors: s.colors}, nil
+}
+
+// Barrier blocks until every member of comm reaches it.
+func (p *Proc) Barrier(comm *Comm) error {
+	me, err := comm.check(p.rank)
+	if err != nil {
+		return err
+	}
+	_, err = p.collective(comm, "MPI_Barrier", me, nil, nil, nil)
+	return err
+}
+
+// Bcast broadcasts root's data to every member and returns it.
+func (p *Proc) Bcast(comm *Comm, root int, data []byte) ([]byte, error) {
+	me, err := comm.check(p.rank)
+	if err != nil {
+		return nil, err
+	}
+	var contrib []byte
+	if me == root {
+		contrib = data
+		if contrib == nil {
+			contrib = []byte{}
+		}
+	}
+	s, err := p.collective(comm, "MPI_Bcast", me, contrib, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	out, ok := s.data[root]
+	if !ok {
+		return nil, fmt.Errorf("mpi: Bcast root %d contributed no data on %s", root, comm.gid)
+	}
+	return out, nil
+}
+
+// Reduce combines every member's value with op; the result is significant
+// only at root (other ranks receive the combined value too, which is a
+// harmless strengthening).
+func (p *Proc) Reduce(comm *Comm, root int, val int64, op Op) (int64, error) {
+	me, err := comm.check(p.rank)
+	if err != nil {
+		return 0, err
+	}
+	s, err := p.collective(comm, "MPI_Reduce", me, encodeInt64(val), nil, nil)
+	if err != nil {
+		return 0, err
+	}
+	return reduceSlot(s, comm, op)
+}
+
+// Allreduce combines every member's value with op and returns the result on
+// all ranks.
+func (p *Proc) Allreduce(comm *Comm, val int64, op Op) (int64, error) {
+	me, err := comm.check(p.rank)
+	if err != nil {
+		return 0, err
+	}
+	s, err := p.collective(comm, "MPI_Allreduce", me, encodeInt64(val), nil, nil)
+	if err != nil {
+		return 0, err
+	}
+	return reduceSlot(s, comm, op)
+}
+
+// Gather collects every member's data; the result (indexed by communicator
+// rank) is significant at root.
+func (p *Proc) Gather(comm *Comm, root int, data []byte) ([][]byte, error) {
+	me, err := comm.check(p.rank)
+	if err != nil {
+		return nil, err
+	}
+	if data == nil {
+		data = []byte{}
+	}
+	s, err := p.collective(comm, "MPI_Gather", me, data, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	if me != root {
+		return nil, nil
+	}
+	return gatherSlot(s, comm)
+}
+
+// Allgather collects every member's data on all ranks.
+func (p *Proc) Allgather(comm *Comm, data []byte) ([][]byte, error) {
+	me, err := comm.check(p.rank)
+	if err != nil {
+		return nil, err
+	}
+	if data == nil {
+		data = []byte{}
+	}
+	s, err := p.collective(comm, "MPI_Allgather", me, data, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	return gatherSlot(s, comm)
+}
+
+// Scatter distributes root's parts (one per communicator rank); each rank
+// receives its own part.
+func (p *Proc) Scatter(comm *Comm, root int, parts [][]byte) ([]byte, error) {
+	me, err := comm.check(p.rank)
+	if err != nil {
+		return nil, err
+	}
+	if me == root && len(parts) != comm.Size() {
+		return nil, fmt.Errorf("mpi: Scatter root supplied %d parts for %d ranks", len(parts), comm.Size())
+	}
+	var send [][]byte
+	if me == root {
+		send = parts
+	}
+	s, err := p.collective(comm, "MPI_Scatter", me, nil, send, nil)
+	if err != nil {
+		return nil, err
+	}
+	rp, ok := s.parts[root]
+	if !ok || len(rp) != comm.Size() {
+		return nil, fmt.Errorf("mpi: Scatter root %d contributed no parts on %s", root, comm.gid)
+	}
+	return rp[me], nil
+}
+
+// Alltoall exchanges parts: rank i's parts[j] is delivered to rank j, and
+// rank i receives [from0, from1, ...].
+func (p *Proc) Alltoall(comm *Comm, parts [][]byte) ([][]byte, error) {
+	me, err := comm.check(p.rank)
+	if err != nil {
+		return nil, err
+	}
+	if len(parts) != comm.Size() {
+		return nil, fmt.Errorf("mpi: Alltoall supplied %d parts for %d ranks", len(parts), comm.Size())
+	}
+	s, err := p.collective(comm, "MPI_Alltoall", me, nil, parts, nil)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]byte, comm.Size())
+	for j := 0; j < comm.Size(); j++ {
+		jp, ok := s.parts[j]
+		if !ok || len(jp) != comm.Size() {
+			return nil, fmt.Errorf("mpi: Alltoall rank %d contributed %d parts on %s", j, len(jp), comm.gid)
+		}
+		out[j] = jp[me]
+	}
+	return out, nil
+}
+
+// Scan computes an inclusive prefix reduction: rank i receives the
+// combination of ranks 0..i's values.
+func (p *Proc) Scan(comm *Comm, val int64, op Op) (int64, error) {
+	me, err := comm.check(p.rank)
+	if err != nil {
+		return 0, err
+	}
+	s, err := p.collective(comm, "MPI_Scan", me, encodeInt64(val), nil, nil)
+	if err != nil {
+		return 0, err
+	}
+	return prefixSlot(s, me, op, true)
+}
+
+// Exscan computes an exclusive prefix reduction: rank i receives the
+// combination of ranks 0..i-1's values (undefined — zero here — at rank 0).
+func (p *Proc) Exscan(comm *Comm, val int64, op Op) (int64, error) {
+	me, err := comm.check(p.rank)
+	if err != nil {
+		return 0, err
+	}
+	s, err := p.collective(comm, "MPI_Exscan", me, encodeInt64(val), nil, nil)
+	if err != nil {
+		return 0, err
+	}
+	return prefixSlot(s, me, op, false)
+}
+
+func prefixSlot(s *completedSlot, me int, op Op, inclusive bool) (int64, error) {
+	var acc int64
+	first := true
+	hi := me
+	if !inclusive {
+		hi = me - 1
+	}
+	for r := 0; r <= hi; r++ {
+		b, ok := s.data[r]
+		if !ok {
+			continue
+		}
+		v := decodeInt64(b)
+		if first {
+			acc, first = v, false
+		} else {
+			acc = op.apply(acc, v)
+		}
+	}
+	return acc, nil
+}
+
+// Ibarrier starts a non-blocking barrier: the slot is claimed now (so the
+// collective matches in program order) but the rendezvous happens when the
+// request is waited on.
+func (p *Proc) Ibarrier(comm *Comm) (*Request, error) {
+	return p.icollective(comm, "MPI_Ibarrier", nil)
+}
+
+// Iallreduce starts a non-blocking allreduce; the combined value is
+// available from the request's Data after completion.
+func (p *Proc) Iallreduce(comm *Comm, val int64, op Op) (*Request, error) {
+	return p.icollective(comm, "MPI_Iallreduce", func(s *completedSlot) ([]byte, error) {
+		v, err := reduceSlot(s, comm, op)
+		if err != nil {
+			return nil, err
+		}
+		return encodeInt64(v), nil
+	}, encodeInt64(val)...)
+}
+
+func (p *Proc) icollective(comm *Comm, name string, result func(*completedSlot) ([]byte, error), contrib ...byte) (*Request, error) {
+	me, err := comm.check(p.rank)
+	if err != nil {
+		return nil, err
+	}
+	// Claim the slot index now so program order determines matching even
+	// if ranks Wait in different relative orders.
+	slotIdx := p.collC[comm.gid]
+	p.collC[comm.gid] = slotIdx + 1
+
+	req := p.newRequest("icoll")
+	started := false
+	req.complete = func(_ time.Time, block bool) (bool, error) {
+		if !block && !started {
+			// Peek: only complete without blocking if all peers arrived.
+			w := p.world
+			w.mu.Lock()
+			s, ok := w.colls[collKey{comm: comm.gid, slot: slotIdx}]
+			ready := ok && s.arrived == s.expect-1
+			w.mu.Unlock()
+			if !ready {
+				return false, nil
+			}
+		}
+		started = true
+		// Rendezvous directly at the claimed slot.
+		s, err := p.rendezvousAt(comm, name, me, slotIdx, contrib)
+		if err != nil {
+			return false, err
+		}
+		if result != nil {
+			buf, err := result(s)
+			if err != nil {
+				return false, err
+			}
+			req.buf = buf
+		}
+		req.done = true
+		return true, nil
+	}
+	return req, nil
+}
+
+// rendezvousAt is collective() with an explicit slot index (used by the
+// non-blocking collectives, which claim their slot at initiation time).
+func (p *Proc) rendezvousAt(comm *Comm, name string, me, slotIdx int, contrib []byte) (*completedSlot, error) {
+	w := p.world
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	key := collKey{comm: comm.gid, slot: slotIdx}
+	s, ok := w.colls[key]
+	if !ok {
+		s = &collSlot{
+			expect: comm.Size(),
+			op:     make(map[int]string),
+			data:   make(map[int][]byte),
+			parts:  make(map[int][][]byte),
+			colors: make(map[int][2]int),
+		}
+		w.colls[key] = s
+	}
+	if _, dup := s.op[me]; dup {
+		return nil, fmt.Errorf("mpi: rank %d arrived twice at collective slot %d on %s", me, slotIdx, comm.gid)
+	}
+	s.op[me] = name
+	if contrib != nil {
+		s.data[me] = contrib
+	}
+	s.arrived++
+	if s.arrived == s.expect {
+		s.done = true
+		w.cond.Broadcast()
+	} else if err := w.waitLocked(func() bool { return s.done }, w.deadline()); err != nil {
+		return nil, fmt.Errorf("%w: rank %d in %s slot %d on %s", ErrDeadlock, p.rank, name, slotIdx, comm.gid)
+	}
+	return &completedSlot{slotIndex: slotIdx, op: s.op, data: s.data, parts: s.parts, colors: s.colors}, nil
+}
+
+func reduceSlot(s *completedSlot, comm *Comm, op Op) (int64, error) {
+	// Ranks that reached this slot through a mismatched collective (a bug
+	// the runtime tolerates and the offline matcher flags, §V-D) have no
+	// contribution; their values are simply absent from the reduction.
+	var acc int64
+	first := true
+	for r := 0; r < comm.Size(); r++ {
+		b, ok := s.data[r]
+		if !ok {
+			continue
+		}
+		v := decodeInt64(b)
+		if first {
+			acc, first = v, false
+		} else {
+			acc = op.apply(acc, v)
+		}
+	}
+	return acc, nil
+}
+
+func gatherSlot(s *completedSlot, comm *Comm) ([][]byte, error) {
+	out := make([][]byte, comm.Size())
+	for r := 0; r < comm.Size(); r++ {
+		b, ok := s.data[r]
+		if !ok {
+			return nil, fmt.Errorf("mpi: gather missing contribution from rank %d on %s", r, comm.gid)
+		}
+		out[r] = b
+	}
+	return out, nil
+}
+
+func encodeInt64(v int64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(v))
+	return b[:]
+}
+
+func decodeInt64(b []byte) int64 {
+	if len(b) < 8 {
+		return 0
+	}
+	return int64(binary.LittleEndian.Uint64(b))
+}

@@ -1,0 +1,124 @@
+package mpi
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Comm is a communicator: an ordered group of world ranks plus a globally
+// unique identifier. The identifier is what the tracer records and what the
+// offline matcher uses to pair collective calls across ranks — the paper's
+// answer to matching collectives on user-created communicators.
+type Comm struct {
+	gid     string
+	members []int // world ranks, index = communicator rank
+	freed   bool
+}
+
+// WorldGID is the identifier of MPI_COMM_WORLD.
+const WorldGID = "comm-world"
+
+func worldComm(n int) *Comm {
+	m := make([]int, n)
+	for i := range m {
+		m[i] = i
+	}
+	return &Comm{gid: WorldGID, members: m}
+}
+
+// GID returns the communicator's globally unique identifier.
+func (c *Comm) GID() string { return c.gid }
+
+// Size returns the number of ranks in the communicator.
+func (c *Comm) Size() int { return len(c.members) }
+
+// Members returns the world ranks of the communicator, in communicator-rank
+// order. The returned slice must not be modified.
+func (c *Comm) Members() []int { return c.members }
+
+// rankOf translates a world rank to a communicator rank, or -1.
+func (c *Comm) rankOf(worldRank int) int {
+	for i, m := range c.members {
+		if m == worldRank {
+			return i
+		}
+	}
+	return -1
+}
+
+func (c *Comm) check(worldRank int) (int, error) {
+	if c.freed {
+		return -1, ErrFreed
+	}
+	me := c.rankOf(worldRank)
+	if me < 0 {
+		return -1, fmt.Errorf("mpi: world rank %d is not a member of %s", worldRank, c.gid)
+	}
+	return me, nil
+}
+
+// CommDup collectively duplicates comm. All members must call it; the new
+// communicator has the same group and a fresh globally unique id.
+func (p *Proc) CommDup(comm *Comm) (*Comm, error) {
+	me, err := comm.check(p.rank)
+	if err != nil {
+		return nil, err
+	}
+	slot, err := p.collective(comm, "MPI_Comm_dup", me, nil, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	gid := fmt.Sprintf("%s.dup%d", comm.gid, slot.slotIndex)
+	members := make([]int, len(comm.members))
+	copy(members, comm.members)
+	return &Comm{gid: gid, members: members}, nil
+}
+
+// CommSplit collectively splits comm: members calling with the same color
+// land in the same new communicator, ordered by key (ties broken by old
+// rank). It mirrors MPI_Comm_split.
+func (p *Proc) CommSplit(comm *Comm, color, key int) (*Comm, error) {
+	me, err := comm.check(p.rank)
+	if err != nil {
+		return nil, err
+	}
+	slot, err := p.collective(comm, "MPI_Comm_split", me, nil, nil, &[2]int{color, key})
+	if err != nil {
+		return nil, err
+	}
+	// Deterministic group construction: every member sees the same slot
+	// state, so all compute identical results.
+	type entry struct{ commRank, color, key int }
+	var same []entry
+	for r, ck := range slot.colors {
+		if ck[0] == color {
+			same = append(same, entry{r, ck[0], ck[1]})
+		}
+	}
+	sort.Slice(same, func(i, j int) bool {
+		if same[i].key != same[j].key {
+			return same[i].key < same[j].key
+		}
+		return same[i].commRank < same[j].commRank
+	})
+	members := make([]int, len(same))
+	for i, e := range same {
+		members[i] = comm.members[e.commRank]
+	}
+	gid := fmt.Sprintf("%s.split%d.c%d", comm.gid, slot.slotIndex, color)
+	return &Comm{gid: gid, members: members}, nil
+}
+
+// CommFree marks the communicator freed; further use fails. Collective in
+// real MPI; here each rank's call is matched offline like any collective.
+func (p *Proc) CommFree(comm *Comm) error {
+	me, err := comm.check(p.rank)
+	if err != nil {
+		return err
+	}
+	if _, err := p.collective(comm, "MPI_Comm_free", me, nil, nil, nil); err != nil {
+		return err
+	}
+	comm.freed = true
+	return nil
+}

@@ -1,0 +1,636 @@
+package mpi
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSendRecvBasic(t *testing.T) {
+	w := NewWorld(2)
+	err := w.Run(func(p *Proc) error {
+		c := p.CommWorld()
+		switch p.Rank() {
+		case 0:
+			return p.Send(c, 1, 7, []byte("hello"))
+		default:
+			data, st, err := p.Recv(c, 0, 7)
+			if err != nil {
+				return err
+			}
+			if string(data) != "hello" || st.Source != 0 || st.Tag != 7 {
+				return fmt.Errorf("got %q status %+v", data, st)
+			}
+			return nil
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecvWildcards(t *testing.T) {
+	w := NewWorld(3)
+	err := w.Run(func(p *Proc) error {
+		c := p.CommWorld()
+		switch p.Rank() {
+		case 0:
+			return p.Send(c, 2, 11, []byte("from0"))
+		case 1:
+			return p.Send(c, 2, 22, []byte("from1"))
+		default:
+			seen := map[int]int{}
+			for i := 0; i < 2; i++ {
+				data, st, err := p.Recv(c, AnySource, AnyTag)
+				if err != nil {
+					return err
+				}
+				seen[st.Source] = st.Tag
+				want := fmt.Sprintf("from%d", st.Source)
+				if string(data) != want {
+					return fmt.Errorf("payload %q from source %d", data, st.Source)
+				}
+			}
+			if seen[0] != 11 || seen[1] != 22 {
+				return fmt.Errorf("statuses %v", seen)
+			}
+			return nil
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTagSelectivity(t *testing.T) {
+	w := NewWorld(2)
+	err := w.Run(func(p *Proc) error {
+		c := p.CommWorld()
+		if p.Rank() == 0 {
+			if err := p.Send(c, 1, 1, []byte("first")); err != nil {
+				return err
+			}
+			return p.Send(c, 1, 2, []byte("second"))
+		}
+		// Receive tag 2 first even though tag 1 arrived earlier.
+		data, _, err := p.Recv(c, 0, 2)
+		if err != nil {
+			return err
+		}
+		if string(data) != "second" {
+			return fmt.Errorf("tag-2 recv got %q", data)
+		}
+		data, _, err = p.Recv(c, 0, 1)
+		if err != nil {
+			return err
+		}
+		if string(data) != "first" {
+			return fmt.Errorf("tag-1 recv got %q", data)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNonOvertaking(t *testing.T) {
+	const msgs = 20
+	w := NewWorld(2)
+	err := w.Run(func(p *Proc) error {
+		c := p.CommWorld()
+		if p.Rank() == 0 {
+			for i := 0; i < msgs; i++ {
+				if err := p.Send(c, 1, 5, []byte{byte(i)}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for i := 0; i < msgs; i++ {
+			data, _, err := p.Recv(c, 0, 5)
+			if err != nil {
+				return err
+			}
+			if data[0] != byte(i) {
+				return fmt.Errorf("message %d overtook: got %d", i, data[0])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsendIrecvWaitall(t *testing.T) {
+	w := NewWorld(2)
+	err := w.Run(func(p *Proc) error {
+		c := p.CommWorld()
+		if p.Rank() == 0 {
+			var reqs []*Request
+			for i := 0; i < 3; i++ {
+				r, err := p.Isend(c, 1, i, []byte{byte(i)})
+				if err != nil {
+					return err
+				}
+				reqs = append(reqs, r)
+			}
+			_, err := p.Waitall(reqs)
+			return err
+		}
+		var reqs []*Request
+		for i := 0; i < 3; i++ {
+			r, err := p.Irecv(c, 0, i)
+			if err != nil {
+				return err
+			}
+			reqs = append(reqs, r)
+		}
+		sts, err := p.Waitall(reqs)
+		if err != nil {
+			return err
+		}
+		for i, st := range sts {
+			if st.Tag != i || reqs[i].Data()[0] != byte(i) {
+				return fmt.Errorf("req %d: status %+v data %v", i, st, reqs[i].Data())
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTestAndTestsome(t *testing.T) {
+	w := NewWorld(2, WithTimeout(2*time.Second))
+	err := w.Run(func(p *Proc) error {
+		c := p.CommWorld()
+		if p.Rank() == 0 {
+			// Let rank 1 poll an incomplete request first.
+			time.Sleep(30 * time.Millisecond)
+			return p.Send(c, 1, 0, []byte("x"))
+		}
+		req, err := p.Irecv(c, 0, 0)
+		if err != nil {
+			return err
+		}
+		done, _, err := p.Test(req)
+		if err != nil {
+			return err
+		}
+		if done {
+			return errors.New("Test completed before the send")
+		}
+		idx, _, err := p.Testsome([]*Request{req})
+		if err != nil {
+			return err
+		}
+		if len(idx) != 0 {
+			return errors.New("Testsome completed before the send")
+		}
+		for {
+			done, st, err := p.Test(req)
+			if err != nil {
+				return err
+			}
+			if done {
+				if st.Source != 0 {
+					return fmt.Errorf("status %+v", st)
+				}
+				return nil
+			}
+			time.Sleep(time.Millisecond)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWaitsome(t *testing.T) {
+	w := NewWorld(3)
+	err := w.Run(func(p *Proc) error {
+		c := p.CommWorld()
+		switch p.Rank() {
+		case 0:
+			return p.Send(c, 2, 1, []byte("a"))
+		case 1:
+			time.Sleep(20 * time.Millisecond)
+			return p.Send(c, 2, 2, []byte("b"))
+		default:
+			r1, _ := p.Irecv(c, 0, 1)
+			r2, _ := p.Irecv(c, 1, 2)
+			got := map[int]bool{}
+			for len(got) < 2 {
+				idx, _, err := p.Waitsome([]*Request{r1, r2})
+				if err != nil {
+					return err
+				}
+				if len(idx) == 0 {
+					return errors.New("Waitsome returned empty")
+				}
+				for _, i := range idx {
+					got[i] = true
+				}
+			}
+			return nil
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierOrdersSides(t *testing.T) {
+	var before, after atomic.Int32
+	w := NewWorld(4)
+	err := w.Run(func(p *Proc) error {
+		before.Add(1)
+		if err := p.Barrier(p.CommWorld()); err != nil {
+			return err
+		}
+		if before.Load() != 4 {
+			return fmt.Errorf("rank %d passed barrier with only %d arrivals", p.Rank(), before.Load())
+		}
+		after.Add(1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Load() != 4 {
+		t.Fatalf("after = %d", after.Load())
+	}
+}
+
+func TestCollectiveDataMovement(t *testing.T) {
+	w := NewWorld(4)
+	err := w.Run(func(p *Proc) error {
+		c := p.CommWorld()
+		me := p.Rank()
+
+		got, err := p.Bcast(c, 1, ifRoot(me == 1, []byte("root-data")))
+		if err != nil {
+			return err
+		}
+		if string(got) != "root-data" {
+			return fmt.Errorf("Bcast = %q", got)
+		}
+
+		sum, err := p.Allreduce(c, int64(me+1), OpSum)
+		if err != nil {
+			return err
+		}
+		if sum != 10 {
+			return fmt.Errorf("Allreduce sum = %d", sum)
+		}
+		mx, err := p.Reduce(c, 0, int64(me*me), OpMax)
+		if err != nil {
+			return err
+		}
+		if me == 0 && mx != 9 {
+			return fmt.Errorf("Reduce max = %d", mx)
+		}
+
+		all, err := p.Allgather(c, []byte{byte('A' + me)})
+		if err != nil {
+			return err
+		}
+		var cat []byte
+		for _, b := range all {
+			cat = append(cat, b...)
+		}
+		if string(cat) != "ABCD" {
+			return fmt.Errorf("Allgather = %q", cat)
+		}
+
+		gathered, err := p.Gather(c, 2, []byte{byte('a' + me)})
+		if err != nil {
+			return err
+		}
+		if me == 2 {
+			var g []byte
+			for _, b := range gathered {
+				g = append(g, b...)
+			}
+			if string(g) != "abcd" {
+				return fmt.Errorf("Gather = %q", g)
+			}
+		}
+
+		var parts [][]byte
+		if me == 3 {
+			parts = [][]byte{[]byte("p0"), []byte("p1"), []byte("p2"), []byte("p3")}
+		}
+		part, err := p.Scatter(c, 3, parts)
+		if err != nil {
+			return err
+		}
+		if string(part) != fmt.Sprintf("p%d", me) {
+			return fmt.Errorf("Scatter = %q", part)
+		}
+
+		outbound := make([][]byte, 4)
+		for j := range outbound {
+			outbound[j] = []byte{byte(me*10 + j)}
+		}
+		inbound, err := p.Alltoall(c, outbound)
+		if err != nil {
+			return err
+		}
+		for j, b := range inbound {
+			if b[0] != byte(j*10+me) {
+				return fmt.Errorf("Alltoall[%d] = %d", j, b[0])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNonblockingCollectives(t *testing.T) {
+	w := NewWorld(3)
+	err := w.Run(func(p *Proc) error {
+		c := p.CommWorld()
+		req, err := p.Iallreduce(c, int64(p.Rank()), OpSum)
+		if err != nil {
+			return err
+		}
+		br, err := p.Ibarrier(c)
+		if err != nil {
+			return err
+		}
+		if _, err := p.Wait(req); err != nil {
+			return err
+		}
+		if v := decodeInt64(req.Data()); v != 3 {
+			return fmt.Errorf("Iallreduce = %d", v)
+		}
+		_, err = p.Wait(br)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommDupAndSplit(t *testing.T) {
+	w := NewWorld(4)
+	gids := make([]string, 4)
+	subSizes := make([]int, 4)
+	err := w.Run(func(p *Proc) error {
+		c := p.CommWorld()
+		dup, err := p.CommDup(c)
+		if err != nil {
+			return err
+		}
+		if dup.GID() == c.GID() || dup.Size() != 4 {
+			return fmt.Errorf("dup gid=%s size=%d", dup.GID(), dup.Size())
+		}
+		gids[p.Rank()] = dup.GID()
+
+		// Split into even/odd halves, reverse-ordered by key.
+		sub, err := p.CommSplit(c, p.Rank()%2, -p.Rank())
+		if err != nil {
+			return err
+		}
+		subSizes[p.Rank()] = sub.Size()
+		// Communicator ranks must be usable: barrier within the half.
+		if err := p.Barrier(sub); err != nil {
+			return err
+		}
+		// Highest world rank got key smallest, so it's comm rank 0.
+		wantFirst := 2 + p.Rank()%2
+		if sub.Members()[0] != wantFirst {
+			return fmt.Errorf("split members %v, want first %d", sub.Members(), wantFirst)
+		}
+		if err := p.CommFree(dup); err != nil {
+			return err
+		}
+		if err := p.Barrier(dup); !errors.Is(err, ErrFreed) {
+			return fmt.Errorf("use after free = %v", err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 1; r < 4; r++ {
+		if gids[r] != gids[0] {
+			t.Errorf("dup gid differs: rank %d %q vs rank 0 %q", r, gids[r], gids[0])
+		}
+		if subSizes[r] != 2 {
+			t.Errorf("split size on rank %d = %d", r, subSizes[r])
+		}
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	w := NewWorld(2, WithTimeout(150*time.Millisecond))
+	err := w.Run(func(p *Proc) error {
+		if p.Rank() == 0 {
+			_, _, err := p.Recv(p.CommWorld(), 1, 0) // never sent
+			return err
+		}
+		return nil
+	})
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("err = %v, want ErrDeadlock", err)
+	}
+}
+
+func TestCollectiveStragglerDeadlock(t *testing.T) {
+	w := NewWorld(3, WithTimeout(150*time.Millisecond))
+	err := w.Run(func(p *Proc) error {
+		if p.Rank() == 2 {
+			return nil // never joins the barrier
+		}
+		return p.Barrier(p.CommWorld())
+	})
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("err = %v, want ErrDeadlock", err)
+	}
+}
+
+func TestMismatchedCollectiveNamesStillRendezvous(t *testing.T) {
+	// Runtime tolerates a name mismatch in the same slot (the job keeps
+	// running, as MPI implementations often do); VerifyIO's offline
+	// matcher is responsible for flagging it (§V-D).
+	w := NewWorld(2)
+	err := w.Run(func(p *Proc) error {
+		c := p.CommWorld()
+		if p.Rank() == 0 {
+			return p.Barrier(c)
+		}
+		_, err := p.Allreduce(c, 1, OpSum)
+		return err
+	})
+	if err != nil {
+		t.Fatalf("mismatched collectives should complete at runtime: %v", err)
+	}
+}
+
+func TestSendArgumentValidation(t *testing.T) {
+	w := NewWorld(2)
+	err := w.Run(func(p *Proc) error {
+		c := p.CommWorld()
+		if err := p.Send(c, 9, 0, nil); err == nil {
+			return errors.New("send to rank 9 accepted")
+		}
+		if err := p.Send(c, 0, -3, nil); err == nil {
+			return errors.New("negative tag accepted")
+		}
+		if _, err := p.Irecv(c, 9, 0); err == nil {
+			return errors.New("irecv from rank 9 accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunConvertsPanics(t *testing.T) {
+	w := NewWorld(2, WithTimeout(200*time.Millisecond))
+	err := w.Run(func(p *Proc) error {
+		if p.Rank() == 1 {
+			panic("boom")
+		}
+		return nil
+	})
+	if err == nil || !contains(err.Error(), "panicked") {
+		t.Fatalf("err = %v, want panic conversion", err)
+	}
+}
+
+// TestPropertyRandomRingAllreduce cross-checks a manual ring-pass sum (p2p)
+// against Allreduce for random world sizes and values.
+func TestPropertyRandomRingAllreduce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(5)
+		vals := make([]int64, n)
+		var want int64
+		for i := range vals {
+			vals[i] = int64(rng.Intn(1000))
+			want += vals[i]
+		}
+		w := NewWorld(n, WithTimeout(5*time.Second))
+		ok := true
+		err := w.Run(func(p *Proc) error {
+			c := p.CommWorld()
+			me := p.Rank()
+			// Ring reduction: pass a running sum around the ring.
+			sum := vals[me]
+			if me == 0 {
+				if err := p.Send(c, 1%n, 0, encodeInt64(sum)); err != nil {
+					return err
+				}
+				data, _, err := p.Recv(c, n-1, 0)
+				if err != nil {
+					return err
+				}
+				sum = decodeInt64(data)
+			} else {
+				data, _, err := p.Recv(c, me-1, 0)
+				if err != nil {
+					return err
+				}
+				sum = decodeInt64(data) + vals[me]
+				if err := p.Send(c, (me+1)%n, 0, encodeInt64(sum)); err != nil {
+					return err
+				}
+			}
+			total, err := p.Allreduce(c, vals[me], OpSum)
+			if err != nil {
+				return err
+			}
+			if total != want {
+				ok = false
+			}
+			if me == 0 && sum != want {
+				ok = false
+			}
+			return nil
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func ifRoot(cond bool, b []byte) []byte {
+	if cond {
+		return b
+	}
+	return nil
+}
+
+func contains(s, sub string) bool {
+	return bytes.Contains([]byte(s), []byte(sub))
+}
+
+func TestSendrecvRingShift(t *testing.T) {
+	const n = 4
+	w := NewWorld(n)
+	err := w.Run(func(p *Proc) error {
+		c := p.CommWorld()
+		right := (p.Rank() + 1) % n
+		left := (p.Rank() + n - 1) % n
+		data, st, err := p.Sendrecv(c, right, 3, []byte{byte('A' + p.Rank())}, left, 3)
+		if err != nil {
+			return err
+		}
+		if st.Source != left || st.Tag != 3 {
+			return fmt.Errorf("status %+v, want source %d", st, left)
+		}
+		if data[0] != byte('A'+left) {
+			return fmt.Errorf("payload %q", data)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScanAndExscan(t *testing.T) {
+	const n = 4
+	w := NewWorld(n)
+	err := w.Run(func(p *Proc) error {
+		c := p.CommWorld()
+		val := int64(p.Rank() + 1) // 1,2,3,4
+		inc, err := p.Scan(c, val, OpSum)
+		if err != nil {
+			return err
+		}
+		wantInc := int64(0)
+		for i := 0; i <= p.Rank(); i++ {
+			wantInc += int64(i + 1)
+		}
+		if inc != wantInc {
+			return fmt.Errorf("rank %d Scan = %d, want %d", p.Rank(), inc, wantInc)
+		}
+		exc, err := p.Exscan(c, val, OpSum)
+		if err != nil {
+			return err
+		}
+		if exc != wantInc-val {
+			return fmt.Errorf("rank %d Exscan = %d, want %d", p.Rank(), exc, wantInc-val)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

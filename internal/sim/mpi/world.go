@@ -1,0 +1,195 @@
+// Package mpi implements a simulated MPI runtime: ranks are goroutines in
+// one process, exchanging messages through an in-memory router.
+//
+// The VerifyIO workflow never links against MPI — it consumes *traces of MPI
+// calls*. What matters is that programs written against this package issue
+// exactly the call/argument streams a real MPI program would, including the
+// cases the paper singles out as hard to match offline (§IV-C):
+//
+//   - point-to-point sends and receives with tag matching and the
+//     MPI_ANY_SOURCE / MPI_ANY_TAG wildcards, whose actual source and tag
+//     are only available from the returned MPI_Status;
+//   - non-blocking operations (Isend/Irecv and non-blocking collectives)
+//     that complete through Wait/Waitall/Waitany/Waitsome/Test/Testall/
+//     Testsome, identified by request ids;
+//   - collectives matched per communicator in program order, over
+//     user-created communicators (Comm_dup / Comm_split) that need globally
+//     unique identifiers.
+//
+// Message matching follows the MPI non-overtaking rule: two messages from
+// the same sender to the same receiver on the same communicator with
+// matching tags are received in the order they were sent. Standard-mode
+// sends are modelled as buffered (they never block), which is a legal MPI
+// implementation choice and keeps simulated programs deadlock-free as long
+// as every receive has a matching send.
+//
+// A World-level deadline converts genuinely unmatched communication
+// (deadlock) into an error instead of a hung test.
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Wildcards for Recv/Irecv.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// ErrDeadlock is returned when a blocking operation cannot complete before
+// the world's deadline — the simulated equivalent of a hung MPI job.
+var ErrDeadlock = errors.New("mpi: deadlock (blocking operation timed out)")
+
+// ErrFreed is returned when a communicator is used after Comm_free.
+var ErrFreed = errors.New("mpi: communicator has been freed")
+
+// World owns a simulated MPI job: the ranks, the message router, and the
+// collective rendezvous state.
+type World struct {
+	n       int
+	timeout time.Duration
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	mail     map[mailKey][]*envelope
+	colls    map[collKey]*collSlot
+	commSeq  int
+	stopped  bool
+	stopPing chan struct{}
+}
+
+type mailKey struct {
+	comm string
+	dst  int // world rank of the receiver
+}
+
+type envelope struct {
+	src  int // communicator rank of the sender
+	tag  int
+	data []byte
+	seq  int // send order, for the non-overtaking rule
+}
+
+type collKey struct {
+	comm string
+	slot int
+}
+
+type collSlot struct {
+	arrived int
+	expect  int
+	op      map[int]string // comm rank -> collective name called
+	data    map[int][]byte // comm rank -> contribution
+	parts   map[int][][]byte
+	done    bool
+	// colors carries Comm_split colors/keys so every member can compute
+	// the same deterministic split.
+	colors map[int][2]int
+}
+
+// Option configures a World.
+type Option func(*World)
+
+// WithTimeout overrides the deadlock deadline (default 10s).
+func WithTimeout(d time.Duration) Option {
+	return func(w *World) { w.timeout = d }
+}
+
+// NewWorld creates a simulated MPI job with n ranks.
+func NewWorld(n int, opts ...Option) *World {
+	if n <= 0 {
+		panic(fmt.Sprintf("mpi: invalid world size %d", n))
+	}
+	w := &World{
+		n:        n,
+		timeout:  10 * time.Second,
+		mail:     make(map[mailKey][]*envelope),
+		colls:    make(map[collKey]*collSlot),
+		stopPing: make(chan struct{}),
+	}
+	for _, opt := range opts {
+		opt(w)
+	}
+	w.cond = sync.NewCond(&w.mu)
+	return w
+}
+
+// Size reports the number of ranks.
+func (w *World) Size() int { return w.n }
+
+// Run executes prog once per rank, each in its own goroutine, and waits for
+// all of them. It returns the first non-nil error any rank produced (rank
+// order breaks ties). Panics in rank goroutines are converted to errors so a
+// buggy simulated program fails its test instead of crashing the run.
+func (w *World) Run(prog func(p *Proc) error) error {
+	// Wake blocked ranks periodically so deadline checks make progress.
+	ticker := time.NewTicker(5 * time.Millisecond)
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-ticker.C:
+				w.cond.Broadcast()
+			case <-done:
+				return
+			}
+		}
+	}()
+	defer func() {
+		ticker.Stop()
+		close(done)
+	}()
+
+	errs := make([]error, w.n)
+	var wg sync.WaitGroup
+	for rank := 0; rank < w.n; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					errs[rank] = fmt.Errorf("mpi: rank %d panicked: %v", rank, r)
+				}
+			}()
+			p := w.Proc(rank)
+			errs[rank] = prog(p)
+		}(rank)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// Proc returns the per-rank handle. Normally Run hands these out; direct use
+// is for tests that drive ranks manually.
+func (w *World) Proc(rank int) *Proc {
+	if rank < 0 || rank >= w.n {
+		panic(fmt.Sprintf("mpi: rank %d out of range [0,%d)", rank, w.n))
+	}
+	return &Proc{
+		world: w,
+		rank:  rank,
+		comm:  worldComm(w.n),
+		reqs:  make(map[string]*Request),
+		collC: make(map[string]int),
+	}
+}
+
+// deadline returns the absolute deadline for a blocking operation starting
+// now.
+func (w *World) deadline() time.Time { return time.Now().Add(w.timeout) }
+
+// waitLocked blocks on the world condition variable until pred holds or the
+// deadline passes. Callers must hold w.mu.
+func (w *World) waitLocked(pred func() bool, deadline time.Time) error {
+	for !pred() {
+		if time.Now().After(deadline) {
+			return ErrDeadlock
+		}
+		w.cond.Wait()
+	}
+	return nil
+}

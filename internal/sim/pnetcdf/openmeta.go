@@ -1,0 +1,94 @@
+package pnetcdf
+
+import (
+	"fmt"
+	"sync"
+
+	"verifyio/internal/recorder"
+	"verifyio/internal/sim/mpi"
+	"verifyio/internal/sim/mpiio"
+	"verifyio/internal/sim/posixfs"
+	"verifyio/internal/trace"
+)
+
+// Shared file-format metadata, so a file created in one phase of a program
+// can be reopened (ncmpi_open) in a later phase with the same variable
+// layout — the role the on-disk header plays for real PnetCDF. Keyed by
+// (file system, path); all ranks observe one consistent layout.
+
+type fileMeta struct {
+	dims    []dim
+	vars    []varMeta
+	attrs   []attr
+	nextOff int64
+}
+
+type varMeta struct {
+	name string
+	dims []int64
+	off  int64
+}
+
+type metaKey struct {
+	fs   *posixfs.FS
+	path string
+}
+
+var (
+	metaMu  sync.Mutex
+	metaTab = map[metaKey]*fileMeta{}
+)
+
+// saveMeta records the file's layout at close time.
+func (f *File) saveMeta(path string) {
+	metaMu.Lock()
+	defer metaMu.Unlock()
+	m := &fileMeta{dims: append([]dim(nil), f.dims...),
+		attrs: append([]attr(nil), f.attrs...), nextOff: f.nextOff}
+	for _, v := range f.vars {
+		m.vars = append(m.vars, varMeta{name: v.name, dims: append([]int64(nil), v.dims...), off: v.off})
+	}
+	metaTab[metaKey{f.r.FSProc().FS(), path}] = m
+}
+
+// Open is the traced ncmpi_open: reopens an existing dataset, recovering
+// dims and variables from the stored header metadata.
+func Open(r *recorder.Rank, comm *mpi.Comm, path string, cfg mpiio.Config) (*File, error) {
+	f := &File{r: r, comm: comm, defMode: false, nextOff: headerBytes}
+	err := r.Record(trace.LayerPnetCDF, "ncmpi_open", func() []string {
+		return []string{comm.GID(), path, "NC_NOWRITE"}
+	}, func() error {
+		metaMu.Lock()
+		m, ok := metaTab[metaKey{r.FSProc().FS(), path}]
+		metaMu.Unlock()
+		if !ok {
+			return fmt.Errorf("%w: %s is not a PnetCDF dataset", ErrNotFound, path)
+		}
+		mf, err := mpiio.Open(r, comm, path, mpiio.ModeRdwr, cfg)
+		if err != nil {
+			return err
+		}
+		f.mf = mf
+		f.dims = append([]dim(nil), m.dims...)
+		f.attrs = append([]attr(nil), m.attrs...)
+		f.nextOff = m.nextOff
+		for i, vm := range m.vars {
+			f.vars = append(f.vars, &Var{id: i, name: vm.name,
+				dims: append([]int64(nil), vm.dims...), off: vm.off})
+		}
+		// Every opening process reads the file header.
+		return f.readHeader()
+	})
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// ResetMetadata clears the shared layout registry; the corpus runner calls
+// it between executions.
+func ResetMetadata() {
+	metaMu.Lock()
+	defer metaMu.Unlock()
+	metaTab = map[metaKey]*fileMeta{}
+}

@@ -1,0 +1,402 @@
+// Package pnetcdf implements a functional subset of PnetCDF on top of the
+// simulated MPI-IO layer, routed through the Recorder⁺ tracing layer.
+//
+// The subset reproduces the PnetCDF behaviours the paper diagnoses:
+//
+//   - ncmpi_enddef: performs the library's internal header-consistency
+//     MPI_Allreduce, then — when fill mode is on — writes each rank's
+//     partition of every variable with MPI_File_write_at_all ("each rank
+//     writes NULLs to distinct areas of the file", Fig. 5).
+//
+//   - Flexible collective puts (ncmpi_put_vara_all with an MPI datatype):
+//     the library modifies the MPI file view before writing, which arms
+//     MPI-IO collective buffering, so rank 0 performs the entire combined
+//     write — conflicting with the other ranks' earlier fill writes. This is
+//     the MPI-IO semantics violation of §V-C1.
+//
+//   - Typed element puts (ncmpi_put_var1_text_all, ncmpi_put_var_uchar_all):
+//     no view change, so each rank's MPI_File_write_at_all performs its own
+//     pwrite. When a test writes the same variable from every rank
+//     (null_args, test_erange), the same location is written concurrently —
+//     a POSIX-level data race caused by application-level misuse (§V-B2).
+//
+//   - ncmpi_wait: reproduces the implementation bug of §V-D — rank 0
+//     completes pending requests with MPI_File_write_at_all while the other
+//     ranks call MPI_File_write_all, a collective-call mismatch VerifyIO's
+//     matcher flags as unmatched MPI calls.
+//
+// Variables are byte-element arrays; typed API variants differ only in the
+// recorded function name.
+package pnetcdf
+
+import (
+	"errors"
+	"fmt"
+
+	"verifyio/internal/recorder"
+	"verifyio/internal/sim/mpi"
+	"verifyio/internal/sim/mpiio"
+	"verifyio/internal/trace"
+)
+
+// Errors.
+var (
+	ErrDefineMode = errors.New("pnetcdf: operation invalid in define mode")
+	ErrDataMode   = errors.New("pnetcdf: operation invalid in data mode")
+	ErrIndepMode  = errors.New("pnetcdf: wrong independent/collective data mode")
+	ErrNotFound   = errors.New("pnetcdf: not found")
+)
+
+// headerBytes is the file-header region reserved ahead of variable data.
+const headerBytes = 1024
+
+// File is an open PnetCDF dataset.
+type File struct {
+	r    *recorder.Rank
+	mf   *mpiio.File
+	comm *mpi.Comm
+
+	defMode  bool
+	indep    bool
+	fillMode bool
+	dims     []dim
+	vars     []*Var
+	attrs    []attr
+	nextOff  int64
+
+	pending []*pendingOp
+	nextReq int
+}
+
+type dim struct {
+	name string
+	len  int64
+}
+
+// Var is a defined variable occupying a contiguous byte extent.
+type Var struct {
+	id   int
+	name string
+	dims []int64
+	off  int64
+}
+
+func (v *Var) size() int64 {
+	s := int64(1)
+	for _, d := range v.dims {
+		s *= d
+	}
+	return s
+}
+
+type pendingOp struct {
+	req   string
+	v     *Var
+	start []int64
+	count []int64
+	data  []byte
+}
+
+// Create is the traced ncmpi_create.
+func Create(r *recorder.Rank, comm *mpi.Comm, path string, cfg mpiio.Config) (*File, error) {
+	f := &File{r: r, comm: comm, defMode: true, fillMode: false, nextOff: headerBytes}
+	err := r.Record(trace.LayerPnetCDF, "ncmpi_create", func() []string {
+		return []string{comm.GID(), path, "NC_CLOBBER"}
+	}, func() error {
+		mf, err := mpiio.Open(r, comm, path, mpiio.ModeRdwr|mpiio.ModeCreate, cfg)
+		if err != nil {
+			return err
+		}
+		f.mf = mf
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// DefDim is the traced ncmpi_def_dim.
+func (f *File) DefDim(name string, length int64) (int, error) {
+	id := -1
+	err := f.r.Record(trace.LayerPnetCDF, "ncmpi_def_dim", func() []string {
+		return []string{name, itoa(length), itoa(int64(id))}
+	}, func() error {
+		if !f.defMode {
+			return fmt.Errorf("%w: ncmpi_def_dim", ErrDataMode)
+		}
+		f.dims = append(f.dims, dim{name, length})
+		id = len(f.dims) - 1
+		return nil
+	})
+	return id, err
+}
+
+// DefVar is the traced ncmpi_def_var. Extents are laid out in definition
+// order at enddef, so all ranks agree without coordination.
+func (f *File) DefVar(name, xtype string, dimids ...int) (*Var, error) {
+	v := &Var{name: name}
+	err := f.r.Record(trace.LayerPnetCDF, "ncmpi_def_var", func() []string {
+		return []string{name, xtype, fmt.Sprint(dimids), itoa(int64(v.id))}
+	}, func() error {
+		if !f.defMode {
+			return fmt.Errorf("%w: ncmpi_def_var", ErrDataMode)
+		}
+		if len(dimids) == 0 || len(dimids) > 2 {
+			return fmt.Errorf("pnetcdf: %d-dimensional variables not supported", len(dimids))
+		}
+		v.dims = make([]int64, len(dimids))
+		for i, d := range dimids {
+			if d < 0 || d >= len(f.dims) {
+				return fmt.Errorf("%w: dim id %d", ErrNotFound, d)
+			}
+			v.dims[i] = f.dims[d].len
+		}
+		v.id = len(f.vars)
+		f.vars = append(f.vars, v)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// SetFill is the traced ncmpi_set_fill. With NC_FILL on, enddef writes fill
+// values into every variable.
+func (f *File) SetFill(fill bool) error {
+	return f.r.Record(trace.LayerPnetCDF, "ncmpi_set_fill", func() []string {
+		mode := "NC_NOFILL"
+		if fill {
+			mode = "NC_FILL"
+		}
+		return []string{mode}
+	}, func() error {
+		if !f.defMode {
+			return fmt.Errorf("%w: ncmpi_set_fill", ErrDataMode)
+		}
+		f.fillMode = fill
+		return nil
+	})
+}
+
+// EndDef is the traced ncmpi_enddef: allocates variable extents, performs
+// the library's internal header-consistency allreduce, and — in fill mode —
+// writes each rank's partition of every variable (Fig. 5's first
+// MPI_File_write_at_all).
+func (f *File) EndDef() error {
+	return f.r.Record(trace.LayerPnetCDF, "ncmpi_enddef", func() []string {
+		return []string{itoa(int64(len(f.vars)))}
+	}, func() error {
+		if !f.defMode {
+			return fmt.Errorf("%w: ncmpi_enddef", ErrDataMode)
+		}
+		f.defMode = false
+		for _, v := range f.vars {
+			if v.off == 0 {
+				v.off = f.nextOff
+				f.nextOff += v.size()
+			}
+		}
+		// Header consistency check across ranks (PnetCDF really does
+		// this; it is also the temporal edge that makes the fill-vs-
+		// aggregated-write conflict POSIX-clean but MPI-IO-racy).
+		if _, err := f.r.Allreduce(f.comm, int64(len(f.vars)), mpi.OpMax); err != nil {
+			return err
+		}
+		// Rank 0 writes the serialized header (collective call, empty
+		// contributions elsewhere).
+		if err := f.writeHeader(); err != nil {
+			return err
+		}
+		if !f.fillMode {
+			return nil
+		}
+		n := int64(f.comm.Size())
+		me := int64(commRank(f.comm, f.r.Rank()))
+		for _, v := range f.vars {
+			// Rank i fills its block partition [lo, hi).
+			lo := v.size() * me / n
+			hi := v.size() * (me + 1) / n
+			if hi <= lo {
+				continue
+			}
+			if err := f.mf.WriteAtAll(v.off+lo, make([]byte, hi-lo)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// Redef is the traced ncmpi_redef.
+func (f *File) Redef() error {
+	return f.r.Record(trace.LayerPnetCDF, "ncmpi_redef", nil, func() error {
+		if f.defMode {
+			return fmt.Errorf("%w: ncmpi_redef", ErrDefineMode)
+		}
+		f.defMode = true
+		return nil
+	})
+}
+
+// BeginIndep is the traced ncmpi_begin_indep_data.
+func (f *File) BeginIndep() error {
+	return f.r.Record(trace.LayerPnetCDF, "ncmpi_begin_indep_data", nil, func() error {
+		f.indep = true
+		return nil
+	})
+}
+
+// EndIndep is the traced ncmpi_end_indep_data.
+func (f *File) EndIndep() error {
+	return f.r.Record(trace.LayerPnetCDF, "ncmpi_end_indep_data", nil, func() error {
+		f.indep = false
+		return nil
+	})
+}
+
+// Sync is the traced ncmpi_sync (→ MPI_File_sync).
+func (f *File) Sync() error {
+	return f.r.Record(trace.LayerPnetCDF, "ncmpi_sync", nil, func() error {
+		return f.mf.Sync()
+	})
+}
+
+// Close is the traced ncmpi_close (→ MPI_File_close). The layout is saved
+// to the shared header metadata so a later ncmpi_open can recover it.
+func (f *File) Close() error {
+	return f.r.Record(trace.LayerPnetCDF, "ncmpi_close", nil, func() error {
+		f.saveMeta(f.mf.Path())
+		return f.mf.Close()
+	})
+}
+
+// extentOf flattens (start, count) into contiguous file extents.
+func (v *Var) extents(start, count []int64) ([][2]int64, error) {
+	if len(start) != len(v.dims) || len(count) != len(v.dims) {
+		return nil, fmt.Errorf("pnetcdf: selection rank mismatch on %s", v.name)
+	}
+	for i := range start {
+		if start[i] < 0 || count[i] < 0 || start[i]+count[i] > v.dims[i] {
+			return nil, fmt.Errorf("pnetcdf: selection out of bounds on %s dim %d", v.name, i)
+		}
+	}
+	if len(v.dims) == 1 {
+		return [][2]int64{{v.off + start[0], count[0]}}, nil
+	}
+	rowLen := v.dims[1]
+	out := make([][2]int64, 0, count[0])
+	for r := int64(0); r < count[0]; r++ {
+		out = append(out, [2]int64{v.off + (start[0]+r)*rowLen + start[1], count[1]})
+	}
+	return out, nil
+}
+
+// collectivePut is the common path of all blocking collective puts. flexible
+// selects the flexible API behaviour: modify the MPI file view first, which
+// arms collective buffering (§V-C1).
+func (f *File) collectivePut(fn string, v *Var, start, count []int64, data []byte, flexible bool) error {
+	return f.r.Record(trace.LayerPnetCDF, fn, func() []string {
+		return []string{v.name, fmt.Sprint(start), fmt.Sprint(count)}
+	}, func() error {
+		if f.defMode {
+			return fmt.Errorf("%w: %s", ErrDefineMode, fn)
+		}
+		if f.indep {
+			return fmt.Errorf("%w: collective call in independent mode", ErrIndepMode)
+		}
+		exts, err := v.extents(start, count)
+		if err != nil {
+			return err
+		}
+		if flexible {
+			if err := f.mf.SetView(0, "MPI_BYTE", "flexible:"+v.name); err != nil {
+				return err
+			}
+		}
+		pos := int64(0)
+		for _, e := range exts {
+			if err := f.mf.WriteAtAll(e[0], data[pos:pos+e[1]]); err != nil {
+				return err
+			}
+			pos += e[1]
+		}
+		return nil
+	})
+}
+
+// collectiveGet mirrors collectivePut for reads.
+func (f *File) collectiveGet(fn string, v *Var, start, count []int64, flexible bool) ([]byte, error) {
+	var out []byte
+	err := f.r.Record(trace.LayerPnetCDF, fn, func() []string {
+		return []string{v.name, fmt.Sprint(start), fmt.Sprint(count)}
+	}, func() error {
+		if f.defMode {
+			return fmt.Errorf("%w: %s", ErrDefineMode, fn)
+		}
+		if f.indep {
+			return fmt.Errorf("%w: collective call in independent mode", ErrIndepMode)
+		}
+		exts, err := v.extents(start, count)
+		if err != nil {
+			return err
+		}
+		if flexible {
+			if err := f.mf.SetView(0, "MPI_BYTE", "flexible:"+v.name); err != nil {
+				return err
+			}
+		}
+		for _, e := range exts {
+			buf, err := f.mf.ReadAtAll(e[0], int(e[1]))
+			if err != nil {
+				return err
+			}
+			out = append(out, buf...)
+		}
+		return nil
+	})
+	return out, err
+}
+
+// independentPut is the common path of independent puts.
+func (f *File) independentPut(fn string, v *Var, start, count []int64, data []byte) error {
+	return f.r.Record(trace.LayerPnetCDF, fn, func() []string {
+		return []string{v.name, fmt.Sprint(start), fmt.Sprint(count)}
+	}, func() error {
+		if f.defMode {
+			return fmt.Errorf("%w: %s", ErrDefineMode, fn)
+		}
+		if !f.indep {
+			return fmt.Errorf("%w: independent call in collective mode", ErrIndepMode)
+		}
+		exts, err := v.extents(start, count)
+		if err != nil {
+			return err
+		}
+		pos := int64(0)
+		for _, e := range exts {
+			if err := f.mf.WriteAt(e[0], data[pos:pos+e[1]]); err != nil {
+				return err
+			}
+			pos += e[1]
+		}
+		return nil
+	})
+}
+
+func (v *Var) wholeSel() ([]int64, []int64) {
+	start := make([]int64, len(v.dims))
+	return start, append([]int64(nil), v.dims...)
+}
+
+func commRank(c *mpi.Comm, worldRank int) int {
+	for i, m := range c.Members() {
+		if m == worldRank {
+			return i
+		}
+	}
+	return -1
+}
+
+func itoa(v int64) string { return fmt.Sprint(v) }

@@ -1,0 +1,422 @@
+package posixfs
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpenFlags(t *testing.T) {
+	fs := New(ModePOSIX)
+	p := fs.Proc(0)
+
+	if _, err := p.Open("missing", ORdonly); !errors.Is(err, ErrNotExist) {
+		t.Errorf("Open missing = %v, want ErrNotExist", err)
+	}
+	fd, err := p.Open("f", OWronly|OCreate)
+	if err != nil {
+		t.Fatalf("Open create: %v", err)
+	}
+	if _, err := p.Open("f", OWronly|OCreate|OExcl); !errors.Is(err, ErrExist) {
+		t.Errorf("Open excl existing = %v, want ErrExist", err)
+	}
+	if _, err := p.Write(fd, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	// O_TRUNC resets the committed contents.
+	if _, err := p.Open("f", OWronly|OTrunc); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := fs.CommittedSize("f"); n != 0 {
+		t.Errorf("size after O_TRUNC = %d, want 0", n)
+	}
+}
+
+func TestAccessModeEnforcement(t *testing.T) {
+	fs := New(ModePOSIX)
+	p := fs.Proc(0)
+	rd, _ := p.Open("f", ORdonly|OCreate)
+	if _, err := p.Write(rd, []byte("x")); !errors.Is(err, ErrReadOnly) {
+		t.Errorf("Write on O_RDONLY = %v, want ErrReadOnly", err)
+	}
+	wr, _ := p.Open("f", OWronly)
+	if _, err := p.Read(wr, make([]byte, 1)); !errors.Is(err, ErrWriteOnly) {
+		t.Errorf("Read on O_WRONLY = %v, want ErrWriteOnly", err)
+	}
+	if err := p.Close(rd); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Read(rd, make([]byte, 1)); !errors.Is(err, ErrBadFD) {
+		t.Errorf("Read on closed fd = %v, want ErrBadFD", err)
+	}
+}
+
+func TestPosixReadWriteSeek(t *testing.T) {
+	fs := New(ModePOSIX)
+	p := fs.Proc(0)
+	fd, _ := p.Open("f", ORdwr|OCreate)
+
+	if _, err := p.Write(fd, []byte("abcdef")); err != nil {
+		t.Fatal(err)
+	}
+	if pos, _ := p.Tell(fd); pos != 6 {
+		t.Errorf("pos after write = %d, want 6", pos)
+	}
+	if _, err := p.Lseek(fd, 2, SeekSet); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 3)
+	if n, _ := p.Read(fd, buf); n != 3 || string(buf) != "cde" {
+		t.Errorf("Read = %d %q, want 3 %q", n, buf, "cde")
+	}
+	if pos, _ := p.Lseek(fd, -1, SeekEnd); pos != 5 {
+		t.Errorf("SeekEnd-1 = %d, want 5", pos)
+	}
+	if pos, _ := p.Lseek(fd, 1, SeekCur); pos != 6 {
+		t.Errorf("SeekCur+1 = %d, want 6", pos)
+	}
+	if _, err := p.Lseek(fd, -100, SeekSet); !errors.Is(err, ErrInvalid) {
+		t.Errorf("negative seek = %v, want ErrInvalid", err)
+	}
+	if _, err := p.Lseek(fd, 0, 99); !errors.Is(err, ErrInvalid) {
+		t.Errorf("bad whence = %v, want ErrInvalid", err)
+	}
+}
+
+func TestPreadPwrite(t *testing.T) {
+	fs := New(ModePOSIX)
+	p := fs.Proc(0)
+	fd, _ := p.Open("f", ORdwr|OCreate)
+	if _, err := p.Pwrite(fd, []byte("wxyz"), 10); err != nil {
+		t.Fatal(err)
+	}
+	if pos, _ := p.Tell(fd); pos != 0 {
+		t.Errorf("Pwrite moved the position to %d", pos)
+	}
+	// Sparse gap reads back as zeros.
+	buf := make([]byte, 14)
+	if n, _ := p.Pread(fd, buf, 0); n != 14 {
+		t.Fatalf("Pread = %d, want 14", n)
+	}
+	want := append(make([]byte, 10), 'w', 'x', 'y', 'z')
+	if !bytes.Equal(buf, want) {
+		t.Errorf("Pread = %q, want %q", buf, want)
+	}
+	if n, _ := p.Pread(fd, buf, 100); n != 0 {
+		t.Errorf("Pread past EOF = %d, want 0", n)
+	}
+}
+
+func TestAppendMode(t *testing.T) {
+	fs := New(ModePOSIX)
+	p := fs.Proc(0)
+	fd, _ := p.Open("f", OWronly|OCreate)
+	p.Write(fd, []byte("base"))
+	afd, _ := p.Open("f", OWronly|OAppend)
+	if _, err := p.Write(afd, []byte("++")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := fs.CommittedData("f")
+	if string(got) != "base++" {
+		t.Errorf("append result = %q, want %q", got, "base++")
+	}
+}
+
+func TestFtruncate(t *testing.T) {
+	for _, mode := range []Mode{ModePOSIX, ModeCommit} {
+		t.Run(mode.String(), func(t *testing.T) {
+			fs := New(mode)
+			p := fs.Proc(0)
+			fd, _ := p.Open("f", ORdwr|OCreate)
+			p.Write(fd, []byte("0123456789"))
+			if err := p.Ftruncate(fd, 4); err != nil {
+				t.Fatal(err)
+			}
+			if got := p.VisibleData("f"); string(got) != "0123" {
+				t.Errorf("visible after truncate = %q, want %q", got, "0123")
+			}
+			if err := p.Fsync(fd); err != nil {
+				t.Fatal(err)
+			}
+			got, _ := fs.CommittedData("f")
+			if string(got) != "0123" {
+				t.Errorf("committed after truncate+sync = %q, want %q", got, "0123")
+			}
+		})
+	}
+}
+
+// TestRelaxedVisibility is the core of the substrate: writes must stay
+// private until the mode-specific synchronization, then become visible.
+func TestRelaxedVisibility(t *testing.T) {
+	cases := []struct {
+		mode    Mode
+		publish func(p *Proc, fd int) error
+	}{
+		{ModeCommit, func(p *Proc, fd int) error { return p.Fsync(fd) }},
+		{ModeSession, func(p *Proc, fd int) error { return p.Close(fd) }},
+		{ModeMPIIO, func(p *Proc, fd int) error { p.Flush("f"); return nil }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.mode.String(), func(t *testing.T) {
+			fs := New(tc.mode)
+			writer := fs.Proc(0)
+			reader := fs.Proc(1)
+			wfd, _ := writer.Open("f", OWronly|OCreate)
+			rfd, err := reader.Open("f", ORdonly)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := writer.Pwrite(wfd, []byte("DATA"), 0); err != nil {
+				t.Fatal(err)
+			}
+			// Writer sees its own write (read-your-writes)...
+			if got := writer.VisibleData("f"); string(got) != "DATA" {
+				t.Errorf("writer sees %q, want DATA", got)
+			}
+			// ...but the reader sees stale (empty) data before publication.
+			buf := make([]byte, 4)
+			if n, _ := reader.Pread(rfd, buf, 0); n != 0 {
+				t.Errorf("reader saw %d unpublished bytes %q", n, buf[:n])
+			}
+			if err := tc.publish(writer, wfd); err != nil {
+				t.Fatal(err)
+			}
+			if n, _ := reader.Pread(rfd, buf, 0); n != 4 || string(buf) != "DATA" {
+				t.Errorf("after publish reader got %d %q, want 4 DATA", n, buf[:n])
+			}
+		})
+	}
+}
+
+func TestPosixModeIsImmediatelyVisible(t *testing.T) {
+	fs := New(ModePOSIX)
+	writer, reader := fs.Proc(0), fs.Proc(1)
+	wfd, _ := writer.Open("f", OWronly|OCreate)
+	rfd, _ := reader.Open("f", ORdonly)
+	writer.Pwrite(wfd, []byte("now"), 0)
+	buf := make([]byte, 3)
+	if n, _ := reader.Pread(rfd, buf, 0); n != 3 || string(buf) != "now" {
+		t.Errorf("POSIX read = %d %q, want immediate visibility", n, buf[:n])
+	}
+}
+
+func TestCommitModeWriterOverwritesOwnData(t *testing.T) {
+	fs := New(ModeCommit)
+	p := fs.Proc(0)
+	fd, _ := p.Open("f", ORdwr|OCreate)
+	p.Pwrite(fd, []byte("aaaaaaaa"), 0)
+	p.Pwrite(fd, []byte("BB"), 3) // overlapping rewrite before commit
+	p.Fsync(fd)
+	got, _ := fs.CommittedData("f")
+	if string(got) != "aaaBBaaa" {
+		t.Errorf("committed = %q, want aaaBBaaa", got)
+	}
+}
+
+func TestStreamAndFdAliasSameFile(t *testing.T) {
+	// The paper's §IV-B corner case: pwrite via fd and fwrite via FILE*
+	// against the same file at the same time.
+	fs := New(ModePOSIX)
+	p := fs.Proc(0)
+	fd, _ := p.Open("f", ORdwr|OCreate)
+	st, err := p.Fopen("f", "r+")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Pwrite(fd, []byte("11"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Fwrite([]byte("22"), 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := fs.CommittedData("f")
+	if string(got) != "22" {
+		t.Errorf("committed = %q, want 22 (stream write wins at offset 0)", got)
+	}
+	if err := st.Fseek(0, SeekSet); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 2)
+	if n, _ := st.Fread(buf, 1, 2); n != 2 || string(buf) != "22" {
+		t.Errorf("Fread = %d %q", n, buf)
+	}
+}
+
+func TestStreamModes(t *testing.T) {
+	fs := New(ModePOSIX)
+	p := fs.Proc(0)
+	if _, err := p.Fopen("f", "bogus"); !errors.Is(err, ErrInvalid) {
+		t.Errorf("Fopen bogus mode = %v, want ErrInvalid", err)
+	}
+	if _, err := p.Fopen("missing", "r"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("Fopen missing = %v, want ErrNotExist", err)
+	}
+	w, err := p.Fopen("f", "w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Fwrite([]byte("abc"), 1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Fclose(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Fclose(); !errors.Is(err, ErrBadFD) {
+		t.Errorf("double Fclose = %v, want ErrBadFD", err)
+	}
+	a, _ := p.Fopen("f", "a")
+	a.Fwrite([]byte("d"), 1, 1)
+	a.Fclose()
+	got, _ := fs.CommittedData("f")
+	if string(got) != "abcd" {
+		t.Errorf("append stream result = %q", got)
+	}
+}
+
+func TestOverlayExtentMerging(t *testing.T) {
+	ov := newOverlay()
+	ov.addExtent(0, []byte("aaaa"))
+	ov.addExtent(8, []byte("bbbb"))
+	ov.addExtent(2, []byte("CCCCCC")) // overlaps both neighbours' edges
+	var got []byte
+	for _, e := range ov.extents {
+		for int64(len(got)) < e.off {
+			got = append(got, '.')
+		}
+		got = append(got, e.data...)
+	}
+	if string(got) != "aaCCCCCCbbbb" {
+		t.Errorf("merged overlay = %q, want aaCCCCCCbbbb", got)
+	}
+}
+
+// TestPropertyOverlayMatchesShadow cross-checks the extent overlay against a
+// trivial shadow-buffer model under random writes and reads.
+func TestPropertyOverlayMatchesShadow(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		fs := New(ModeCommit)
+		p := fs.Proc(0)
+		fd, err := p.Open("f", ORdwr|OCreate)
+		if err != nil {
+			return false
+		}
+		shadow := make([]byte, 0, 256)
+		for i := 0; i < 60; i++ {
+			off := int64(rng.Intn(200))
+			n := 1 + rng.Intn(30)
+			data := make([]byte, n)
+			for j := range data {
+				data[j] = byte(rng.Intn(256))
+			}
+			if _, err := p.Pwrite(fd, data, off); err != nil {
+				return false
+			}
+			if end := off + int64(n); int64(len(shadow)) < end {
+				shadow = append(shadow, make([]byte, end-int64(len(shadow)))...)
+			}
+			copy(shadow[off:], data)
+		}
+		if !bytes.Equal(p.VisibleData("f"), shadow) {
+			t.Logf("seed %d: visible view diverged from shadow", seed)
+			return false
+		}
+		// Random windowed reads agree too.
+		for i := 0; i < 20; i++ {
+			off := int64(rng.Intn(len(shadow) + 10))
+			buf := make([]byte, rng.Intn(40))
+			n, err := p.Pread(fd, buf, off)
+			if err != nil {
+				return false
+			}
+			wantN := len(buf)
+			if off >= int64(len(shadow)) {
+				wantN = 0
+			} else if int64(wantN) > int64(len(shadow))-off {
+				wantN = int(int64(len(shadow)) - off)
+			}
+			if n != wantN || !bytes.Equal(buf[:n], shadow[off:off+int64(n)]) {
+				t.Logf("seed %d: windowed read mismatch at off=%d", seed, off)
+				return false
+			}
+		}
+		// After commit, the committed store equals the shadow as well.
+		if err := p.Fsync(fd); err != nil {
+			return false
+		}
+		got, err := fs.CommittedData("f")
+		return err == nil && bytes.Equal(got, shadow)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVisibleSizeAcrossModes(t *testing.T) {
+	fs := New(ModeCommit)
+	w := fs.Proc(0)
+	r := fs.Proc(1)
+	fd, _ := w.Open("f", OWronly|OCreate)
+	w.Pwrite(fd, []byte("123456"), 0)
+	if got, _ := fs.CommittedSize("f"); got != 0 {
+		t.Errorf("committed size before commit = %d", got)
+	}
+	if got := len(r.VisibleData("f")); got != 0 {
+		t.Errorf("reader visible size before commit = %d", got)
+	}
+	w.Fsync(fd)
+	if got, _ := fs.CommittedSize("f"); got != 6 {
+		t.Errorf("committed size after commit = %d", got)
+	}
+}
+
+func TestUnlinkAndStat(t *testing.T) {
+	fs := New(ModePOSIX)
+	p := fs.Proc(0)
+	fd, _ := p.Open("f", OWronly|OCreate)
+	p.Write(fd, []byte("abc"))
+	if n, err := fs.Stat("f"); err != nil || n != 3 {
+		t.Fatalf("Stat = %d, %v", n, err)
+	}
+	if err := fs.Unlink("f"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Stat("f"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("Stat after unlink = %v", err)
+	}
+	if err := fs.Unlink("f"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("double unlink = %v", err)
+	}
+	// Recreate: a fresh, empty file.
+	fd2, err := p.Open("f", OWronly|OCreate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = fd2
+	if n, _ := fs.CommittedSize("f"); n != 0 {
+		t.Errorf("recreated size = %d", n)
+	}
+}
+
+func TestVectorIO(t *testing.T) {
+	fs := New(ModePOSIX)
+	p := fs.Proc(0)
+	fd, _ := p.Open("f", ORdwr|OCreate)
+	n, err := p.Writev(fd, [][]byte{[]byte("ab"), []byte("cde"), []byte("f")})
+	if err != nil || n != 6 {
+		t.Fatalf("Writev = %d, %v", n, err)
+	}
+	if _, err := p.Lseek(fd, 0, SeekSet); err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Readv(fd, []int{3, 3})
+	if err != nil || string(got) != "abcdef" {
+		t.Fatalf("Readv = %q, %v", got, err)
+	}
+	if _, err := p.Readv(fd, []int{-1}); !errors.Is(err, ErrInvalid) {
+		t.Errorf("negative iov length = %v", err)
+	}
+}

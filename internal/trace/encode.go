@@ -1,0 +1,444 @@
+package trace
+
+import (
+	"bufio"
+	"compress/flate"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Binary trace format.
+//
+// Recorder stores traces compactly (the paper keeps Recorder's compression
+// unchanged in Recorder⁺). We mirror that with a simple self-contained
+// format: a header, a string table (function names, layers and arguments are
+// highly repetitive across records), then per-rank record streams with
+// varint-encoded fields, optionally DEFLATE-compressed.
+//
+// Layout (all integers unsigned varints unless noted):
+//
+//	magic   "VIOT"            (4 bytes)
+//	version byte              (currently 1)
+//	flags   byte              (bit 0: payload is flate-compressed)
+//	payload:
+//	  nmeta, then nmeta × (string key, string value)
+//	  nstrings, then nstrings × (len, bytes)   -- string table
+//	  nranks
+//	  per rank: nrecords, then records
+//
+// Every string inside a record is a string-table index. Record fields are
+// delta-encoded where they are monotonic (Seq is implicit, Tick is a delta).
+
+const (
+	magic        = "VIOT"
+	formatVer    = 1
+	flagCompress = 1
+)
+
+// EncodeOptions controls trace serialization.
+type EncodeOptions struct {
+	// Compress enables DEFLATE compression of the payload. On by default
+	// via DefaultEncodeOptions.
+	Compress bool
+}
+
+// DefaultEncodeOptions matches Recorder's default (compression on).
+func DefaultEncodeOptions() EncodeOptions { return EncodeOptions{Compress: true} }
+
+// Encode writes t to w.
+func Encode(w io.Writer, t *Trace, opts EncodeOptions) error {
+	if err := t.Validate(); err != nil {
+		return fmt.Errorf("trace: refusing to encode invalid trace: %w", err)
+	}
+	hdr := [6]byte{magic[0], magic[1], magic[2], magic[3], formatVer, 0}
+	if opts.Compress {
+		hdr[5] |= flagCompress
+	}
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	var payload io.Writer = w
+	var fw *flate.Writer
+	if opts.Compress {
+		var err error
+		fw, err = flate.NewWriter(w, flate.DefaultCompression)
+		if err != nil {
+			return err
+		}
+		payload = fw
+	}
+	bw := bufio.NewWriter(payload)
+	if err := encodePayload(bw, t); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	if fw != nil {
+		return fw.Close()
+	}
+	return nil
+}
+
+func encodePayload(w *bufio.Writer, t *Trace) error {
+	// Build the string table.
+	table := make(map[string]uint64)
+	var strs []string
+	intern := func(s string) uint64 {
+		if i, ok := table[s]; ok {
+			return i
+		}
+		i := uint64(len(strs))
+		table[s] = i
+		strs = append(strs, s)
+		return i
+	}
+	for _, rs := range t.Ranks {
+		for i := range rs {
+			r := &rs[i]
+			intern(r.Func)
+			intern(r.Site)
+			for _, a := range r.Args {
+				intern(a)
+			}
+			for _, c := range r.Chain {
+				intern(c)
+			}
+		}
+	}
+	metaKeys := make([]string, 0, len(t.Meta))
+	for k := range t.Meta {
+		metaKeys = append(metaKeys, k)
+	}
+	sort.Strings(metaKeys)
+
+	putUvarint(w, uint64(len(metaKeys)))
+	for _, k := range metaKeys {
+		putString(w, k)
+		putString(w, t.Meta[k])
+	}
+	putUvarint(w, uint64(len(strs)))
+	for _, s := range strs {
+		putString(w, s)
+	}
+	putUvarint(w, uint64(len(t.Ranks)))
+	for _, rs := range t.Ranks {
+		putUvarint(w, uint64(len(rs)))
+		lastRet := int64(0)
+		for i := range rs {
+			r := &rs[i]
+			putUvarint(w, table[r.Func])
+			w.WriteByte(byte(r.Layer))
+			putUvarint(w, uint64(r.Depth))
+			putUvarint(w, uint64(r.Ret-lastRet))
+			putUvarint(w, uint64(r.Ret-r.Tick))
+			lastRet = r.Ret
+			putUvarint(w, table[r.Site])
+			putUvarint(w, uint64(len(r.Args)))
+			for _, a := range r.Args {
+				putUvarint(w, table[a])
+			}
+			for _, c := range r.Chain {
+				putUvarint(w, table[c])
+			}
+		}
+	}
+	return nil
+}
+
+// Decode reads a trace previously written by Encode.
+func Decode(r io.Reader) (*Trace, error) {
+	var hdr [6]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if string(hdr[:4]) != magic {
+		return nil, errors.New("trace: bad magic, not a VerifyIO trace")
+	}
+	if hdr[4] != formatVer {
+		return nil, fmt.Errorf("trace: unsupported format version %d", hdr[4])
+	}
+	var payload io.Reader = r
+	if hdr[5]&flagCompress != 0 {
+		fr := flate.NewReader(r)
+		defer fr.Close()
+		payload = fr
+	}
+	return decodePayload(bufio.NewReader(payload))
+}
+
+func decodePayload(br *bufio.Reader) (*Trace, error) {
+	nmeta, err := getUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	meta := make(map[string]string, nmeta)
+	for i := uint64(0); i < nmeta; i++ {
+		k, err := getString(br)
+		if err != nil {
+			return nil, err
+		}
+		v, err := getString(br)
+		if err != nil {
+			return nil, err
+		}
+		meta[k] = v
+	}
+	nstrs, err := getUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if nstrs > math.MaxInt32 {
+		return nil, fmt.Errorf("trace: implausible string table size %d", nstrs)
+	}
+	strs := make([]string, nstrs)
+	for i := range strs {
+		if strs[i], err = getString(br); err != nil {
+			return nil, err
+		}
+	}
+	str := func(i uint64) (string, error) {
+		if i >= uint64(len(strs)) {
+			return "", fmt.Errorf("trace: string index %d out of table (%d entries)", i, len(strs))
+		}
+		return strs[i], nil
+	}
+	nranks, err := getUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if nranks > 1<<20 {
+		return nil, fmt.Errorf("trace: implausible rank count %d", nranks)
+	}
+	t := New(int(nranks))
+	t.Meta = meta
+	for rank := 0; rank < int(nranks); rank++ {
+		nrec, err := getUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		if nrec > math.MaxInt32 {
+			return nil, fmt.Errorf("trace: implausible record count %d", nrec)
+		}
+		if nrec == 0 {
+			continue
+		}
+		recs := make([]Record, nrec)
+		lastRet := int64(0)
+		for i := range recs {
+			rec := &recs[i]
+			rec.Rank = rank
+			rec.Seq = i
+			fi, err := getUvarint(br)
+			if err != nil {
+				return nil, err
+			}
+			if rec.Func, err = str(fi); err != nil {
+				return nil, err
+			}
+			lb, err := br.ReadByte()
+			if err != nil {
+				return nil, err
+			}
+			rec.Layer = Layer(lb)
+			depth, err := getUvarint(br)
+			if err != nil {
+				return nil, err
+			}
+			rec.Depth = int(depth)
+			dt, err := getUvarint(br)
+			if err != nil {
+				return nil, err
+			}
+			rec.Ret = lastRet + int64(dt)
+			dr, err := getUvarint(br)
+			if err != nil {
+				return nil, err
+			}
+			rec.Tick = rec.Ret - int64(dr)
+			lastRet = rec.Ret
+			si, err := getUvarint(br)
+			if err != nil {
+				return nil, err
+			}
+			if rec.Site, err = str(si); err != nil {
+				return nil, err
+			}
+			nargs, err := getUvarint(br)
+			if err != nil {
+				return nil, err
+			}
+			if nargs > 1<<16 {
+				return nil, fmt.Errorf("trace: implausible arg count %d", nargs)
+			}
+			if nargs > 0 {
+				rec.Args = make([]string, nargs)
+				for a := range rec.Args {
+					ai, err := getUvarint(br)
+					if err != nil {
+						return nil, err
+					}
+					if rec.Args[a], err = str(ai); err != nil {
+						return nil, err
+					}
+				}
+			}
+			if rec.Depth > 0 {
+				rec.Chain = make([]string, rec.Depth)
+				for c := range rec.Chain {
+					ci, err := getUvarint(br)
+					if err != nil {
+						return nil, err
+					}
+					if rec.Chain[c], err = str(ci); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+		t.Ranks[rank] = recs
+	}
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("trace: decoded trace is invalid: %w", err)
+	}
+	return t, nil
+}
+
+// WriteDir stores the trace as a directory: one file per rank plus metadata,
+// the on-disk layout Recorder uses (one stream per process).
+func WriteDir(dir string, t *Trace, opts EncodeOptions) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	// Each rank file is a complete single-rank trace; metadata travels in
+	// rank 0's file plus a rank-count entry.
+	for rank, rs := range t.Ranks {
+		sub := New(1)
+		sub.Ranks[0] = renumber(rs, 0)
+		if rank == 0 {
+			for k, v := range t.Meta {
+				sub.Meta[k] = v
+			}
+		}
+		sub.Meta["verifyio.rank"] = fmt.Sprint(rank)
+		sub.Meta["verifyio.nranks"] = fmt.Sprint(len(t.Ranks))
+		f, err := os.Create(filepath.Join(dir, fmt.Sprintf("rank-%d.viot", rank)))
+		if err != nil {
+			return err
+		}
+		if err := Encode(f, sub, opts); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadDir loads a trace directory written by WriteDir.
+func ReadDir(dir string) (*Trace, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	byRank := make(map[int]*Trace)
+	nranks := -1
+	for _, e := range entries {
+		var rank int
+		if _, err := fmt.Sscanf(e.Name(), "rank-%d.viot", &rank); err != nil {
+			continue
+		}
+		f, err := os.Open(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		sub, err := Decode(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("trace: %s: %w", e.Name(), err)
+		}
+		if n := sub.Meta["verifyio.nranks"]; n != "" {
+			fmt.Sscanf(n, "%d", &nranks)
+		}
+		byRank[rank] = sub
+	}
+	if len(byRank) == 0 {
+		return nil, fmt.Errorf("trace: no rank files in %s", dir)
+	}
+	if nranks < 0 {
+		nranks = len(byRank)
+	}
+	if len(byRank) != nranks {
+		return nil, fmt.Errorf("trace: directory holds %d rank files, metadata says %d ranks", len(byRank), nranks)
+	}
+	t := New(nranks)
+	for rank := 0; rank < nranks; rank++ {
+		sub, ok := byRank[rank]
+		if !ok {
+			return nil, fmt.Errorf("trace: missing rank file for rank %d", rank)
+		}
+		t.Ranks[rank] = renumber(sub.Ranks[0], rank)
+		if rank == 0 {
+			for k, v := range sub.Meta {
+				switch k {
+				case "verifyio.rank", "verifyio.nranks":
+				default:
+					t.Meta[k] = v
+				}
+			}
+		}
+	}
+	return t, nil
+}
+
+func renumber(rs []Record, rank int) []Record {
+	out := make([]Record, len(rs))
+	copy(out, rs)
+	for i := range out {
+		out[i].Rank = rank
+		out[i].Seq = i
+	}
+	return out
+}
+
+func putUvarint(w *bufio.Writer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	w.Write(buf[:n])
+}
+
+func putString(w *bufio.Writer, s string) {
+	putUvarint(w, uint64(len(s)))
+	w.WriteString(s)
+}
+
+func getUvarint(br *bufio.Reader) (uint64, error) {
+	v, err := binary.ReadUvarint(br)
+	if err != nil {
+		return 0, fmt.Errorf("trace: truncated varint: %w", err)
+	}
+	return v, nil
+}
+
+func getString(br *bufio.Reader) (string, error) {
+	n, err := getUvarint(br)
+	if err != nil {
+		return "", err
+	}
+	if n > 1<<24 {
+		return "", fmt.Errorf("trace: implausible string length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return "", fmt.Errorf("trace: truncated string: %w", err)
+	}
+	return string(buf), nil
+}

@@ -1,0 +1,244 @@
+// Package trace defines the execution-trace model used by every step of the
+// VerifyIO workflow.
+//
+// A trace is the output of step 1 (Recorder⁺): for each MPI rank, an ordered
+// stream of records, one per intercepted function call. Records carry the
+// function name, all runtime arguments (stringified, exactly as the original
+// Recorder does), logical entry/exit timestamps, the nesting depth within the
+// I/O stack (application → NetCDF → HDF5 → MPI-IO → POSIX) and the full call
+// chain, which the verifier reports for data races so the root cause can be
+// attributed to the application or to a specific library layer.
+package trace
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Layer identifies which level of the I/O software stack issued a call.
+type Layer uint8
+
+// Layers, from the application down to the storage interface.
+const (
+	LayerApp Layer = iota
+	LayerNetCDF
+	LayerPnetCDF
+	LayerHDF5
+	LayerMPIIO
+	LayerMPI
+	LayerPOSIX
+	numLayers
+)
+
+var layerNames = [numLayers]string{
+	"app", "netcdf", "pnetcdf", "hdf5", "mpi-io", "mpi", "posix",
+}
+
+func (l Layer) String() string {
+	if int(l) < len(layerNames) {
+		return layerNames[l]
+	}
+	return fmt.Sprintf("layer(%d)", uint8(l))
+}
+
+// ParseLayer converts a layer name produced by Layer.String back to a Layer.
+func ParseLayer(s string) (Layer, error) {
+	for i, n := range layerNames {
+		if n == s {
+			return Layer(i), nil
+		}
+	}
+	return 0, fmt.Errorf("trace: unknown layer %q", s)
+}
+
+// Record is one intercepted function call.
+type Record struct {
+	// Rank is the MPI rank that issued the call.
+	Rank int
+	// Seq is the per-rank program-order index (Def. 1): record k is the
+	// k-th call recorded on this rank, counting every nesting level.
+	Seq int
+	// Func is the name of the intercepted function, using the original C
+	// API spelling ("pwrite", "MPI_File_write_at", "H5Dwrite", ...).
+	Func string
+	// Layer is the stack level Func belongs to.
+	Layer Layer
+	// Depth is the call-nesting depth: 0 for calls issued directly by the
+	// application, 1 for calls those made internally, and so on. The call
+	// chain of a record is the sequence of enclosing records.
+	Depth int
+	// Args holds every runtime argument, stringified. Argument layout is
+	// function specific and interpreted by the analysis steps (package
+	// conflict and package match), mirroring how VerifyIO post-processes
+	// Recorder traces.
+	Args []string
+	// Tick and Ret are the logical entry and return timestamps (a per-rank
+	// monotonic counter advanced on every record boundary). They order
+	// records within a rank and delimit nesting.
+	Tick int64
+	Ret  int64
+	// Chain is the call chain, outermost frame first, not including Func
+	// itself. Frames are "layer:func@site" strings; see FormatFrame.
+	Chain []string
+	// Site labels the call site of this record inside its caller; the
+	// paper's future-work "backtrace" feature. Optional.
+	Site string
+}
+
+// FormatFrame renders one call-chain frame.
+func FormatFrame(layer Layer, fn, site string) string {
+	if site == "" {
+		return layer.String() + ":" + fn
+	}
+	return layer.String() + ":" + fn + "@" + site
+}
+
+// Frame is a parsed call-chain entry.
+type Frame struct {
+	Layer Layer
+	Func  string
+	Site  string
+}
+
+// ParseFrame parses a frame produced by FormatFrame.
+func ParseFrame(s string) (Frame, error) {
+	layerStr, rest, ok := strings.Cut(s, ":")
+	if !ok {
+		return Frame{}, fmt.Errorf("trace: malformed frame %q", s)
+	}
+	l, err := ParseLayer(layerStr)
+	if err != nil {
+		return Frame{}, err
+	}
+	fn, site, _ := strings.Cut(rest, "@")
+	return Frame{Layer: l, Func: fn, Site: site}, nil
+}
+
+// String renders a record in the one-line textual form used by the CLI tools.
+func (r *Record) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "[%d:%d] %s %s(%s)", r.Rank, r.Seq, r.Layer, r.Func,
+		strings.Join(r.Args, ", "))
+	if r.Depth > 0 {
+		fmt.Fprintf(&b, " depth=%d", r.Depth)
+	}
+	return b.String()
+}
+
+// Arg returns argument i, or "" when absent.
+func (r *Record) Arg(i int) string {
+	if i < 0 || i >= len(r.Args) {
+		return ""
+	}
+	return r.Args[i]
+}
+
+// IntArg returns argument i parsed as int64. Missing or malformed arguments
+// return ok=false; analysis code treats those records as unusable rather
+// than failing the whole run, matching VerifyIO's tolerance of partial
+// traces from the legacy Recorder.
+func (r *Record) IntArg(i int) (int64, bool) {
+	v, err := strconv.ParseInt(r.Arg(i), 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// Ref identifies a record inside a trace by rank and per-rank sequence.
+type Ref struct {
+	Rank int
+	Seq  int
+}
+
+func (ref Ref) String() string { return fmt.Sprintf("%d:%d", ref.Rank, ref.Seq) }
+
+// Less orders refs by rank, then by program order.
+func (ref Ref) Less(o Ref) bool {
+	if ref.Rank != o.Rank {
+		return ref.Rank < o.Rank
+	}
+	return ref.Seq < o.Seq
+}
+
+// Trace is a complete execution trace: one record stream per rank plus
+// execution-wide metadata.
+type Trace struct {
+	// Ranks holds the per-rank record streams; Ranks[i][k].Seq == k.
+	Ranks [][]Record
+	// Meta carries free-form execution metadata (program name, simulated
+	// file-system consistency mode, library versions, ...).
+	Meta map[string]string
+}
+
+// New returns an empty trace for nranks ranks.
+func New(nranks int) *Trace {
+	return &Trace{Ranks: make([][]Record, nranks), Meta: make(map[string]string)}
+}
+
+// NumRanks returns the number of rank streams.
+func (t *Trace) NumRanks() int { return len(t.Ranks) }
+
+// NumRecords returns the total number of records across all ranks.
+func (t *Trace) NumRecords() int {
+	n := 0
+	for _, rs := range t.Ranks {
+		n += len(rs)
+	}
+	return n
+}
+
+// Record resolves a Ref. It returns nil when the ref is out of range.
+func (t *Trace) Record(ref Ref) *Record {
+	if ref.Rank < 0 || ref.Rank >= len(t.Ranks) {
+		return nil
+	}
+	rs := t.Ranks[ref.Rank]
+	if ref.Seq < 0 || ref.Seq >= len(rs) {
+		return nil
+	}
+	return &rs[ref.Seq]
+}
+
+// Append adds a record to its rank's stream, assigning Seq. It returns the
+// record's Ref.
+func (t *Trace) Append(rec Record) Ref {
+	rec.Seq = len(t.Ranks[rec.Rank])
+	t.Ranks[rec.Rank] = append(t.Ranks[rec.Rank], rec)
+	return Ref{Rank: rec.Rank, Seq: rec.Seq}
+}
+
+// Validate performs structural checks: sequence numbers must be dense and
+// per-rank ticks strictly increasing. It reports the first problem found.
+func (t *Trace) Validate() error {
+	// Records are appended when a call returns (post-order for nested
+	// calls), so the return timestamp is the strictly increasing field;
+	// an enclosing call's entry tick precedes its nested records' ticks.
+	for rank, rs := range t.Ranks {
+		lastRet := int64(-1)
+		for i := range rs {
+			r := &rs[i]
+			if r.Rank != rank {
+				return fmt.Errorf("trace: rank %d stream holds record for rank %d at seq %d", rank, r.Rank, i)
+			}
+			if r.Seq != i {
+				return fmt.Errorf("trace: rank %d record %d has seq %d", rank, i, r.Seq)
+			}
+			if r.Ret <= lastRet {
+				return fmt.Errorf("trace: rank %d record %d return tick %d not increasing (prev %d)", rank, i, r.Ret, lastRet)
+			}
+			if r.Ret < r.Tick {
+				return fmt.Errorf("trace: rank %d record %d returns (%d) before entry (%d)", rank, i, r.Ret, r.Tick)
+			}
+			if r.Tick < 0 {
+				return fmt.Errorf("trace: rank %d record %d negative entry tick %d", rank, i, r.Tick)
+			}
+			lastRet = r.Ret
+			if r.Depth < 0 || len(r.Chain) != r.Depth {
+				return fmt.Errorf("trace: rank %d record %d depth %d does not match chain length %d", rank, i, r.Depth, len(r.Chain))
+			}
+		}
+	}
+	return nil
+}

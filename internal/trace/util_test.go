@@ -1,0 +1,5 @@
+package trace
+
+import "os"
+
+func removeFile(path string) error { return os.Remove(path) }

@@ -1,0 +1,169 @@
+// Package verify implements step 4 of the VerifyIO workflow: deciding
+// whether every detected conflict is properly synchronized (Def. 6) under a
+// chosen consistency model, and reporting data races (Def. 7) with full call
+// chains.
+//
+// The expensive, model-independent work — conflict detection, MPI matching,
+// happens-before construction — is factored into Analyze, so one Analysis
+// can be verified against all four models (how the evaluation produces one
+// Fig. 4 row across four columns from a single trace).
+package verify
+
+import (
+	"fmt"
+	"time"
+
+	"verifyio/internal/conflict"
+	"verifyio/internal/hbgraph"
+	"verifyio/internal/match"
+	"verifyio/internal/trace"
+)
+
+// Algo selects the happens-before algorithm (§IV-D).
+type Algo int
+
+// Algorithms.
+const (
+	// AlgoAuto picks dynamically from the conflict count and graph size —
+	// the paper's future-work "dynamic selection of the verification
+	// algorithm".
+	AlgoAuto Algo = iota
+	AlgoVectorClock
+	AlgoReachability
+	AlgoTransitiveClosure
+	AlgoOnTheFly
+)
+
+var algoNames = map[Algo]string{
+	AlgoAuto:              "auto",
+	AlgoVectorClock:       "vector-clock",
+	AlgoReachability:      "reachability",
+	AlgoTransitiveClosure: "transitive-closure",
+	AlgoOnTheFly:          "on-the-fly",
+}
+
+func (a Algo) String() string {
+	if s, ok := algoNames[a]; ok {
+		return s
+	}
+	return fmt.Sprintf("algo(%d)", int(a))
+}
+
+// AlgoByName resolves an algorithm name.
+func AlgoByName(name string) (Algo, error) {
+	for a, n := range algoNames {
+		if n == name {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("verify: unknown algorithm %q (have auto, vector-clock, reachability, transitive-closure, on-the-fly)", name)
+}
+
+// Timing is the per-stage breakdown Table IV reports.
+type Timing struct {
+	// ReadTrace is set by callers that loaded the trace from storage.
+	ReadTrace time.Duration
+	// DetectConflicts covers step 2.
+	DetectConflicts time.Duration
+	// BuildGraph covers MPI matching plus happens-before construction.
+	BuildGraph time.Duration
+	// VectorClock covers clock generation (zero for other algorithms).
+	VectorClock time.Duration
+	// Verification covers the per-model conflict checking.
+	Verification time.Duration
+}
+
+// Total sums all stages.
+func (t Timing) Total() time.Duration {
+	return t.ReadTrace + t.DetectConflicts + t.BuildGraph + t.VectorClock + t.Verification
+}
+
+// Analysis is the model-independent part of a verification run.
+type Analysis struct {
+	Trace     *trace.Trace
+	Conflicts *conflict.Result
+	Match     *match.Result
+	Oracle    hbgraph.Oracle
+	// Graph is nil when the on-the-fly algorithm was selected.
+	Graph *hbgraph.Graph
+	// Algorithm is the algorithm actually used (after auto selection).
+	Algorithm Algo
+	// Timing holds the stage durations accumulated so far.
+	Timing Timing
+}
+
+// autoThresholds: with few conflicts but a huge graph, building clocks costs
+// more than it saves; otherwise vector clocks win (O(1) queries).
+const (
+	autoFewConflicts = 512
+	autoBigGraph     = 200_000
+)
+
+// Analyze runs steps 2 and 3 on the trace and prepares the happens-before
+// oracle.
+func Analyze(tr *trace.Trace, algo Algo) (*Analysis, error) {
+	a := &Analysis{Trace: tr}
+
+	start := time.Now()
+	conf, err := conflict.Detect(tr)
+	if err != nil {
+		return nil, fmt.Errorf("verify: conflict detection: %w", err)
+	}
+	a.Conflicts = conf
+	a.Timing.DetectConflicts = time.Since(start)
+
+	start = time.Now()
+	mres, err := match.Match(tr)
+	if err != nil {
+		return nil, fmt.Errorf("verify: MPI matching: %w", err)
+	}
+	a.Match = mres
+
+	if algo == AlgoAuto {
+		if conf.Pairs < autoFewConflicts && tr.NumRecords() > autoBigGraph {
+			algo = AlgoOnTheFly
+		} else {
+			algo = AlgoVectorClock
+		}
+	}
+	a.Algorithm = algo
+
+	if algo == AlgoOnTheFly {
+		a.Oracle = hbgraph.NewOnTheFly(tr, mres.Edges)
+		a.Timing.BuildGraph = time.Since(start)
+		return a, nil
+	}
+
+	g, err := hbgraph.Build(tr, mres.Edges)
+	if err != nil {
+		return nil, fmt.Errorf("verify: happens-before graph: %w", err)
+	}
+	a.Graph = g
+	a.Timing.BuildGraph = time.Since(start)
+
+	start = time.Now()
+	switch algo {
+	case AlgoVectorClock:
+		vc, err := g.VectorClocks()
+		if err != nil {
+			return nil, fmt.Errorf("verify: vector clocks: %w", err)
+		}
+		a.Oracle = vc
+		a.Timing.VectorClock = time.Since(start)
+	case AlgoReachability:
+		a.Oracle = g.Reachability()
+	case AlgoTransitiveClosure:
+		tc, err := g.TransitiveClosure()
+		if err != nil {
+			// Graph too large for the closure: degrade to BFS
+			// reachability rather than failing the run.
+			a.Oracle = g.Reachability()
+			a.Algorithm = AlgoReachability
+		} else {
+			a.Oracle = tc
+		}
+	default:
+		return nil, fmt.Errorf("verify: unsupported algorithm %v", algo)
+	}
+	return a, nil
+}

@@ -1,0 +1,403 @@
+package verify
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"verifyio/internal/conflict"
+	"verifyio/internal/match"
+	"verifyio/internal/semantics"
+	"verifyio/internal/trace"
+)
+
+// Options controls a verification pass.
+type Options struct {
+	// Model is the consistency model to verify against.
+	Model semantics.Model
+	// Algo selects the happens-before algorithm (Run only; Analysis
+	// carries its own).
+	Algo Algo
+	// DisablePruning turns the Fig. 3 group pruning off (ablation).
+	DisablePruning bool
+	// MaxRaceDetails caps how many races carry full call-chain detail;
+	// counting is always exact. 0 means the default (256).
+	MaxRaceDetails int
+	// ContinueOnUnmatched verifies even when the matcher reported
+	// problems. By default, unmatched MPI calls abort verification —
+	// the gray rows of Fig. 4.
+	ContinueOnUnmatched bool
+	// DisableFastPaths forces every properly-synchronized check through
+	// the generic MSC search instead of the Table I shape fast paths
+	// (cross-validation and custom-model testing).
+	DisableFastPaths bool
+}
+
+// Race is one data race (Def. 7): a conflicting pair with no
+// properly-synchronized order in either direction.
+type Race struct {
+	X, Y  conflict.Op
+	File  string
+	FuncX string
+	FuncY string
+	// ChainX/ChainY are the call chains (outermost first, the operation
+	// itself last) — what the paper uses to attribute a race to the
+	// application or to a library layer.
+	ChainX, ChainY []string
+}
+
+// Level classifies where a race originates, from its call chains: the
+// outermost frame of the deeper chain tells which layer issued the
+// conflicting operation.
+func (r Race) Level() string {
+	pick := func(chain []string) string {
+		if len(chain) <= 1 {
+			return "application"
+		}
+		fr, err := trace.ParseFrame(chain[0])
+		if err != nil {
+			return "application"
+		}
+		return fr.Layer.String()
+	}
+	lx, ly := pick(r.ChainX), pick(r.ChainY)
+	if lx == ly {
+		return lx
+	}
+	return lx + "+" + ly
+}
+
+// Report is the outcome of verifying one trace against one model.
+type Report struct {
+	Model     string
+	Algorithm string
+	Ranks     int
+	Records   int
+
+	// ConflictPairs is the step-2 conflict count (model independent).
+	ConflictPairs int64
+	// RaceCount is the number of data races under the model.
+	RaceCount int64
+	// Races carries detail for up to MaxRaceDetails races.
+	Races []Race
+	// Problems are the matcher's unmatched/mismatched MPI calls.
+	Problems []match.Problem
+	// Verified is false when unmatched MPI calls prevented verification
+	// (gray rows in Fig. 4).
+	Verified bool
+	// ProperlySynchronized is Verified && RaceCount == 0 (green rows).
+	ProperlySynchronized bool
+
+	// ChecksPerformed counts properly-synchronized evaluations — the
+	// quantity the Fig. 3 pruning reduces.
+	ChecksPerformed int64
+	GraphNodes      int
+	GraphSyncEdges  int
+	Timing          Timing
+}
+
+// Run performs the whole pipeline (steps 2–4) on a trace for one model.
+func Run(tr *trace.Trace, opts Options) (*Report, error) {
+	a, err := Analyze(tr, opts.Algo)
+	if err != nil {
+		return nil, err
+	}
+	return a.Verify(opts)
+}
+
+// Verify checks every conflict of the analysis under opts.Model.
+func (a *Analysis) Verify(opts Options) (*Report, error) {
+	if err := opts.Model.MSC.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.MaxRaceDetails == 0 {
+		opts.MaxRaceDetails = 256
+	}
+	rep := &Report{
+		Model:         opts.Model.Name,
+		Algorithm:     a.Algorithm.String(),
+		Ranks:         a.Trace.NumRanks(),
+		Records:       a.Trace.NumRecords(),
+		ConflictPairs: a.Conflicts.Pairs,
+		Problems:      a.Match.Problems,
+		Timing:        a.Timing,
+	}
+	if a.Graph != nil {
+		rep.GraphNodes = a.Graph.Nodes()
+		rep.GraphSyncEdges = a.Graph.SyncEdges()
+	}
+	if len(a.Match.Problems) > 0 && !opts.ContinueOnUnmatched {
+		// Unmatched MPI calls: the synchronization order cannot be
+		// trusted, so verification is not performed (§V-D).
+		rep.Verified = false
+		return rep, nil
+	}
+	start := time.Now()
+	v := &verifier{a: a, opts: opts, rep: rep, idx: buildSyncIndex(a.Conflicts, opts.Model)}
+	v.verifyGroups()
+	rep.Timing.Verification = time.Since(start)
+	rep.Verified = true
+	rep.ProperlySynchronized = rep.RaceCount == 0
+	sort.Slice(rep.Races, func(i, j int) bool {
+		if rep.Races[i].X.Ref != rep.Races[j].X.Ref {
+			return rep.Races[i].X.Ref.Less(rep.Races[j].X.Ref)
+		}
+		return rep.Races[i].Y.Ref.Less(rep.Races[j].Y.Ref)
+	})
+	return rep, nil
+}
+
+// syncIndex organizes the trace's synchronization points for MSC lookup:
+// for each MSC op class, per (file, rank) sorted sequence lists and a
+// per-file global list.
+type syncIndex struct {
+	// perRank[class][fid][rank] = sorted seqs.
+	perRank []map[int]map[int][]int
+	// perFile[class][fid] = refs in (rank, seq) order.
+	perFile []map[int][]trace.Ref
+}
+
+func buildSyncIndex(conf *conflict.Result, model semantics.Model) *syncIndex {
+	k := model.MSC.K()
+	idx := &syncIndex{
+		perRank: make([]map[int]map[int][]int, k),
+		perFile: make([]map[int][]trace.Ref, k),
+	}
+	for c := 0; c < k; c++ {
+		idx.perRank[c] = make(map[int]map[int][]int)
+		idx.perFile[c] = make(map[int][]trace.Ref)
+	}
+	for _, sp := range conf.Syncs {
+		for c := 0; c < k; c++ {
+			if !model.MSC.Ops[c].Contains(sp.Func) {
+				continue
+			}
+			byRank, ok := idx.perRank[c][sp.FID]
+			if !ok {
+				byRank = make(map[int][]int)
+				idx.perRank[c][sp.FID] = byRank
+			}
+			byRank[sp.Ref.Rank] = append(byRank[sp.Ref.Rank], sp.Ref.Seq)
+			idx.perFile[c][sp.FID] = append(idx.perFile[c][sp.FID], sp.Ref)
+		}
+	}
+	// conflict.Result.Syncs is produced rank-major in seq order, so the
+	// per-rank lists are already sorted; keep the invariant explicit.
+	for c := 0; c < k; c++ {
+		for _, byRank := range idx.perRank[c] {
+			for _, seqs := range byRank {
+				sort.Ints(seqs)
+			}
+		}
+	}
+	return idx
+}
+
+// firstAfter returns the lowest seq in the sorted list strictly greater
+// than s, or -1.
+func firstAfter(seqs []int, s int) int {
+	i := sort.SearchInts(seqs, s+1)
+	if i == len(seqs) {
+		return -1
+	}
+	return seqs[i]
+}
+
+// lastBefore returns the highest seq strictly less than s, or -1.
+func lastBefore(seqs []int, s int) int {
+	i := sort.SearchInts(seqs, s)
+	if i == 0 {
+		return -1
+	}
+	return seqs[i-1]
+}
+
+type verifier struct {
+	a    *Analysis
+	opts Options
+	rep  *Report
+	idx  *syncIndex
+}
+
+// ps implements Def. 6: X properly-synchronizes-before Y.
+func (v *verifier) ps(x, y *conflict.Op) bool {
+	v.rep.ChecksPerformed++
+	if !x.Write {
+		// Case 1: a read followed in happens-before order by the
+		// conflicting (write) operation.
+		return v.hb(x.Ref, y.Ref)
+	}
+	// Case 2: an MSC instance between X and Y.
+	return v.mscExists(x, y)
+}
+
+func (v *verifier) hb(a, b trace.Ref) bool { return v.a.Oracle.HB(a, b) }
+
+// mscExists searches for an instance of the model's MSC between x and y,
+// with every synchronization operation acting on the conflicting file.
+func (v *verifier) mscExists(x, y *conflict.Op) bool {
+	msc := v.opts.Model.MSC
+	k := msc.K()
+	if k == 0 {
+		// POSIX: -hb->
+		return v.edgeOK(msc.Edges[0], x.Ref, y.Ref)
+	}
+	if v.opts.DisableFastPaths {
+		return v.mscDFS(msc, 0, x.Ref, x, y)
+	}
+	// Fast path for the Table I shapes.
+	switch {
+	case k == 1 && msc.Edges[0] == semantics.HB && msc.Edges[1] == semantics.HB:
+		// -hb-> S -hb-> : any sync op on the file with X hb S hb Y.
+		for _, s := range v.idx.perFile[0][x.FID] {
+			if v.edgeOK(semantics.HB, x.Ref, s) && v.edgeOK(semantics.HB, s, y.Ref) {
+				return true
+			}
+		}
+		return false
+	case k == 2 && msc.Edges[0] == semantics.PO && msc.Edges[1] == semantics.HB && msc.Edges[2] == semantics.PO:
+		// -po-> S1 -hb-> S2 -po-> : the earliest S1 after X on X's rank
+		// and the latest S2 before Y on Y's rank suffice — if ANY
+		// (S1', S2') pair works then this extreme pair works too,
+		// because S1 -po-> S1' and S2' -po-> S2 extend the hb path.
+		s1seqs := v.idx.perRank[0][x.FID][x.Ref.Rank]
+		s2seqs := v.idx.perRank[1][y.FID][y.Ref.Rank]
+		s1 := firstAfter(s1seqs, x.Ref.Seq)
+		s2 := lastBefore(s2seqs, y.Ref.Seq)
+		if s1 < 0 || s2 < 0 {
+			return false
+		}
+		return v.edgeOK(semantics.HB,
+			trace.Ref{Rank: x.Ref.Rank, Seq: s1},
+			trace.Ref{Rank: y.Ref.Rank, Seq: s2})
+	}
+	// Generic DFS for custom models.
+	return v.mscDFS(msc, 0, x.Ref, x, y)
+}
+
+// mscDFS anchors MSC element pos (0-based sync-op position) given the
+// previously anchored ref.
+func (v *verifier) mscDFS(msc semantics.MSC, pos int, prev trace.Ref, x, y *conflict.Op) bool {
+	if pos == msc.K() {
+		return v.edgeOK(msc.Edges[pos], prev, y.Ref)
+	}
+	for _, cand := range v.idx.perFile[pos][x.FID] {
+		if !v.edgeOK(msc.Edges[pos], prev, cand) {
+			continue
+		}
+		if v.mscDFS(msc, pos+1, cand, x, y) {
+			return true
+		}
+	}
+	return false
+}
+
+// edgeOK checks one MSC edge requirement between two records.
+func (v *verifier) edgeOK(kind semantics.EdgeKind, a, b trace.Ref) bool {
+	switch kind {
+	case semantics.PO:
+		return a.Rank == b.Rank && a.Seq < b.Seq
+	default:
+		return v.hb(a, b)
+	}
+}
+
+// verifyGroups walks every conflict group and collects races. Each
+// unordered pair appears in two mirrored groups; it is recorded only from
+// the group whose X precedes Y in (rank, seq) order, so counting is exact.
+func (v *verifier) verifyGroups() {
+	ops := v.a.Conflicts.Ops
+	for gi := range v.a.Conflicts.Groups {
+		g := &v.a.Conflicts.Groups[gi]
+		x := &ops[g.X]
+		ranks := make([]int, 0, len(g.ByRank))
+		for r := range g.ByRank {
+			ranks = append(ranks, r)
+		}
+		sort.Ints(ranks)
+		for _, r := range ranks {
+			ys := g.ByRank[r]
+			if v.opts.DisablePruning {
+				for _, yi := range ys {
+					y := &ops[yi]
+					if !v.ps(x, y) && !v.ps(y, x) {
+						v.recordRace(x, y)
+					}
+				}
+				continue
+			}
+			v.verifyRun(x, ys)
+		}
+	}
+}
+
+// verifyRun applies the Fig. 3 pruning to one (X, ζ_r) run, generalized to
+// a pair of binary searches over the two monotone predicates:
+//
+//   - X ps Y_i is monotone non-decreasing in i (rules 1 and 3): an MSC to
+//     Y_i extends to any later Y_j by program order.
+//   - Y_i ps X is monotone non-increasing in i (rules 2 and 4): an MSC
+//     from Y_i restricts to any earlier Y_j.
+//
+// (The paper states rule 4 with Y_n; the sound monotone form anchors the
+// negative direction at Y_1 — checking Y_1 clears or dooms the whole run.)
+// Each of the paper's four scenarios is the degenerate case where a search
+// terminates after one probe; in general the run costs O(log n) checks
+// instead of n.
+func (v *verifier) verifyRun(x *conflict.Op, ys []int) {
+	ops := v.a.Conflicts.Ops
+	n := len(ys)
+	// iF: first index with X ps Y_i (n when none).
+	iF := sort.Search(n, func(i int) bool { return v.ps(x, &ops[ys[i]]) })
+	// iG: first index where Y_i ps X stops holding; indices < iG hold.
+	iG := sort.Search(n, func(i int) bool { return !v.ps(&ops[ys[i]], x) })
+	// Pairs in [iG, iF) are synchronized in neither direction.
+	for i := iG; i < iF; i++ {
+		v.recordRace(x, &ops[ys[i]])
+	}
+}
+
+func (v *verifier) recordRace(x, y *conflict.Op) {
+	// Mirrored groups: record each unordered pair once.
+	if !x.Ref.Less(y.Ref) {
+		return
+	}
+	v.rep.RaceCount++
+	if len(v.rep.Races) >= v.opts.MaxRaceDetails {
+		return
+	}
+	rx := v.a.Trace.Record(x.Ref)
+	ry := v.a.Trace.Record(y.Ref)
+	v.rep.Races = append(v.rep.Races, Race{
+		X: *x, Y: *y,
+		File:   v.a.Conflicts.PathOf(x.FID),
+		FuncX:  rx.Func,
+		FuncY:  ry.Func,
+		ChainX: fullChain(rx),
+		ChainY: fullChain(ry),
+	})
+}
+
+// fullChain returns the call chain with the operation itself appended.
+func fullChain(rec *trace.Record) []string {
+	out := make([]string, 0, len(rec.Chain)+1)
+	out = append(out, rec.Chain...)
+	out = append(out, trace.FormatFrame(rec.Layer, rec.Func, rec.Site))
+	return out
+}
+
+// VerifyAll verifies the analysis against every given model, reusing the
+// shared steps.
+func (a *Analysis) VerifyAll(models []semantics.Model, opts Options) ([]*Report, error) {
+	out := make([]*Report, 0, len(models))
+	for _, m := range models {
+		o := opts
+		o.Model = m
+		rep, err := a.Verify(o)
+		if err != nil {
+			return nil, fmt.Errorf("verify: model %s: %w", m.Name, err)
+		}
+		out = append(out, rep)
+	}
+	return out, nil
+}

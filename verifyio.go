@@ -1,0 +1,399 @@
+// Package verifyio is the public API of VerifyIO-Go, a from-scratch Go
+// reproduction of "VerifyIO: Verifying Adherence to Parallel I/O Consistency
+// Semantics" (Wang, Zhu, Mohror, Neuwirth, Snir — IPDPS 2025).
+//
+// VerifyIO answers the question: does this parallel program's I/O follow the
+// rules of a given storage consistency model? The workflow has four steps:
+//
+//  1. Trace — run the program under the Recorder⁺ tracer, capturing every
+//     I/O and MPI call across all library layers with full call chains.
+//  2. Detect conflicts — find pairs of operations that touch overlapping
+//     bytes of the same file where at least one writes.
+//  3. Match MPI calls — replay the recorded MPI operations to establish the
+//     happens-before order, flagging unmatched or mismatched calls.
+//  4. Verify — check that every conflict is properly synchronized under the
+//     chosen model (POSIX, Commit, Session, or MPI-IO), reporting data
+//     races with call chains when it is not.
+//
+// The simulated substrates (MPI runtime, POSIX file system with pluggable
+// consistency, MPI-IO with collective buffering, and HDF5 / NetCDF /
+// PnetCDF subsets) live under internal/; programs written against them are
+// traced exactly like real applications. The paper's 91-test evaluation
+// corpus ships in internal/corpus and is runnable through this package.
+//
+// Quick start:
+//
+//	tr, _ := verifyio.RunCorpusTest("flexible")
+//	reports, _ := verifyio.VerifyAll(tr, nil)
+//	for _, rep := range reports {
+//	    fmt.Println(rep.Summary())
+//	}
+package verifyio
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"verifyio/internal/corpus"
+	"verifyio/internal/recorder"
+	"verifyio/internal/semantics"
+	"verifyio/internal/sim/posixfs"
+	"verifyio/internal/trace"
+	"verifyio/internal/verify"
+)
+
+// Rank is the traced per-process handle programs receive under the tracer:
+// it exposes the instrumented MPI and POSIX interfaces, and the simulated
+// I/O libraries (internal/sim/...) build on it. See examples/ for complete
+// programs.
+type Rank = recorder.Rank
+
+// Model names a consistency model.
+type Model string
+
+// The four built-in consistency models (Table I of the paper).
+const (
+	POSIX   Model = "posix"
+	Commit  Model = "commit"
+	Session Model = "session"
+	MPIIO   Model = "mpi-io"
+)
+
+// Models returns the built-in models in the paper's order.
+func Models() []Model { return []Model{POSIX, Commit, Session, MPIIO} }
+
+func (m Model) resolve() (semantics.Model, error) {
+	return semantics.ByName(string(m))
+}
+
+// Trace is a collected execution trace.
+type Trace struct {
+	t *trace.Trace
+}
+
+// NumRanks returns the number of MPI ranks in the trace.
+func (t *Trace) NumRanks() int { return t.t.NumRanks() }
+
+// NumRecords returns the total number of records.
+func (t *Trace) NumRecords() int { return t.t.NumRecords() }
+
+// Meta returns the execution metadata value for key.
+func (t *Trace) Meta(key string) string { return t.t.Meta[key] }
+
+// WriteDir stores the trace as a directory (one compressed stream per
+// rank), the layout cmd/verifyio consumes.
+func (t *Trace) WriteDir(dir string) error {
+	return trace.WriteDir(dir, t.t, trace.DefaultEncodeOptions())
+}
+
+// ReadTraceDir loads a trace directory produced by WriteDir or
+// cmd/verifyio-trace.
+func ReadTraceDir(dir string) (*Trace, error) {
+	tr, err := trace.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &Trace{t: tr}, nil
+}
+
+// TraceProgram runs prog once per rank under the Recorder⁺ tracer, against
+// a simulated file system providing the given consistency model, and
+// returns the execution trace (step 1 of the workflow). Note the file
+// system's runtime model is independent of the models the trace is later
+// verified against: the usual setup traces on POSIX (as the paper does on
+// GPFS) and verifies against all four.
+func TraceProgram(ranks int, fsModel Model, prog func(r *Rank) error) (*Trace, error) {
+	var mode posixfs.Mode
+	switch fsModel {
+	case POSIX:
+		mode = posixfs.ModePOSIX
+	case Commit:
+		mode = posixfs.ModeCommit
+	case Session:
+		mode = posixfs.ModeSession
+	case MPIIO:
+		mode = posixfs.ModeMPIIO
+	default:
+		return nil, fmt.Errorf("verifyio: unknown file-system model %q", fsModel)
+	}
+	env := recorder.NewEnv(ranks, recorder.Options{FSMode: mode})
+	if err := env.Run(prog); err != nil {
+		return nil, err
+	}
+	return &Trace{t: env.Trace()}, nil
+}
+
+// CorpusTests lists the names of the 91 evaluation test cases (15 HDF5,
+// 17 NetCDF, 59 PnetCDF).
+func CorpusTests() []string { return corpus.Names() }
+
+// RunCorpusTest executes the named corpus test under the tracer and returns
+// its trace.
+func RunCorpusTest(name string) (*Trace, error) {
+	t, err := corpus.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := corpus.Run(t)
+	if err != nil {
+		return nil, err
+	}
+	return &Trace{t: tr}, nil
+}
+
+// Options tunes verification.
+type Options struct {
+	// Algorithm selects the happens-before algorithm: "auto" (default),
+	// "vector-clock", "reachability", "transitive-closure", "on-the-fly".
+	Algorithm string
+	// DisablePruning turns off the conflict-group pruning (Fig. 3).
+	DisablePruning bool
+	// MaxRaceDetails caps detailed race records (default 256); the race
+	// count itself is always exact.
+	MaxRaceDetails int
+	// ContinueOnUnmatched verifies even when MPI matching found problems.
+	ContinueOnUnmatched bool
+}
+
+func (o *Options) algo() (verify.Algo, error) {
+	if o == nil || o.Algorithm == "" {
+		return verify.AlgoAuto, nil
+	}
+	return verify.AlgoByName(o.Algorithm)
+}
+
+func (o *Options) verifyOptions(m semantics.Model) verify.Options {
+	vo := verify.Options{Model: m}
+	if o != nil {
+		vo.DisablePruning = o.DisablePruning
+		vo.MaxRaceDetails = o.MaxRaceDetails
+		vo.ContinueOnUnmatched = o.ContinueOnUnmatched
+	}
+	return vo
+}
+
+// Race is one detected data race: a conflicting operation pair that is not
+// properly synchronized under the model. Call chains run from the outermost
+// (application-issued) call down to the POSIX operation, which is how the
+// root cause is attributed to the application or a library layer.
+type Race struct {
+	File           string
+	FuncX, FuncY   string
+	RankX, RankY   int
+	StartX, EndX   int64
+	StartY, EndY   int64
+	ChainX, ChainY []string
+	// Level classifies the originating layer ("application", "hdf5",
+	// "pnetcdf", ...).
+	Level string
+}
+
+// Problem is an unmatched or mismatched MPI call found during matching.
+type Problem struct {
+	Kind   string
+	Detail string
+}
+
+// Timing is the stage breakdown of a verification run (Table IV).
+type Timing struct {
+	ReadTrace       time.Duration
+	DetectConflicts time.Duration
+	BuildGraph      time.Duration
+	VectorClock     time.Duration
+	Verification    time.Duration
+}
+
+// Total sums all stages.
+func (t Timing) Total() time.Duration {
+	return t.ReadTrace + t.DetectConflicts + t.BuildGraph + t.VectorClock + t.Verification
+}
+
+// Report is the outcome of verifying a trace against one model.
+type Report struct {
+	Model     Model
+	Algorithm string
+
+	ConflictPairs int64
+	RaceCount     int64
+	Races         []Race
+	Problems      []Problem
+
+	// Verified is false when unmatched MPI calls aborted verification.
+	Verified bool
+	// ProperlySynchronized reports a race-free verified execution.
+	ProperlySynchronized bool
+
+	GraphNodes     int
+	GraphSyncEdges int
+	Timing         Timing
+
+	inner *verify.Report
+}
+
+// Render writes the full human-readable report, including call chains.
+func (r *Report) Render(w io.Writer) { r.inner.Render(w) }
+
+// Summary returns a one-line summary.
+func (r *Report) Summary() string { return r.inner.Summary() }
+
+// MarshalJSON renders the report for tooling (used by `verifyio -json`).
+func (r *Report) MarshalJSON() ([]byte, error) {
+	type alias Report // drop methods to avoid recursion; inner is unexported
+	return json.Marshal((*alias)(r))
+}
+
+func wrapReport(rep *verify.Report) *Report {
+	out := &Report{
+		Model:                Model(normalizeModel(rep.Model)),
+		Algorithm:            rep.Algorithm,
+		ConflictPairs:        rep.ConflictPairs,
+		RaceCount:            rep.RaceCount,
+		Verified:             rep.Verified,
+		ProperlySynchronized: rep.ProperlySynchronized,
+		GraphNodes:           rep.GraphNodes,
+		GraphSyncEdges:       rep.GraphSyncEdges,
+		Timing: Timing{
+			ReadTrace:       rep.Timing.ReadTrace,
+			DetectConflicts: rep.Timing.DetectConflicts,
+			BuildGraph:      rep.Timing.BuildGraph,
+			VectorClock:     rep.Timing.VectorClock,
+			Verification:    rep.Timing.Verification,
+		},
+		inner: rep,
+	}
+	for _, race := range rep.Races {
+		out.Races = append(out.Races, Race{
+			File:  race.File,
+			FuncX: race.FuncX, FuncY: race.FuncY,
+			RankX: race.X.Ref.Rank, RankY: race.Y.Ref.Rank,
+			StartX: race.X.Start, EndX: race.X.End,
+			StartY: race.Y.Start, EndY: race.Y.End,
+			ChainX: race.ChainX, ChainY: race.ChainY,
+			Level: race.Level(),
+		})
+	}
+	for _, p := range rep.Problems {
+		out.Problems = append(out.Problems, Problem{Kind: p.Kind.String(), Detail: p.Detail})
+	}
+	return out
+}
+
+func normalizeModel(name string) string {
+	switch name {
+	case "POSIX":
+		return string(POSIX)
+	case "Commit":
+		return string(Commit)
+	case "Session":
+		return string(Session)
+	case "MPI-IO":
+		return string(MPIIO)
+	}
+	return name
+}
+
+// Diagnosis is the automated root-cause analysis of one race (§V): who is
+// responsible and what fix the model asks for.
+type Diagnosis struct {
+	Race Race
+	// Category is "unordered-conflict", "missing-sync-construct", or
+	// "library-internal-conflict".
+	Category string
+	// Responsible is "application" or a library name.
+	Responsible string
+	// Suggestion is the model-specific remediation.
+	Suggestion string
+}
+
+// Diagnose verifies the trace under the model and classifies every detailed
+// race: whether the accesses lack any ordering (application must add MPI
+// synchronization), lack only the model's synchronization construct
+// (application adds fsync / close-open / sync-barrier-sync), or stem from
+// library-internal I/O the application cannot see (library-level fix).
+func Diagnose(t *Trace, model Model, opts *Options) (*Report, []Diagnosis, error) {
+	m, err := model.resolve()
+	if err != nil {
+		return nil, nil, err
+	}
+	algo, err := opts.algo()
+	if err != nil {
+		return nil, nil, err
+	}
+	a, err := verify.Analyze(t.t, algo)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep, err := a.Verify(opts.verifyOptions(m))
+	if err != nil {
+		return nil, nil, err
+	}
+	var out []Diagnosis
+	for _, d := range a.Diagnose(rep, m) {
+		out = append(out, Diagnosis{
+			Race:        wrapReport(rep).raceFor(d.Race),
+			Category:    d.Category.String(),
+			Responsible: d.Responsible,
+			Suggestion:  d.Suggestion,
+		})
+	}
+	return wrapReport(rep), out, nil
+}
+
+// raceFor converts an internal race to the public form (helper for
+// Diagnose; details match the Races slice entries).
+func (r *Report) raceFor(race verify.Race) Race {
+	return Race{
+		File:  race.File,
+		FuncX: race.FuncX, FuncY: race.FuncY,
+		RankX: race.X.Ref.Rank, RankY: race.Y.Ref.Rank,
+		StartX: race.X.Start, EndX: race.X.End,
+		StartY: race.Y.Start, EndY: race.Y.End,
+		ChainX: race.ChainX, ChainY: race.ChainY,
+		Level: race.Level(),
+	}
+}
+
+// Verify runs steps 2–4 of the workflow on a trace for one model.
+func Verify(t *Trace, model Model, opts *Options) (*Report, error) {
+	m, err := model.resolve()
+	if err != nil {
+		return nil, err
+	}
+	algo, err := opts.algo()
+	if err != nil {
+		return nil, err
+	}
+	rep, err := verify.Run(t.t, func() verify.Options {
+		vo := opts.verifyOptions(m)
+		vo.Algo = algo
+		return vo
+	}())
+	if err != nil {
+		return nil, err
+	}
+	return wrapReport(rep), nil
+}
+
+// VerifyAll verifies a trace against all four models, sharing the conflict
+// detection, MPI matching and happens-before construction across them.
+func VerifyAll(t *Trace, opts *Options) ([]*Report, error) {
+	algo, err := opts.algo()
+	if err != nil {
+		return nil, err
+	}
+	a, err := verify.Analyze(t.t, algo)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Report
+	for _, m := range semantics.All() {
+		rep, err := a.Verify(opts.verifyOptions(m))
+		if err != nil {
+			return nil, fmt.Errorf("verifyio: model %s: %w", m.Name, err)
+		}
+		out = append(out, wrapReport(rep))
+	}
+	return out, nil
+}

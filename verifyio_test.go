@@ -1,0 +1,164 @@
+package verifyio
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestModelsOrder(t *testing.T) {
+	got := Models()
+	want := []Model{POSIX, Commit, Session, MPIIO}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Models()[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCorpusListing(t *testing.T) {
+	names := CorpusTests()
+	if len(names) != 91 {
+		t.Fatalf("CorpusTests = %d entries, want 91", len(names))
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		seen[n] = true
+	}
+	for _, n := range []string{"parallel5", "flexible", "null_args", "shapesame", "collective_error"} {
+		if !seen[n] {
+			t.Errorf("corpus missing named test %s", n)
+		}
+	}
+}
+
+func TestRunAndVerifyFlexible(t *testing.T) {
+	tr, err := RunCorpusTest("flexible")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumRanks() != 4 || tr.NumRecords() == 0 {
+		t.Fatalf("trace shape: ranks=%d records=%d", tr.NumRanks(), tr.NumRecords())
+	}
+	if tr.Meta("program") != "flexible" {
+		t.Errorf("meta program = %q", tr.Meta("program"))
+	}
+	reports, err := VerifyAll(tr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 4 {
+		t.Fatalf("reports = %d", len(reports))
+	}
+	byModel := map[Model]*Report{}
+	for _, rep := range reports {
+		byModel[rep.Model] = rep
+	}
+	if !byModel[POSIX].ProperlySynchronized {
+		t.Error("flexible should be properly synchronized under POSIX")
+	}
+	for _, m := range []Model{Commit, Session, MPIIO} {
+		if byModel[m].RaceCount == 0 {
+			t.Errorf("flexible should race under %s", m)
+		}
+	}
+	// Race details carry attribution data.
+	race := byModel[MPIIO].Races[0]
+	if race.File == "" || len(race.ChainX) == 0 || race.Level == "" {
+		t.Errorf("race detail incomplete: %+v", race)
+	}
+}
+
+func TestVerifySingleModelAndRender(t *testing.T) {
+	tr, err := RunCorpusTest("parallel5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Verify(tr, POSIX, &Options{Algorithm: "vector-clock"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RaceCount == 0 || rep.ProperlySynchronized {
+		t.Fatalf("parallel5 under POSIX: races=%d", rep.RaceCount)
+	}
+	var buf bytes.Buffer
+	rep.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"DATA RACES", "nc_put_var_schar", "pwrite"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered report missing %q", want)
+		}
+	}
+	if !strings.Contains(rep.Summary(), "data races") {
+		t.Errorf("summary = %q", rep.Summary())
+	}
+}
+
+func TestTraceDirRoundTrip(t *testing.T) {
+	tr, err := RunCorpusTest("record")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "trace")
+	if err := tr.WriteDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTraceDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRecords() != tr.NumRecords() {
+		t.Fatalf("round trip records %d != %d", back.NumRecords(), tr.NumRecords())
+	}
+	// Verification of the reloaded trace gives identical verdicts.
+	a, err := VerifyAll(tr, &Options{Algorithm: "vector-clock"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := VerifyAll(back, &Options{Algorithm: "vector-clock"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].RaceCount != b[i].RaceCount {
+			t.Errorf("%s: %d races before, %d after round trip", a[i].Model, a[i].RaceCount, b[i].RaceCount)
+		}
+	}
+}
+
+func TestUnmatchedReportSurface(t *testing.T) {
+	tr, err := RunCorpusTest("collective_error")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Verify(tr, MPIIO, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verified {
+		t.Fatal("collective_error must abort verification")
+	}
+	if len(rep.Problems) == 0 || rep.Problems[0].Kind == "" {
+		t.Fatalf("problems = %+v", rep.Problems)
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	if _, err := RunCorpusTest("nope"); err == nil {
+		t.Error("RunCorpusTest accepted unknown test")
+	}
+	tr, err := RunCorpusTest("scalar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Verify(tr, Model("strict"), nil); err == nil {
+		t.Error("Verify accepted unknown model")
+	}
+	if _, err := Verify(tr, POSIX, &Options{Algorithm: "quantum"}); err == nil {
+		t.Error("Verify accepted unknown algorithm")
+	}
+	if _, err := ReadTraceDir(t.TempDir()); err == nil {
+		t.Error("ReadTraceDir accepted empty dir")
+	}
+}

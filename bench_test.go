@@ -13,6 +13,7 @@ package verifyio
 
 import (
 	"bytes"
+	"fmt"
 	"testing"
 
 	"verifyio/internal/corpus"
@@ -263,6 +264,60 @@ func BenchmarkFig6_HDF5Pattern(b *testing.B) {
 				}
 				if got := row.Races[3] > 0; got != variant.wantRace {
 					b.Fatalf("%s MPI-IO racy = %v, want %v", variant.test, got, variant.wantRace)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkVerifyParallel measures the sharded verification engine's
+// scaling on the conflict-heaviest corpus trace: the same model pass at
+// 1/2/4/8 workers (Workers=1 is the serial path). Race counts are asserted
+// identical across worker counts, so the speedup is for bit-identical
+// output.
+func BenchmarkVerifyParallel(b *testing.B) {
+	tr := corpusTrace(b, "pmulti_dset")
+	a, err := verify.Analyze(tr, verify.AlgoVectorClock)
+	if err != nil {
+		b.Fatal(err)
+	}
+	model := semantics.MPIIOModel()
+	var races int64 = -1
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rep, err := a.Verify(verify.Options{Model: model, Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if races < 0 {
+					races = rep.RaceCount
+				} else if rep.RaceCount != races {
+					b.Fatalf("workers=%d changed the race count: %d vs %d", workers, rep.RaceCount, races)
+				}
+			}
+			b.ReportMetric(float64(races), "races")
+		})
+	}
+}
+
+// BenchmarkVerifyAllParallel measures the concurrent multi-model pass (all
+// four models over one shared analysis) against the serial loop.
+func BenchmarkVerifyAllParallel(b *testing.B) {
+	tr := corpusTrace(b, "pmulti_dset")
+	a, err := verify.Analyze(tr, verify.AlgoVectorClock)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				reps, err := a.VerifyAll(semantics.All(), verify.Options{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(reps) != 4 {
+					b.Fatal("missing model reports")
 				}
 			}
 		})

@@ -44,10 +44,12 @@ type artifact struct {
 
 func run() int {
 	var (
-		out  = flag.String("out", "results", "output directory for the artifacts")
-		only = flag.String("only", "", "comma-separated subset (table1,table2,table3,table4,fig3,fig4)")
+		out     = flag.String("out", "results", "output directory for the artifacts")
+		only    = flag.String("only", "", "comma-separated subset (table1,table2,table3,table4,fig3,fig4)")
+		workers = flag.Int("workers", 0, "verification worker goroutines (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
+	vopts := verify.Options{Workers: *workers}
 
 	// fig4 is computed once and shared with table3/table4.
 	var rows []*corpus.Row
@@ -56,7 +58,7 @@ func run() int {
 			return rows, nil
 		}
 		for _, tc := range corpus.Tests() {
-			row, err := corpus.Verify(tc, verify.AlgoVectorClock)
+			row, err := corpus.VerifyOpts(tc, verify.AlgoVectorClock, vopts)
 			if err != nil {
 				return nil, err
 			}
@@ -70,8 +72,8 @@ func run() int {
 		{"table2", table2},
 		{"fig4", func(w io.Writer) error { return fig4(w, rowsOnce) }},
 		{"table3", func(w io.Writer) error { return table3(w, rowsOnce) }},
-		{"table4", table4},
-		{"fig3", fig3},
+		{"table4", func(w io.Writer) error { return table4(w, vopts) }},
+		{"fig3", func(w io.Writer) error { return fig3(w, vopts) }},
 	}
 
 	want := map[string]bool{}
@@ -196,7 +198,7 @@ func table3(w io.Writer, rowsOnce func() ([]*corpus.Row, error)) error {
 }
 
 // table4 prints the stage-time breakdown of the three slowest tests.
-func table4(w io.Writer) error {
+func table4(w io.Writer, vopts verify.Options) error {
 	names := []string{"nc4perf", "cache", "pmulti_dset"}
 	type breakdown struct {
 		name   string
@@ -240,7 +242,9 @@ func table4(w io.Writer) error {
 		// verifies each model; we report the aggregate pass).
 		var vtime time.Duration
 		for _, m := range semantics.All() {
-			rep, err := a.Verify(verify.Options{Model: m})
+			o := vopts
+			o.Model = m
+			rep, err := a.Verify(o)
 			if err != nil {
 				return err
 			}
@@ -287,7 +291,7 @@ func table4(w io.Writer) error {
 
 // fig3 prints the pruning ablation: properly-synchronized checks performed
 // with and without the four pruning rules, per racy test.
-func fig3(w io.Writer) error {
+func fig3(w io.Writer, vopts verify.Options) error {
 	names := []string{"shapesame", "pmulti_dset", "nc4perf", "interleaved"}
 	fmt.Fprintf(w, "%-16s %12s %14s %14s %8s\n", "test", "conflicts", "checks(prune)", "checks(full)", "saving")
 	for _, name := range names {
@@ -303,12 +307,14 @@ func fig3(w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		model := semantics.MPIIOModel()
-		pruned, err := a.Verify(verify.Options{Model: model})
+		o := vopts
+		o.Model = semantics.MPIIOModel()
+		pruned, err := a.Verify(o)
 		if err != nil {
 			return err
 		}
-		full, err := a.Verify(verify.Options{Model: model, DisablePruning: true})
+		o.DisablePruning = true
+		full, err := a.Verify(o)
 		if err != nil {
 			return err
 		}

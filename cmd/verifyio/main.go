@@ -6,7 +6,7 @@
 //
 //	verifyio -trace DIR [-model posix|commit|session|mpi-io|all]
 //	         [-algorithm auto|vector-clock|reachability|transitive-closure|on-the-fly]
-//	         [-no-pruning] [-max-races N] [-details]
+//	         [-workers N] [-no-pruning] [-max-races N] [-details]
 //
 // Exit status: 0 when every verified model is properly synchronized, 1 when
 // data races were found, 2 when verification aborted on unmatched MPI calls
@@ -34,6 +34,7 @@ func run() int {
 		model     = flag.String("model", "all", "consistency model: posix, commit, session, mpi-io, or all")
 		algorithm = flag.String("algorithm", "auto", "happens-before algorithm")
 		noPrune   = flag.Bool("no-pruning", false, "disable conflict-group pruning (Fig. 3)")
+		workers   = flag.Int("workers", 0, "verification worker goroutines (0 = GOMAXPROCS, 1 = serial)")
 		maxRaces  = flag.Int("max-races", 16, "maximum races reported in detail")
 		details   = flag.Bool("details", false, "print full reports with call chains")
 		diagnose  = flag.Bool("diagnose", false, "classify each race and suggest a fix")
@@ -76,6 +77,7 @@ func run() int {
 		Algorithm:      *algorithm,
 		DisablePruning: *noPrune,
 		MaxRaceDetails: *maxRaces,
+		Workers:        *workers,
 	}
 
 	var reports []*verifyio.Report

@@ -116,6 +116,13 @@ type Row struct {
 
 // Verify runs the full pipeline on one test against all four models.
 func Verify(t Test, algo verify.Algo) (*Row, error) {
+	return VerifyOpts(t, algo, verify.Options{})
+}
+
+// VerifyOpts is Verify with explicit verification options (opts.Model is
+// set per model pass; opts.Workers > 1 verifies groups and models in
+// parallel).
+func VerifyOpts(t Test, algo verify.Algo, opts verify.Options) (*Row, error) {
 	tr, err := Run(t)
 	if err != nil {
 		return nil, err
@@ -124,7 +131,7 @@ func Verify(t Test, algo verify.Algo) (*Row, error) {
 	if err != nil {
 		return nil, fmt.Errorf("corpus: %s: %w", t.Name, err)
 	}
-	reps, err := a.VerifyAll(semantics.All(), verify.Options{})
+	reps, err := a.VerifyAll(semantics.All(), opts)
 	if err != nil {
 		return nil, fmt.Errorf("corpus: %s: %w", t.Name, err)
 	}

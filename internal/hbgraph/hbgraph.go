@@ -120,21 +120,20 @@ func (g *Graph) TopoOrder() ([]int32, error) {
 	for id := int32(0); id < int32(g.n); id++ {
 		g.forEachSucc(id, func(s int32) { indeg[s]++ })
 	}
-	queue := make([]int32, 0, g.n)
+	// The queue doubles as the order: every node is appended exactly once,
+	// and a head cursor pops without re-slicing (queue[1:] would pin the
+	// whole backing array while shrinking the visible window).
+	order := make([]int32, 0, g.n)
 	for id := int32(0); id < int32(g.n); id++ {
 		if indeg[id] == 0 {
-			queue = append(queue, id)
+			order = append(order, id)
 		}
 	}
-	order := make([]int32, 0, g.n)
-	for len(queue) > 0 {
-		id := queue[0]
-		queue = queue[1:]
-		order = append(order, id)
-		g.forEachSucc(id, func(s int32) {
+	for head := 0; head < len(order); head++ {
+		g.forEachSucc(order[head], func(s int32) {
 			indeg[s]--
 			if indeg[s] == 0 {
-				queue = append(queue, s)
+				order = append(order, s)
 			}
 		})
 	}
@@ -146,6 +145,10 @@ func (g *Graph) TopoOrder() ([]int32, error) {
 
 // Oracle answers happens-before queries. HB(a, b) reports whether a
 // happens-before b (strictly: a ≠ b and there is a path a → b).
+//
+// Implementations must be safe for concurrent HB calls once constructed —
+// the parallel verifier shares one oracle across all its workers and model
+// passes.
 type Oracle interface {
 	HB(a, b trace.Ref) bool
 	Name() string

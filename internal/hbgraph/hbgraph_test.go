@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -291,8 +292,8 @@ func TestDeterministicTopoOrder(t *testing.T) {
 }
 
 func TestVectorClockMemoryShape(t *testing.T) {
-	// A regression guard on clock dimensions: one entry per rank, one
-	// clock per node.
+	// A regression guard on the flat clock layout: one int32 per
+	// (node, rank) pair in a single node-major slice.
 	tr := mkTrace(5, 3)
 	g, err := Build(tr, nil)
 	if err != nil {
@@ -302,16 +303,119 @@ func TestVectorClockMemoryShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(vc.clocks) != 8 {
-		t.Fatalf("clocks = %d, want 8", len(vc.clocks))
+	if vc.nranks != 2 {
+		t.Fatalf("nranks = %d, want 2", vc.nranks)
 	}
-	for id, c := range vc.clocks {
-		if len(c) != 2 {
-			t.Fatalf("clock %d has %d entries, want 2 ranks", id, len(c))
+	if len(vc.clocks) != 8*2 {
+		t.Fatalf("clocks = %d entries, want 16 (8 nodes x 2 ranks)", len(vc.clocks))
+	}
+	// Each node knows itself: node 0 is (rank 0, seq 0), node 4 is
+	// (rank 0, seq 4).
+	if vc.clocks[0*2+0] != 0 || vc.clocks[4*2+0] != 4 {
+		t.Errorf("self entries wrong: %v %v", vc.clocks[0*2+0], vc.clocks[4*2+0])
+	}
+}
+
+func TestVectorClockConstructionAllocsFlat(t *testing.T) {
+	// The flat layout allocates a constant number of slices, not one
+	// clock per node.
+	tr := mkTrace(300, 300, 300)
+	g, err := Build(tr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		if _, err := g.VectorClocks(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 16 {
+		t.Errorf("VectorClocks allocated %v objects for 900 nodes; want O(1), not O(V)", allocs)
+	}
+}
+
+func TestBFSOracleEvictionStaysCorrect(t *testing.T) {
+	// A memo budget too small for even one row per stripe forces constant
+	// eviction; answers must not change.
+	tr := mkTrace(6, 6, 6)
+	es := edges([4]int{0, 1, 1, 2}, [4]int{1, 3, 2, 4}, [4]int{2, 0, 0, 4})
+	g, err := Build(tr, es)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref16 := g.Reachability()
+	tiny := g.reachabilityWithBudget(1)
+	for i := range tiny.stripes {
+		if tiny.stripes[i].max < 1 {
+			t.Fatalf("stripe capacity %d, want >= 1", tiny.stripes[i].max)
 		}
 	}
-	// Each node knows itself.
-	if vc.clocks[0][0] != 0 || vc.clocks[4][0] != 4 {
-		t.Errorf("self entries wrong: %v %v", vc.clocks[0], vc.clocks[4])
+	for r1 := 0; r1 < 3; r1++ {
+		for s1 := 0; s1 < 6; s1++ {
+			for r2 := 0; r2 < 3; r2++ {
+				for s2 := 0; s2 < 6; s2++ {
+					a, b := ref(r1, s1), ref(r2, s2)
+					if got, want := tiny.HB(a, b), ref16.HB(a, b); got != want {
+						t.Fatalf("evicting oracle HB(%v,%v) = %v, want %v", a, b, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestOraclesConcurrentQueries hammers every oracle from many goroutines and
+// cross-checks against serial answers — the thread-safety contract the
+// parallel verifier depends on (run under -race).
+func TestOraclesConcurrentQueries(t *testing.T) {
+	tr, es := synthGraph(4, 80, 0.15, 42)
+	g, err := Build(tr, es)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vc, err := g.VectorClocks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc, err := g.TransitiveClosure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range []Oracle{vc, g.Reachability(), tc, NewOnTheFly(tr, es)} {
+		o := o
+		t.Run(o.Name(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(9))
+			queries := make([][2]trace.Ref, 256)
+			want := make([]bool, len(queries))
+			for i := range queries {
+				queries[i] = [2]trace.Ref{
+					ref(rng.Intn(4), rng.Intn(80)),
+					ref(rng.Intn(4), rng.Intn(80)),
+				}
+				want[i] = o.HB(queries[i][0], queries[i][1])
+			}
+			var wg sync.WaitGroup
+			errs := make([]error, 8)
+			for w := 0; w < 8; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for rep := 0; rep < 4; rep++ {
+						for i, q := range queries {
+							if got := o.HB(q[0], q[1]); got != want[i] {
+								errs[w] = fmt.Errorf("HB(%v,%v) = %v under concurrency, want %v", q[0], q[1], got, want[i])
+								return
+							}
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			for _, err := range errs {
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
 	}
 }

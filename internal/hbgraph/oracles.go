@@ -1,20 +1,31 @@
 package hbgraph
 
 import (
+	"container/list"
 	"fmt"
+	"sort"
+	"sync"
 
 	"verifyio/internal/match"
 	"verifyio/internal/trace"
 )
 
+// All oracles are safe for concurrent HB queries once constructed: VCOracle
+// and TCOracle are immutable, BFSOracle guards its memo with striped locks,
+// and OTFOracle keeps per-query state in a sync.Pool. The parallel verifier
+// (internal/verify) relies on this contract.
+
 // ---------------------------------------------------------------------------
 // 1. Vector clocks (§IV-D1)
 
-// VCOracle answers hb queries from precomputed vector clocks: clock[v][r] is
-// the highest sequence index on rank r that happens-before-or-equals v.
+// VCOracle answers hb queries from precomputed vector clocks: the clock entry
+// (v, r) is the highest sequence index on rank r that happens-before-or-equals
+// v. Clocks live in one flat node-major []int32 — a single allocation instead
+// of one slice per node, and adjacent nodes' clocks share cache lines.
 type VCOracle struct {
 	g      *Graph
-	clocks [][]int32 // node id -> per-rank clock (-1 = nothing known)
+	nranks int
+	clocks []int32 // len n*nranks; clocks[id*nranks+r] (-1 = nothing known)
 }
 
 // VectorClocks computes vector clocks by propagating along a topological
@@ -25,24 +36,24 @@ func (g *Graph) VectorClocks() (*VCOracle, error) {
 		return nil, err
 	}
 	nranks := len(g.counts)
-	clocks := make([][]int32, g.n)
+	clocks := make([]int32, g.n*nranks)
+	for i := range clocks {
+		clocks[i] = -1
+	}
 	for _, id := range order {
-		c := make([]int32, nranks)
-		for i := range c {
-			c[i] = -1
-		}
+		c := clocks[int(id)*nranks : (int(id)+1)*nranks]
 		ref := g.ref(id)
 		c[ref.Rank] = int32(ref.Seq)
 		g.forEachPred(id, func(p int32) {
-			for r, v := range clocks[p] {
+			pc := clocks[int(p)*nranks : (int(p)+1)*nranks]
+			for r, v := range pc {
 				if v > c[r] {
 					c[r] = v
 				}
 			}
 		})
-		clocks[id] = c
 	}
-	return &VCOracle{g: g, clocks: clocks}, nil
+	return &VCOracle{g: g, nranks: nranks, clocks: clocks}, nil
 }
 
 // HB reports whether a happens-before b.
@@ -54,12 +65,10 @@ func (o *VCOracle) HB(a, b trace.Ref) bool {
 	if !ok {
 		return false
 	}
-	aid, ok := o.g.id(a)
-	if !ok {
+	if _, ok := o.g.id(a); !ok {
 		return false
 	}
-	_ = aid
-	return o.clocks[bid][a.Rank] >= int32(a.Seq)
+	return o.clocks[int(bid)*o.nranks+a.Rank] >= int32(a.Seq)
 }
 
 // Name identifies the algorithm.
@@ -68,16 +77,57 @@ func (o *VCOracle) Name() string { return "vector-clock" }
 // ---------------------------------------------------------------------------
 // 2. Graph reachability (§IV-D2)
 
+// bfsMemoBudget bounds the memory held by BFSOracle's memoized reachability
+// rows (bitsets, not the O(V) []bool rows of the naive memo).
+const bfsMemoBudget = 32 << 20
+
+// bfsStripes is the lock-striping factor: queries for different source nodes
+// contend only within their stripe.
+const bfsStripes = 16
+
 // BFSOracle answers hb queries by forward breadth-first search, memoizing
-// visited sets per source.
+// reachability bitsets per source node in a bounded, mutex-striped LRU.
 type BFSOracle struct {
-	g    *Graph
-	memo map[int32][]bool
+	g       *Graph
+	words   int
+	stripes [bfsStripes]bfsStripe
 }
 
-// Reachability returns a BFS-based oracle.
+type bfsStripe struct {
+	mu  sync.Mutex
+	max int                     // row capacity of this stripe
+	by  map[int32]*list.Element // source node -> LRU element
+	lru *list.List              // front = most recently used; values are *bfsRow
+}
+
+type bfsRow struct {
+	id   int32
+	bits []uint64
+}
+
+// Reachability returns a BFS-based oracle with the default memo budget.
 func (g *Graph) Reachability() *BFSOracle {
-	return &BFSOracle{g: g, memo: make(map[int32][]bool)}
+	return g.reachabilityWithBudget(bfsMemoBudget)
+}
+
+// reachabilityWithBudget is the constructor with an explicit memo budget in
+// bytes (tests shrink it to force eviction).
+func (g *Graph) reachabilityWithBudget(budget int) *BFSOracle {
+	o := &BFSOracle{g: g, words: (g.n + 63) / 64}
+	rowBytes := 8 * o.words
+	if rowBytes == 0 {
+		rowBytes = 8
+	}
+	maxRows := budget / rowBytes
+	if maxRows < bfsStripes {
+		maxRows = bfsStripes
+	}
+	for i := range o.stripes {
+		o.stripes[i].max = maxRows / bfsStripes
+		o.stripes[i].by = make(map[int32]*list.Element)
+		o.stripes[i].lru = list.New()
+	}
+	return o
 }
 
 // HB reports whether a happens-before b.
@@ -90,23 +140,57 @@ func (o *BFSOracle) HB(a, b trace.Ref) bool {
 	if !ok1 || !ok2 {
 		return false
 	}
-	seen, ok := o.memo[aid]
-	if !ok {
-		seen = make([]bool, o.g.n)
-		queue := []int32{aid}
-		for len(queue) > 0 {
-			id := queue[0]
-			queue = queue[1:]
-			o.g.forEachSucc(id, func(s int32) {
-				if !seen[s] {
-					seen[s] = true
-					queue = append(queue, s)
-				}
-			})
-		}
-		o.memo[aid] = seen
+	bits := o.row(aid)
+	return bits[int(bid)/64]&(1<<(uint(bid)%64)) != 0
+}
+
+// row returns the reachability bitset for source id, computing and caching it
+// on a miss. Two goroutines missing on the same source may both run the BFS;
+// the duplicate work is bounded and the cached result is identical.
+func (o *BFSOracle) row(id int32) []uint64 {
+	s := &o.stripes[int(id)%bfsStripes]
+	s.mu.Lock()
+	if el, ok := s.by[id]; ok {
+		s.lru.MoveToFront(el)
+		bits := el.Value.(*bfsRow).bits
+		s.mu.Unlock()
+		return bits
 	}
-	return seen[bid]
+	s.mu.Unlock()
+
+	bits := o.computeRow(id)
+
+	s.mu.Lock()
+	if el, ok := s.by[id]; ok {
+		// Lost the race to another goroutine; keep its row.
+		s.lru.MoveToFront(el)
+		bits = el.Value.(*bfsRow).bits
+	} else {
+		s.by[id] = s.lru.PushFront(&bfsRow{id: id, bits: bits})
+		for s.lru.Len() > s.max {
+			old := s.lru.Remove(s.lru.Back()).(*bfsRow)
+			delete(s.by, old.id)
+		}
+	}
+	s.mu.Unlock()
+	return bits
+}
+
+// computeRow runs the forward BFS from id into a fresh bitset.
+func (o *BFSOracle) computeRow(id int32) []uint64 {
+	bits := make([]uint64, o.words)
+	queue := make([]int32, 1, 64)
+	queue[0] = id
+	for head := 0; head < len(queue); head++ {
+		o.g.forEachSucc(queue[head], func(s int32) {
+			w, m := int(s)/64, uint64(1)<<(uint(s)%64)
+			if bits[w]&m == 0 {
+				bits[w] |= m
+				queue = append(queue, s)
+			}
+		})
+	}
+	return bits
 }
 
 // Name identifies the algorithm.
@@ -175,13 +259,16 @@ func (o *TCOracle) Name() string { return "transitive-closure" }
 // OTFOracle answers hb queries straight from the matched synchronization
 // edges, without building the happens-before graph: per query it propagates
 // a per-rank "earliest reachable sequence" frontier across the edge list
-// until fixpoint.
+// until fixpoint. Frontier buffers are pooled across queries, and each
+// relaxation pass binary-searches the seq-sorted per-rank edge list instead
+// of scanning edges below the frontier.
 type OTFOracle struct {
 	nranks int
 	counts []int
 	// edgesByRank[r] holds the sync edges originating on rank r, sorted
 	// by source sequence.
 	edgesByRank [][]match.Edge
+	frontiers   sync.Pool // *[]int scratch, len nranks
 }
 
 // NewOnTheFly builds the on-the-fly oracle from the matcher output alone.
@@ -191,6 +278,10 @@ func NewOnTheFly(tr *trace.Trace, edges []match.Edge) *OTFOracle {
 		counts:      make([]int, tr.NumRanks()),
 		edgesByRank: make([][]match.Edge, tr.NumRanks()),
 	}
+	o.frontiers.New = func() any {
+		buf := make([]int, o.nranks)
+		return &buf
+	}
 	for rank, recs := range tr.Ranks {
 		o.counts[rank] = len(recs)
 	}
@@ -198,6 +289,14 @@ func NewOnTheFly(tr *trace.Trace, edges []match.Edge) *OTFOracle {
 		if e.From.Rank >= 0 && e.From.Rank < o.nranks {
 			o.edgesByRank[e.From.Rank] = append(o.edgesByRank[e.From.Rank], e)
 		}
+	}
+	for _, es := range o.edgesByRank {
+		sort.Slice(es, func(i, j int) bool {
+			if es[i].From.Seq != es[j].From.Seq {
+				return es[i].From.Seq < es[j].From.Seq
+			}
+			return es[i].To.Less(es[j].To)
+		})
 	}
 	return o
 }
@@ -213,24 +312,26 @@ func (o *OTFOracle) HB(a, b trace.Ref) bool {
 	// earliest[r]: smallest sequence on rank r known to be hb-after a
 	// (math.MaxInt when none).
 	const inf = int(^uint(0) >> 1)
-	earliest := make([]int, o.nranks)
+	ep := o.frontiers.Get().(*[]int)
+	earliest := *ep
 	for i := range earliest {
 		earliest[i] = inf
 	}
 	earliest[a.Rank] = a.Seq
 	// Relax sync edges to fixpoint: an edge (u → v) applies when u is at
 	// or after the frontier on its rank, and pulls v's rank's frontier
-	// down to v's sequence. Program order is implicit in the ≥ test.
+	// down to v's sequence. Program order is implicit in the ≥ test, so
+	// only the sorted suffix starting at the frontier can apply.
 	for changed := true; changed; {
 		changed = false
 		for r := 0; r < o.nranks; r++ {
 			if earliest[r] == inf {
 				continue
 			}
-			for _, e := range o.edgesByRank[r] {
-				if e.From.Seq < earliest[r] {
-					continue
-				}
+			es := o.edgesByRank[r]
+			at := earliest[r]
+			i := sort.Search(len(es), func(i int) bool { return es[i].From.Seq >= at })
+			for _, e := range es[i:] {
 				if e.To.Seq < earliest[e.To.Rank] {
 					earliest[e.To.Rank] = e.To.Seq
 					changed = true
@@ -238,7 +339,9 @@ func (o *OTFOracle) HB(a, b trace.Ref) bool {
 			}
 		}
 	}
-	return earliest[b.Rank] <= b.Seq
+	res := earliest[b.Rank] <= b.Seq
+	o.frontiers.Put(ep)
+	return res
 }
 
 // Name identifies the algorithm.

@@ -12,6 +12,9 @@ import (
 func (r *Report) Render(w io.Writer) {
 	fmt.Fprintf(w, "model:            %s\n", r.Model)
 	fmt.Fprintf(w, "algorithm:        %s\n", r.Algorithm)
+	if r.Workers > 0 {
+		fmt.Fprintf(w, "workers:          %d\n", r.Workers)
+	}
 	fmt.Fprintf(w, "ranks:            %d\n", r.Ranks)
 	fmt.Fprintf(w, "trace records:    %d\n", r.Records)
 	if r.GraphNodes > 0 {

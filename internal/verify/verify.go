@@ -2,7 +2,10 @@ package verify
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"verifyio/internal/conflict"
@@ -31,6 +34,11 @@ type Options struct {
 	// the generic MSC search instead of the Table I shape fast paths
 	// (cross-validation and custom-model testing).
 	DisableFastPaths bool
+	// Workers is the number of goroutines used to verify conflict groups
+	// (and, in VerifyAll, to run models concurrently). 0 means
+	// GOMAXPROCS; 1 keeps the serial path. Results are independent of the
+	// worker count.
+	Workers int
 }
 
 // Race is one data race (Def. 7): a conflicting pair with no
@@ -91,9 +99,12 @@ type Report struct {
 	// ChecksPerformed counts properly-synchronized evaluations — the
 	// quantity the Fig. 3 pruning reduces.
 	ChecksPerformed int64
-	GraphNodes      int
-	GraphSyncEdges  int
-	Timing          Timing
+	// Workers is the worker count the verification stage actually ran
+	// with (after the GOMAXPROCS default is resolved).
+	Workers        int
+	GraphNodes     int
+	GraphSyncEdges int
+	Timing         Timing
 }
 
 // Run performs the whole pipeline (steps 2–4) on a trace for one model.
@@ -113,6 +124,9 @@ func (a *Analysis) Verify(opts Options) (*Report, error) {
 	if opts.MaxRaceDetails == 0 {
 		opts.MaxRaceDetails = 256
 	}
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
 	rep := &Report{
 		Model:         opts.Model.Name,
 		Algorithm:     a.Algorithm.String(),
@@ -120,6 +134,7 @@ func (a *Analysis) Verify(opts Options) (*Report, error) {
 		Records:       a.Trace.NumRecords(),
 		ConflictPairs: a.Conflicts.Pairs,
 		Problems:      a.Match.Problems,
+		Workers:       opts.Workers,
 		Timing:        a.Timing,
 	}
 	if a.Graph != nil {
@@ -133,8 +148,17 @@ func (a *Analysis) Verify(opts Options) (*Report, error) {
 		return rep, nil
 	}
 	start := time.Now()
-	v := &verifier{a: a, opts: opts, rep: rep, idx: buildSyncIndex(a.Conflicts, opts.Model)}
-	v.verifyGroups()
+	v := &verifier{a: a, opts: opts, idx: buildSyncIndex(a.Conflicts, opts.Model)}
+	if opts.Workers > 1 && len(a.Conflicts.Groups) > 1 {
+		v.verifyGroupsParallel(opts.Workers)
+	} else {
+		v.verifyGroups(0, len(a.Conflicts.Groups))
+	}
+	rep.RaceCount = v.raceCount
+	for _, p := range v.pairs {
+		rep.Races = append(rep.Races, v.makeRace(p))
+	}
+	rep.ChecksPerformed = v.checks
 	rep.Timing.Verification = time.Since(start)
 	rep.Verified = true
 	rep.ProperlySynchronized = rep.RaceCount == 0
@@ -182,11 +206,14 @@ func buildSyncIndex(conf *conflict.Result, model semantics.Model) *syncIndex {
 		}
 	}
 	// conflict.Result.Syncs is produced rank-major in seq order, so the
-	// per-rank lists are already sorted; keep the invariant explicit.
+	// per-rank lists are already sorted; the guard keeps the invariant
+	// cheap to hold and safe if a future producer violates it.
 	for c := 0; c < k; c++ {
 		for _, byRank := range idx.perRank[c] {
 			for _, seqs := range byRank {
-				sort.Ints(seqs)
+				if !sort.IntsAreSorted(seqs) {
+					sort.Ints(seqs)
+				}
 			}
 		}
 	}
@@ -212,16 +239,31 @@ func lastBefore(seqs []int, s int) int {
 	return seqs[i-1]
 }
 
+// verifier checks conflict groups and accumulates races locally. The shared
+// fields (a, opts, idx) are read-only during verification, so shards of the
+// parallel path copy them and write only their own accumulators.
 type verifier struct {
 	a    *Analysis
 	opts Options
-	rep  *Report
 	idx  *syncIndex
+
+	// Accumulators: merged into the Report after verification. Pairs
+	// carry no call-chain detail — that is materialized once, for the
+	// merged prefix only, so shards never pay for details the cap will
+	// drop.
+	checks    int64
+	raceCount int64
+	pairs     []racePair // first opts.MaxRaceDetails races, discovery order
+}
+
+// racePair is a raced conflict pair awaiting detail materialization.
+type racePair struct {
+	x, y *conflict.Op
 }
 
 // ps implements Def. 6: X properly-synchronizes-before Y.
 func (v *verifier) ps(x, y *conflict.Op) bool {
-	v.rep.ChecksPerformed++
+	v.checks++
 	if !x.Write {
 		// Case 1: a read followed in happens-before order by the
 		// conflicting (write) operation.
@@ -302,12 +344,14 @@ func (v *verifier) edgeOK(kind semantics.EdgeKind, a, b trace.Ref) bool {
 	}
 }
 
-// verifyGroups walks every conflict group and collects races. Each
-// unordered pair appears in two mirrored groups; it is recorded only from
-// the group whose X precedes Y in (rank, seq) order, so counting is exact.
-func (v *verifier) verifyGroups() {
+// verifyGroups walks the conflict groups in [lo, hi) and collects races.
+// Each unordered pair appears in two mirrored groups; it is recorded only
+// from the group whose X precedes Y in (rank, seq) order, so counting is
+// exact. Groups are independent of each other, which is what makes the
+// range a unit of parallel work.
+func (v *verifier) verifyGroups(lo, hi int) {
 	ops := v.a.Conflicts.Ops
-	for gi := range v.a.Conflicts.Groups {
+	for gi := lo; gi < hi; gi++ {
 		g := &v.a.Conflicts.Groups[gi]
 		x := &ops[g.X]
 		ranks := make([]int, 0, len(g.ByRank))
@@ -357,25 +401,88 @@ func (v *verifier) verifyRun(x *conflict.Op, ys []int) {
 	}
 }
 
+// verifyGroupsParallel shards the conflict groups over a worker pool.
+// Workers claim contiguous chunk ranges from an atomic cursor and verify
+// each into a per-chunk verifier; the chunks are then merged in group
+// order, so the detailed-race prefix, the race count and the check count
+// are exactly what the serial walk produces.
+func (v *verifier) verifyGroupsParallel(workers int) {
+	groups := len(v.a.Conflicts.Groups)
+	// A few chunks per worker balances load (group cost varies with run
+	// length) without fragmenting the merge.
+	chunk := (groups + workers*chunksPerWorker - 1) / (workers * chunksPerWorker)
+	if chunk < 1 {
+		chunk = 1
+	}
+	nchunks := (groups + chunk - 1) / chunk
+	shards := make([]verifier, nchunks)
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				c := int(cursor.Add(1)) - 1
+				if c >= nchunks {
+					return
+				}
+				sh := &shards[c]
+				sh.a, sh.opts, sh.idx = v.a, v.opts, v.idx
+				hi := (c + 1) * chunk
+				if hi > groups {
+					hi = groups
+				}
+				sh.verifyGroups(c*chunk, hi)
+			}
+		}()
+	}
+	wg.Wait()
+	// Merge in chunk order = group order: each shard capped its detail at
+	// MaxRaceDetails, which is enough because the global detail prefix
+	// draws at most that many races from any shard's own prefix.
+	for c := range shards {
+		sh := &shards[c]
+		v.checks += sh.checks
+		v.raceCount += sh.raceCount
+		for i := range sh.pairs {
+			if len(v.pairs) >= v.opts.MaxRaceDetails {
+				break
+			}
+			v.pairs = append(v.pairs, sh.pairs[i])
+		}
+	}
+}
+
+// chunksPerWorker oversubscribes the chunk count relative to the worker
+// count so slow chunks don't straggle.
+const chunksPerWorker = 4
+
 func (v *verifier) recordRace(x, y *conflict.Op) {
 	// Mirrored groups: record each unordered pair once.
 	if !x.Ref.Less(y.Ref) {
 		return
 	}
-	v.rep.RaceCount++
-	if len(v.rep.Races) >= v.opts.MaxRaceDetails {
+	v.raceCount++
+	if len(v.pairs) >= v.opts.MaxRaceDetails {
 		return
 	}
-	rx := v.a.Trace.Record(x.Ref)
-	ry := v.a.Trace.Record(y.Ref)
-	v.rep.Races = append(v.rep.Races, Race{
-		X: *x, Y: *y,
-		File:   v.a.Conflicts.PathOf(x.FID),
+	v.pairs = append(v.pairs, racePair{x: x, y: y})
+}
+
+// makeRace materializes the reported detail (paths, call chains) for one
+// raced pair.
+func (v *verifier) makeRace(p racePair) Race {
+	rx := v.a.Trace.Record(p.x.Ref)
+	ry := v.a.Trace.Record(p.y.Ref)
+	return Race{
+		X: *p.x, Y: *p.y,
+		File:   v.a.Conflicts.PathOf(p.x.FID),
 		FuncX:  rx.Func,
 		FuncY:  ry.Func,
 		ChainX: fullChain(rx),
 		ChainY: fullChain(ry),
-	})
+	}
 }
 
 // fullChain returns the call chain with the operation itself appended.
@@ -387,17 +494,40 @@ func fullChain(rec *trace.Record) []string {
 }
 
 // VerifyAll verifies the analysis against every given model, reusing the
-// shared steps.
+// shared steps. With Workers != 1 the models run concurrently: the oracle
+// is read-only after construction and safe for concurrent queries, and each
+// model pass builds its own syncIndex. Report order always follows the
+// models argument.
 func (a *Analysis) VerifyAll(models []semantics.Model, opts Options) ([]*Report, error) {
-	out := make([]*Report, 0, len(models))
-	for _, m := range models {
-		o := opts
-		o.Model = m
-		rep, err := a.Verify(o)
-		if err != nil {
-			return nil, fmt.Errorf("verify: model %s: %w", m.Name, err)
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	out := make([]*Report, len(models))
+	errs := make([]error, len(models))
+	if workers == 1 || len(models) == 1 {
+		for i, m := range models {
+			o := opts
+			o.Model = m
+			out[i], errs[i] = a.Verify(o)
 		}
-		out = append(out, rep)
+	} else {
+		var wg sync.WaitGroup
+		for i, m := range models {
+			wg.Add(1)
+			go func(i int, m semantics.Model) {
+				defer wg.Done()
+				o := opts
+				o.Model = m
+				out[i], errs[i] = a.Verify(o)
+			}(i, m)
+		}
+		wg.Wait()
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("verify: model %s: %w", models[i].Name, err)
+		}
 	}
 	return out, nil
 }

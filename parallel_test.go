@@ -1,0 +1,107 @@
+package verifyio
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"verifyio/internal/corpus"
+	"verifyio/internal/semantics"
+	"verifyio/internal/trace"
+	"verifyio/internal/verify"
+)
+
+// corpusTraceT runs a corpus test once for a test (the bench harness has
+// the *testing.B twin).
+func corpusTraceT(t *testing.T, name string) *trace.Trace {
+	t.Helper()
+	tc, err := corpus.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := corpus.Run(tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// reportFingerprint marshals a report with its run-varying fields (wall
+// times, worker count) zeroed, leaving races, counts and ordering — the
+// quantities parallel verification must reproduce bit-for-bit.
+func reportFingerprint(t *testing.T, rep *verify.Report) []byte {
+	t.Helper()
+	cp := *rep
+	cp.Timing = verify.Timing{}
+	cp.Workers = 0
+	b, err := json.Marshal(&cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestParallelCorpusDeterminism is the end-to-end determinism gate: on a
+// conflict-heavy corpus trace with real races, Workers=8 must produce a
+// byte-identical JSON report to Workers=1 for every model × algorithm
+// combination.
+func TestParallelCorpusDeterminism(t *testing.T) {
+	tr := corpusTraceT(t, "pmulti_dset")
+	sawRace := false
+	for _, algo := range []verify.Algo{
+		verify.AlgoVectorClock, verify.AlgoReachability,
+		verify.AlgoTransitiveClosure, verify.AlgoOnTheFly,
+	} {
+		a, err := verify.Analyze(tr, algo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial, err := a.VerifyAll(semantics.All(), verify.Options{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		parallel, err := a.VerifyAll(semantics.All(), verify.Options{Workers: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range serial {
+			if serial[i].RaceCount > 0 {
+				sawRace = true
+			}
+			sj := reportFingerprint(t, serial[i])
+			pj := reportFingerprint(t, parallel[i])
+			if !bytes.Equal(sj, pj) {
+				t.Errorf("%s/%s: Workers=8 report differs from Workers=1", algo, serial[i].Model)
+			}
+		}
+	}
+	if !sawRace {
+		t.Fatal("corpus trace produced no races; the determinism test is vacuous")
+	}
+}
+
+// TestPublicAPIWorkers exercises the Workers option through the public
+// surface (what cmd/verifyio plumbs).
+func TestPublicAPIWorkers(t *testing.T) {
+	tr, err := RunCorpusTest("flexible")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := VerifyAll(tr, &Options{Algorithm: "vector-clock", Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := VerifyAll(tr, &Options{Algorithm: "vector-clock", Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		if serial[i].RaceCount != parallel[i].RaceCount {
+			t.Errorf("%s: races %d (serial) vs %d (parallel)",
+				serial[i].Model, serial[i].RaceCount, parallel[i].RaceCount)
+		}
+	}
+	if parallel[0].Workers != 8 {
+		t.Errorf("public report workers = %d, want 8", parallel[0].Workers)
+	}
+}

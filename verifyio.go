@@ -155,6 +155,11 @@ type Options struct {
 	MaxRaceDetails int
 	// ContinueOnUnmatched verifies even when MPI matching found problems.
 	ContinueOnUnmatched bool
+	// Workers is the number of goroutines used to verify conflict groups
+	// (and to run models concurrently in VerifyAll). 0 means GOMAXPROCS;
+	// 1 forces the serial path. Results are independent of the worker
+	// count.
+	Workers int
 }
 
 func (o *Options) algo() (verify.Algo, error) {
@@ -170,6 +175,7 @@ func (o *Options) verifyOptions(m semantics.Model) verify.Options {
 		vo.DisablePruning = o.DisablePruning
 		vo.MaxRaceDetails = o.MaxRaceDetails
 		vo.ContinueOnUnmatched = o.ContinueOnUnmatched
+		vo.Workers = o.Workers
 	}
 	return vo
 }
@@ -225,6 +231,8 @@ type Report struct {
 	// ProperlySynchronized reports a race-free verified execution.
 	ProperlySynchronized bool
 
+	// Workers is the worker count the verification stage ran with.
+	Workers        int
 	GraphNodes     int
 	GraphSyncEdges int
 	Timing         Timing
@@ -252,6 +260,7 @@ func wrapReport(rep *verify.Report) *Report {
 		RaceCount:            rep.RaceCount,
 		Verified:             rep.Verified,
 		ProperlySynchronized: rep.ProperlySynchronized,
+		Workers:              rep.Workers,
 		GraphNodes:           rep.GraphNodes,
 		GraphSyncEdges:       rep.GraphSyncEdges,
 		Timing: Timing{
@@ -377,7 +386,9 @@ func Verify(t *Trace, model Model, opts *Options) (*Report, error) {
 }
 
 // VerifyAll verifies a trace against all four models, sharing the conflict
-// detection, MPI matching and happens-before construction across them.
+// detection, MPI matching and happens-before construction across them. With
+// Options.Workers != 1 the four model passes run concurrently over the
+// shared analysis.
 func VerifyAll(t *Trace, opts *Options) ([]*Report, error) {
 	algo, err := opts.algo()
 	if err != nil {
@@ -387,13 +398,13 @@ func VerifyAll(t *Trace, opts *Options) ([]*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	var out []*Report
-	for _, m := range semantics.All() {
-		rep, err := a.Verify(opts.verifyOptions(m))
-		if err != nil {
-			return nil, fmt.Errorf("verifyio: model %s: %w", m.Name, err)
-		}
-		out = append(out, wrapReport(rep))
+	reps, err := a.VerifyAll(semantics.All(), opts.verifyOptions(semantics.Model{}))
+	if err != nil {
+		return nil, fmt.Errorf("verifyio: %w", err)
+	}
+	out := make([]*Report, len(reps))
+	for i, rep := range reps {
+		out[i] = wrapReport(rep)
 	}
 	return out, nil
 }

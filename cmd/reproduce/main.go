@@ -44,12 +44,14 @@ type artifact struct {
 
 func run() int {
 	var (
-		out     = flag.String("out", "results", "output directory for the artifacts")
-		only    = flag.String("only", "", "comma-separated subset (table1,table2,table3,table4,fig3,fig4)")
-		workers = flag.Int("workers", 0, "verification worker goroutines (0 = GOMAXPROCS, 1 = serial)")
+		out      = flag.String("out", "results", "output directory for the artifacts")
+		only     = flag.String("only", "", "comma-separated subset (table1,table2,table3,table4,fig3,fig4)")
+		workers  = flag.Int("workers", 0, "verification worker goroutines (0 = GOMAXPROCS, 1 = serial)")
+		tolerate = flag.Bool("tolerate", false, "read stored traces leniently, salvaging damaged rank streams")
 	)
 	flag.Parse()
 	vopts := verify.Options{Workers: *workers}
+	dopts := trace.DecodeOptions{Tolerate: *tolerate}
 
 	// fig4 is computed once and shared with table3/table4.
 	var rows []*corpus.Row
@@ -72,7 +74,7 @@ func run() int {
 		{"table2", table2},
 		{"fig4", func(w io.Writer) error { return fig4(w, rowsOnce) }},
 		{"table3", func(w io.Writer) error { return table3(w, rowsOnce) }},
-		{"table4", func(w io.Writer) error { return table4(w, vopts) }},
+		{"table4", func(w io.Writer) error { return table4(w, vopts, dopts) }},
 		{"fig3", func(w io.Writer) error { return fig3(w, vopts) }},
 	}
 
@@ -198,7 +200,7 @@ func table3(w io.Writer, rowsOnce func() ([]*corpus.Row, error)) error {
 }
 
 // table4 prints the stage-time breakdown of the three slowest tests.
-func table4(w io.Writer, vopts verify.Options) error {
+func table4(w io.Writer, vopts verify.Options, dopts trace.DecodeOptions) error {
 	names := []string{"nc4perf", "cache", "pmulti_dset"}
 	type breakdown struct {
 		name   string
@@ -228,7 +230,7 @@ func table4(w io.Writer, vopts verify.Options) error {
 			return err
 		}
 		readStart := time.Now()
-		tr, err = trace.ReadDir(dir)
+		tr, _, err = trace.ReadDirWithOptions(dir, dopts)
 		if err != nil {
 			return err
 		}

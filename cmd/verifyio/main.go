@@ -6,7 +6,7 @@
 //
 //	verifyio -trace DIR [-model posix|commit|session|mpi-io|all]
 //	         [-algorithm auto|vector-clock|reachability|transitive-closure|on-the-fly]
-//	         [-workers N] [-no-pruning] [-max-races N] [-details]
+//	         [-workers N] [-no-pruning] [-max-races N] [-details] [-tolerate]
 //
 // Exit status: 0 when every verified model is properly synchronized, 1 when
 // data races were found, 2 when verification aborted on unmatched MPI calls
@@ -40,6 +40,7 @@ func run() int {
 		diagnose  = flag.Bool("diagnose", false, "classify each race and suggest a fix")
 		dump      = flag.Bool("dump", false, "print the trace as text and exit")
 		jsonOut   = flag.Bool("json", false, "emit the reports as JSON")
+		tolerate  = flag.Bool("tolerate", false, "salvage damaged or truncated rank streams instead of failing")
 	)
 	flag.Parse()
 	if *traceDir == "" {
@@ -48,7 +49,7 @@ func run() int {
 		return 2
 	}
 	if *dump {
-		raw, err := trace.ReadDir(*traceDir)
+		raw, _, err := trace.ReadDirWithOptions(*traceDir, trace.DecodeOptions{Tolerate: *tolerate})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "verifyio: %v\n", err)
 			return 2
@@ -61,7 +62,25 @@ func run() int {
 	}
 
 	start := time.Now()
-	tr, err := verifyio.ReadTraceDir(*traceDir)
+	var tr *verifyio.Trace
+	var err error
+	if *tolerate {
+		var rec *verifyio.Recovery
+		tr, rec, err = verifyio.ReadTraceDirTolerant(*traceDir)
+		if err == nil && !rec.Clean() {
+			for _, rr := range rec.Ranks {
+				dropped := fmt.Sprintf("%d records dropped", rr.Dropped)
+				if rr.Dropped < 0 {
+					dropped = "unknown records dropped"
+				}
+				fmt.Fprintf(os.Stderr, "verifyio: rank %d damaged: %d records salvaged, %s (%s)\n",
+					rr.Rank, rr.Salvaged, dropped, rr.Reason)
+			}
+			fmt.Fprintf(os.Stderr, "verifyio: verifying the salvaged prefix; results cover only the recovered records\n")
+		}
+	} else {
+		tr, err = verifyio.ReadTraceDir(*traceDir)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "verifyio: %v\n", err)
 		return 2

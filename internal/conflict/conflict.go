@@ -20,6 +20,7 @@ package conflict
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
@@ -212,7 +213,11 @@ func Detect(tr *trace.Trace) (*Result, error) {
 				st := lookup(rec.Arg(0))
 				size, okS := rec.IntArg(1)
 				count, okC := rec.IntArg(2)
-				if st == nil || !okS || !okC {
+				// A corrupt record can carry negative fields or a
+				// size*count product past int64: both would poison the
+				// interval index with nonsense ranges.
+				if st == nil || !okS || !okC || size < 0 || count < 0 ||
+					(size > 0 && count > math.MaxInt64/size) {
 					res.Skipped++
 					continue
 				}

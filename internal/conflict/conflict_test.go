@@ -454,3 +454,54 @@ func TestVectorIOMalformedSkipped(t *testing.T) {
 		t.Errorf("skipped=%d ops=%d", res.Skipped, len(res.Ops))
 	}
 }
+
+// TestFwriteOverflowSkipped pins the ingestion-hardening fix: corrupt
+// fread/fwrite records whose size*count is negative or overflows int64 must
+// be counted as skipped, not turned into garbage byte ranges that poison
+// conflict detection.
+func TestFwriteOverflowSkipped(t *testing.T) {
+	cases := []struct {
+		name        string
+		size, count string
+	}{
+		{"negative size", "-4", "10"},
+		{"negative count", "4", "-10"},
+		{"product overflows", "4611686018427387904", "4"}, // 2^62 * 4
+		{"both huge", "9223372036854775807", "9223372036854775807"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tr := buildTrace(2,
+				[]string{"0", "fopen", "f", "w", "s0"},
+				[]string{"0", "fwrite", "s0", tc.size, tc.count},
+				[]string{"1", "fopen", "f", "r", "s1"},
+				[]string{"1", "fread", "s1", tc.size, tc.count},
+			)
+			res, err := Detect(tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Skipped != 2 {
+				t.Errorf("skipped = %d, want 2 (both corrupt records)", res.Skipped)
+			}
+			if len(res.Ops) != 0 {
+				t.Errorf("ops = %v, want none from corrupt records", res.Ops)
+			}
+			if res.Pairs != 0 {
+				t.Errorf("pairs = %d, want 0", res.Pairs)
+			}
+		})
+	}
+	// Boundary sanity: a legitimate maximal product still replays.
+	tr := buildTrace(1,
+		[]string{"0", "fopen", "f", "w", "s0"},
+		[]string{"0", "fwrite", "s0", "4611686018427387903", "2"},
+	)
+	res, err := Detect(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Skipped != 0 || len(res.Ops) != 1 {
+		t.Errorf("legit max-range fwrite skipped: skipped=%d ops=%d", res.Skipped, len(res.Ops))
+	}
+}

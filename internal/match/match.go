@@ -438,12 +438,16 @@ func (m *matcher) scanRank(rank int) {
 
 		case "MPI_Comm_dup":
 			// [parent, new, members]
-			m.registerComm(rec.Arg(1), rec.Arg(2))
+			if err := m.registerComm(rec.Arg(1), rec.Arg(2)); err != nil {
+				malformed(err.Error())
+			}
 			addColl(rec.Arg(0), collEntry{fn: rec.Func, init: ref, completion: ref, rootArg: -1})
 
 		case "MPI_Comm_split":
 			// [parent, color, key, new, members]
-			m.registerComm(rec.Arg(3), rec.Arg(4))
+			if err := m.registerComm(rec.Arg(3), rec.Arg(4)); err != nil {
+				malformed(err.Error())
+			}
 			addColl(rec.Arg(0), collEntry{fn: rec.Func, init: ref, completion: ref, rootArg: -1})
 
 		case "MPI_Ibarrier", "MPI_Iallreduce":
@@ -516,23 +520,29 @@ func (m *matcher) fileComm(rank int, rec *trace.Record, explicit string) string 
 	return "comm-world"
 }
 
-func (m *matcher) registerComm(gid, members string) {
+// registerComm records the membership of a newly created communicator. A
+// malformed creation record is reported, not silently dropped: later
+// collectives on the unregistered communicator would otherwise surface as
+// confusing mismatched/missing-collective problems with no hint that the
+// creation itself was the bad record.
+func (m *matcher) registerComm(gid, members string) error {
 	if gid == "" || members == "" {
-		return
+		return fmt.Errorf("communicator creation missing group id or member list")
 	}
 	if _, ok := m.members[gid]; ok {
-		return
+		return nil
 	}
 	parts := strings.Split(members, ",")
 	ranks := make([]int, 0, len(parts))
 	for _, p := range parts {
 		v, err := strconv.Atoi(p)
-		if err != nil {
-			return
+		if err != nil || v < 0 {
+			return fmt.Errorf("communicator %s member list %q: %q is not a rank", gid, members, p)
 		}
 		ranks = append(ranks, v)
 	}
 	m.members[gid] = ranks
+	return nil
 }
 
 func (m *matcher) worldRank(gid string, commRank int) (int, bool) {

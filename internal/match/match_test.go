@@ -460,3 +460,58 @@ func TestPrefixCollectiveEdges(t *testing.T) {
 		t.Error("Scan ordered rank 2 before rank 0")
 	}
 }
+
+// TestMalformedCommCreationReported pins the ingestion-hardening fix: a
+// communicator-creation record whose member list cannot be parsed must
+// surface as a MalformedRecord problem naming that record, not vanish
+// silently (leaving later collectives on the comm to fail cryptically).
+func TestMalformedCommCreationReported(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   string
+		args []string
+		want string
+	}{
+		{"dup bad member", "MPI_Comm_dup", []string{"comm-world", "comm1", "0,x"}, "not a rank"},
+		{"dup negative member", "MPI_Comm_dup", []string{"comm-world", "comm1", "0,-2"}, "not a rank"},
+		{"dup missing members", "MPI_Comm_dup", []string{"comm-world", "comm1"}, "missing group id or member list"},
+		{"split bad member", "MPI_Comm_split", []string{"comm-world", "0", "0", "comm1", "1,zzz"}, "not a rank"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tr := trace.New(1)
+			tr.Append(trace.Record{
+				Rank: 0, Func: tc.fn, Layer: trace.LayerMPI,
+				Args: tc.args, Tick: 2, Ret: 3,
+			})
+			if err := tr.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			res := mustMatch(t, tr)
+			probs := problems(res, MalformedRecord)
+			if len(probs) != 1 {
+				t.Fatalf("MalformedRecord problems = %v, want exactly one", probs)
+			}
+			p := probs[0]
+			if !strings.Contains(p.Detail, tc.want) {
+				t.Errorf("problem detail %q does not explain the damage (%q)", p.Detail, tc.want)
+			}
+			if len(p.Refs) != 1 || p.Refs[0] != (trace.Ref{Rank: 0, Seq: 0}) {
+				t.Errorf("problem refs = %v, want the creation record", p.Refs)
+			}
+		})
+	}
+}
+
+// TestWellFormedCommCreationNotReported guards against over-reporting: the
+// recorder's normal [parent, new, members] layout must register cleanly.
+func TestWellFormedCommCreationNotReported(t *testing.T) {
+	tr := runTraced(t, 2, func(r *recorder.Rank) error {
+		_, err := r.CommDup(r.Proc().CommWorld())
+		return err
+	})
+	res := mustMatch(t, tr)
+	if probs := problems(res, MalformedRecord); len(probs) != 0 {
+		t.Fatalf("unexpected MalformedRecord problems: %v", probs)
+	}
+}

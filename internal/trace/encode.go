@@ -7,7 +7,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"math"
 	"os"
 	"path/filepath"
 	"sort"
@@ -34,6 +33,11 @@ import (
 //
 // Every string inside a record is a string-table index. Record fields are
 // delta-encoded where they are monotonic (Seq is implicit, Tick is a delta).
+//
+// Decoding never trusts the input: every count and length is bounded by
+// Limits before allocation, failures are classified DecodeErrors carrying
+// the payload offset, and DecodeOptions.Tolerate salvages the well-formed
+// prefix of a damaged stream (see errors.go).
 
 const (
 	magic        = "VIOT"
@@ -152,162 +156,460 @@ func encodePayload(w *bufio.Writer, t *Trace) error {
 	return nil
 }
 
-// Decode reads a trace previously written by Encode.
+// Decode reads a trace previously written by Encode, with default options
+// (strict mode, default limits).
 func Decode(r io.Reader) (*Trace, error) {
+	t, _, err := DecodeWithOptions(r, DecodeOptions{})
+	return t, err
+}
+
+// DecodeWithOptions reads a trace previously written by Encode. Failures are
+// reported as *DecodeError. In tolerate mode a damaged record stream yields
+// the salvaged well-formed prefix and non-Clean stats instead of an error;
+// damage before any records exist (header, metadata, string table) still
+// fails, because nothing downstream is interpretable without them.
+func DecodeWithOptions(r io.Reader, opts DecodeOptions) (*Trace, *DecodeStats, error) {
+	t, stats, _, err := decodeStream(r, opts, false)
+	return t, stats, err
+}
+
+// decoder reads the trace payload while tracking the exact byte offset, the
+// section being decoded, and the remaining allocation budget, so every
+// failure can be classified and located.
+type decoder struct {
+	br      *bufio.Reader
+	off     int64 // bytes consumed from the (decompressed) payload
+	lim     Limits
+	budget  int64 // remaining bytes of lim.MaxPayload
+	section string
+	rank    int
+	record  int
+
+	spans bool // record layout spans (Layout)
+	marks []Span
+}
+
+// Approximate decoded-memory cost per entity, charged against the payload
+// budget: a corrupt count field costs at most its charge, never a huge
+// upfront allocation.
+const (
+	stringOverhead     = 16  // string header
+	sliceEntryOverhead = 16  // one slice element (string header / map slot)
+	recordOverhead     = 136 // Record struct incl. slice headers
+	rankOverhead       = 24  // one Ranks[] slice header
+)
+
+func (d *decoder) fail(kind ErrKind, cause error) error {
+	return &DecodeError{
+		Kind: kind, Section: d.section,
+		Rank: d.rank, Record: d.record,
+		Offset: d.off, Err: cause,
+	}
+}
+
+// ReadByte implements io.ByteReader so binary.ReadUvarint consumes the
+// stream through the decoder's offset accounting. It returns the raw
+// underlying error; callers classify it.
+func (d *decoder) ReadByte() (byte, error) {
+	b, err := d.br.ReadByte()
+	if err != nil {
+		return 0, err
+	}
+	d.off++
+	return b, nil
+}
+
+func (d *decoder) byteField() (byte, error) {
+	b, err := d.ReadByte()
+	if err != nil {
+		return 0, d.fail(classifyIO(err), fmt.Errorf("byte field: %w", err))
+	}
+	return b, nil
+}
+
+func (d *decoder) uvarint() (uint64, error) {
+	v, err := binary.ReadUvarint(d)
+	if err != nil {
+		// EOF mid-stream means truncation; a >64-bit varint is corruption.
+		return 0, d.fail(classifyIO(err), fmt.Errorf("varint: %w", err))
+	}
+	return v, nil
+}
+
+func (d *decoder) charge(n int64) error {
+	d.budget -= n
+	if d.budget < 0 {
+		return d.fail(LimitExceeded, fmt.Errorf("decoded payload exceeds %d-byte budget", d.lim.MaxPayload))
+	}
+	return nil
+}
+
+func (d *decoder) str() (string, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(d.lim.MaxStringLen) {
+		return "", d.fail(LimitExceeded, fmt.Errorf("string length %d exceeds limit %d", n, d.lim.MaxStringLen))
+	}
+	if err := d.charge(int64(n) + stringOverhead); err != nil {
+		return "", err
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(d.br, buf); err != nil {
+		return "", d.fail(classifyIO(err), fmt.Errorf("string body: %w", err))
+	}
+	d.off += int64(n)
+	return string(buf), nil
+}
+
+func (d *decoder) span(name string, rank, index int, start int64) {
+	if d.spans {
+		d.marks = append(d.marks, Span{Name: name, Rank: rank, Index: index, Start: start, End: d.off})
+	}
+}
+
+// decodeStream is the shared implementation behind DecodeWithOptions and
+// Layout: header, optional decompression, payload, end-of-stream checks.
+func decodeStream(r io.Reader, opts DecodeOptions, wantSpans bool) (*Trace, *DecodeStats, []Span, error) {
+	hdrErr := func(kind ErrKind, cause error) error {
+		return &DecodeError{Kind: kind, Section: "header", Rank: -1, Record: -1, Err: cause}
+	}
 	var hdr [6]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, fmt.Errorf("trace: reading header: %w", err)
+		return nil, nil, nil, hdrErr(Truncated, fmt.Errorf("reading header: %w", err))
 	}
 	if string(hdr[:4]) != magic {
-		return nil, errors.New("trace: bad magic, not a VerifyIO trace")
+		return nil, nil, nil, hdrErr(Corrupt, errors.New("bad magic, not a VerifyIO trace"))
 	}
 	if hdr[4] != formatVer {
-		return nil, fmt.Errorf("trace: unsupported format version %d", hdr[4])
+		return nil, nil, nil, hdrErr(Corrupt, fmt.Errorf("unsupported format version %d", hdr[4]))
 	}
 	var payload io.Reader = r
+	var fr io.ReadCloser
 	if hdr[5]&flagCompress != 0 {
-		fr := flate.NewReader(r)
+		fr = flate.NewReader(r)
 		defer fr.Close()
 		payload = fr
 	}
-	return decodePayload(bufio.NewReader(payload))
+	d := &decoder{
+		br:     bufio.NewReader(payload),
+		lim:    opts.Limits.withDefaults(),
+		rank:   -1,
+		record: -1,
+		spans:  wantSpans,
+	}
+	d.budget = d.lim.MaxPayload
+	t, stats, err := d.decodeTrace(opts.Tolerate)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	// A fully decoded strict stream must also end cleanly: a payload that
+	// keeps going is corrupt, and a compressed stream must carry its
+	// final-block terminator (a DEFLATE payload chopped after the last
+	// record would otherwise pass unnoticed — the classic killed-job
+	// artifact). Tolerate mode accepts both: the decoded prefix is the
+	// trace.
+	if !opts.Tolerate {
+		d.section, d.rank, d.record = "trailer", -1, -1
+		if _, err := d.br.ReadByte(); err == nil {
+			return nil, nil, nil, d.fail(Corrupt, errors.New("trailing data after trace payload"))
+		} else if err != io.EOF {
+			return nil, nil, nil, d.fail(classifyIO(err), fmt.Errorf("stream end: %w", err))
+		}
+		if fr != nil {
+			if err := fr.Close(); err != nil {
+				return nil, nil, nil, d.fail(classifyIO(err), fmt.Errorf("closing compressed payload: %w", err))
+			}
+		}
+	}
+	return t, stats, d.marks, nil
 }
 
-func decodePayload(br *bufio.Reader) (*Trace, error) {
-	nmeta, err := getUvarint(br)
+func (d *decoder) decodeTrace(tolerate bool) (*Trace, *DecodeStats, error) {
+	stats := &DecodeStats{}
+
+	d.section = "meta"
+	sectionStart := d.off
+	nmeta, err := d.uvarint()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	meta := make(map[string]string, nmeta)
+	if nmeta > uint64(d.lim.MaxMeta) {
+		return nil, nil, d.fail(LimitExceeded, fmt.Errorf("metadata pair count %d exceeds limit %d", nmeta, d.lim.MaxMeta))
+	}
+	d.span("meta-count", -1, -1, sectionStart)
+	meta := make(map[string]string, capHint(nmeta, 1<<10))
 	for i := uint64(0); i < nmeta; i++ {
-		k, err := getString(br)
+		k, err := d.str()
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		v, err := getString(br)
+		v, err := d.str()
 		if err != nil {
-			return nil, err
+			return nil, nil, err
+		}
+		if err := d.charge(2 * sliceEntryOverhead); err != nil {
+			return nil, nil, err
 		}
 		meta[k] = v
 	}
-	nstrs, err := getUvarint(br)
+	d.span("meta", -1, -1, sectionStart)
+
+	d.section = "string-table"
+	sectionStart = d.off
+	nstrs, err := d.uvarint()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	if nstrs > math.MaxInt32 {
-		return nil, fmt.Errorf("trace: implausible string table size %d", nstrs)
+	if nstrs > uint64(d.lim.MaxStrings) {
+		return nil, nil, d.fail(LimitExceeded, fmt.Errorf("string table size %d exceeds limit %d", nstrs, d.lim.MaxStrings))
 	}
-	strs := make([]string, nstrs)
-	for i := range strs {
-		if strs[i], err = getString(br); err != nil {
-			return nil, err
+	d.span("string-count", -1, -1, sectionStart)
+	strs := make([]string, 0, capHint(nstrs, d.hintMax(stringOverhead, 1<<16)))
+	for i := uint64(0); i < nstrs; i++ {
+		s, err := d.str()
+		if err != nil {
+			return nil, nil, err
 		}
+		strs = append(strs, s)
 	}
+	d.span("string-table", -1, -1, sectionStart)
 	str := func(i uint64) (string, error) {
 		if i >= uint64(len(strs)) {
-			return "", fmt.Errorf("trace: string index %d out of table (%d entries)", i, len(strs))
+			return "", d.fail(Corrupt, fmt.Errorf("string index %d out of table (%d entries)", i, len(strs)))
 		}
 		return strs[i], nil
 	}
-	nranks, err := getUvarint(br)
+
+	d.section = "records"
+	sectionStart = d.off
+	nranks, err := d.uvarint()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	if nranks > 1<<20 {
-		return nil, fmt.Errorf("trace: implausible rank count %d", nranks)
+	if nranks > uint64(d.lim.MaxRanks) {
+		return nil, nil, d.fail(LimitExceeded, fmt.Errorf("rank count %d exceeds limit %d", nranks, d.lim.MaxRanks))
 	}
+	if err := d.charge(int64(nranks) * rankOverhead); err != nil {
+		return nil, nil, err
+	}
+	d.span("nranks", -1, -1, sectionStart)
 	t := New(int(nranks))
 	t.Meta = meta
+
+	// damaged marks ranks that already carry a stats entry, so the final
+	// invariant trim does not double-report them.
+	var damaged map[int]bool
+	if tolerate {
+		damaged = make(map[int]bool)
+	}
+	// markLost records that every rank from `from` on is gone with its
+	// record count unknown (the stream is unsyncable past the cut).
+	markLost := func(from int, err error) {
+		for r := from; r < int(nranks); r++ {
+			stats.Ranks = append(stats.Ranks, RankRecovery{Rank: r, Salvaged: 0, Dropped: -1, Err: err})
+			damaged[r] = true
+		}
+	}
+
+rankLoop:
 	for rank := 0; rank < int(nranks); rank++ {
-		nrec, err := getUvarint(br)
+		d.rank, d.record = rank, -1
+		countStart := d.off
+		nrec, err := d.uvarint()
+		if err == nil && nrec > uint64(d.lim.MaxRecords) {
+			err = d.fail(LimitExceeded, fmt.Errorf("record count %d exceeds limit %d", nrec, d.lim.MaxRecords))
+		}
 		if err != nil {
-			return nil, err
+			if tolerate {
+				markLost(rank, err)
+				break rankLoop
+			}
+			return nil, nil, err
 		}
-		if nrec > math.MaxInt32 {
-			return nil, fmt.Errorf("trace: implausible record count %d", nrec)
+		d.span("rank-count", rank, -1, countStart)
+		recs := make([]Record, 0, capHint(nrec, d.hintMax(recordOverhead, 1<<14)))
+		lastRet := int64(0)
+		for i := 0; i < int(nrec); i++ {
+			d.record = i
+			recStart := d.off
+			rec, err := d.decodeRecord(str, rank, i, &lastRet)
+			if err != nil {
+				if tolerate {
+					keep := validRecordPrefix(recs)
+					if keep > 0 {
+						t.Ranks[rank] = recs[:keep:keep]
+					}
+					stats.Ranks = append(stats.Ranks, RankRecovery{
+						Rank: rank, Salvaged: keep, Dropped: int(nrec) - keep, Err: err,
+					})
+					damaged[rank] = true
+					markLost(rank+1, err)
+					break rankLoop
+				}
+				return nil, nil, err
+			}
+			recs = append(recs, rec)
+			d.span("record", rank, i, recStart)
 		}
-		if nrec == 0 {
+		d.record = -1
+		if len(recs) > 0 {
+			t.Ranks[rank] = recs
+		}
+	}
+	d.rank, d.record = -1, -1
+
+	if !tolerate {
+		d.section = "validate"
+		if err := t.Validate(); err != nil {
+			return nil, nil, d.fail(Corrupt, err)
+		}
+		return t, stats, nil
+	}
+	// A damaged stream can decode into records that still violate the
+	// trace invariants (a bit flip that survives varint decoding); trim
+	// every intact rank to its longest valid prefix so the salvaged trace
+	// always validates.
+	for rank, rs := range t.Ranks {
+		if damaged[rank] {
 			continue
 		}
-		recs := make([]Record, nrec)
-		lastRet := int64(0)
-		for i := range recs {
-			rec := &recs[i]
-			rec.Rank = rank
-			rec.Seq = i
-			fi, err := getUvarint(br)
+		if keep := validRecordPrefix(rs); keep < len(rs) {
+			verr := &DecodeError{
+				Kind: Corrupt, Section: "validate",
+				Rank: rank, Record: keep, Offset: d.off,
+				Err: errors.New("record violates trace invariants"),
+			}
+			t.Ranks[rank] = nil
+			if keep > 0 {
+				t.Ranks[rank] = rs[:keep:keep]
+			}
+			stats.Ranks = append(stats.Ranks, RankRecovery{
+				Rank: rank, Salvaged: keep, Dropped: len(rs) - keep, Err: verr,
+			})
+		}
+	}
+	sort.Slice(stats.Ranks, func(i, j int) bool { return stats.Ranks[i].Rank < stats.Ranks[j].Rank })
+	return t, stats, nil
+}
+
+func (d *decoder) decodeRecord(str func(uint64) (string, error), rank, seq int, lastRet *int64) (Record, error) {
+	var rec Record
+	rec.Rank, rec.Seq = rank, seq
+	fi, err := d.uvarint()
+	if err != nil {
+		return rec, err
+	}
+	if rec.Func, err = str(fi); err != nil {
+		return rec, err
+	}
+	lb, err := d.byteField()
+	if err != nil {
+		return rec, err
+	}
+	rec.Layer = Layer(lb)
+	depthStart := d.off
+	depth, err := d.uvarint()
+	if err != nil {
+		return rec, err
+	}
+	if depth > uint64(d.lim.MaxDepth) {
+		return rec, d.fail(LimitExceeded, fmt.Errorf("call depth %d exceeds limit %d", depth, d.lim.MaxDepth))
+	}
+	d.span("depth", rank, seq, depthStart)
+	rec.Depth = int(depth)
+	dt, err := d.uvarint()
+	if err != nil {
+		return rec, err
+	}
+	rec.Ret = *lastRet + int64(dt)
+	dr, err := d.uvarint()
+	if err != nil {
+		return rec, err
+	}
+	rec.Tick = rec.Ret - int64(dr)
+	*lastRet = rec.Ret
+	si, err := d.uvarint()
+	if err != nil {
+		return rec, err
+	}
+	if rec.Site, err = str(si); err != nil {
+		return rec, err
+	}
+	nargs, err := d.uvarint()
+	if err != nil {
+		return rec, err
+	}
+	if nargs > uint64(d.lim.MaxArgs) {
+		return rec, d.fail(LimitExceeded, fmt.Errorf("arg count %d exceeds limit %d", nargs, d.lim.MaxArgs))
+	}
+	if err := d.charge(recordOverhead + int64(nargs+depth)*sliceEntryOverhead); err != nil {
+		return rec, err
+	}
+	if nargs > 0 {
+		rec.Args = make([]string, nargs)
+		for a := range rec.Args {
+			ai, err := d.uvarint()
 			if err != nil {
-				return nil, err
+				return rec, err
 			}
-			if rec.Func, err = str(fi); err != nil {
-				return nil, err
-			}
-			lb, err := br.ReadByte()
-			if err != nil {
-				return nil, err
-			}
-			rec.Layer = Layer(lb)
-			depth, err := getUvarint(br)
-			if err != nil {
-				return nil, err
-			}
-			rec.Depth = int(depth)
-			dt, err := getUvarint(br)
-			if err != nil {
-				return nil, err
-			}
-			rec.Ret = lastRet + int64(dt)
-			dr, err := getUvarint(br)
-			if err != nil {
-				return nil, err
-			}
-			rec.Tick = rec.Ret - int64(dr)
-			lastRet = rec.Ret
-			si, err := getUvarint(br)
-			if err != nil {
-				return nil, err
-			}
-			if rec.Site, err = str(si); err != nil {
-				return nil, err
-			}
-			nargs, err := getUvarint(br)
-			if err != nil {
-				return nil, err
-			}
-			if nargs > 1<<16 {
-				return nil, fmt.Errorf("trace: implausible arg count %d", nargs)
-			}
-			if nargs > 0 {
-				rec.Args = make([]string, nargs)
-				for a := range rec.Args {
-					ai, err := getUvarint(br)
-					if err != nil {
-						return nil, err
-					}
-					if rec.Args[a], err = str(ai); err != nil {
-						return nil, err
-					}
-				}
-			}
-			if rec.Depth > 0 {
-				rec.Chain = make([]string, rec.Depth)
-				for c := range rec.Chain {
-					ci, err := getUvarint(br)
-					if err != nil {
-						return nil, err
-					}
-					if rec.Chain[c], err = str(ci); err != nil {
-						return nil, err
-					}
-				}
+			if rec.Args[a], err = str(ai); err != nil {
+				return rec, err
 			}
 		}
-		t.Ranks[rank] = recs
 	}
-	if err := t.Validate(); err != nil {
-		return nil, fmt.Errorf("trace: decoded trace is invalid: %w", err)
+	if rec.Depth > 0 {
+		rec.Chain = make([]string, rec.Depth)
+		for c := range rec.Chain {
+			ci, err := d.uvarint()
+			if err != nil {
+				return rec, err
+			}
+			if rec.Chain[c], err = str(ci); err != nil {
+				return rec, err
+			}
+		}
 	}
-	return t, nil
+	return rec, nil
+}
+
+// validRecordPrefix returns the length of the longest prefix of rs that
+// satisfies the per-rank trace invariants. Decoding guarantees the
+// structural fields (rank, seq, depth/chain agreement), so only the
+// timestamp ordering can break.
+func validRecordPrefix(rs []Record) int {
+	lastRet := int64(-1)
+	for i := range rs {
+		r := &rs[i]
+		if r.Ret <= lastRet || r.Ret < r.Tick || r.Tick < 0 {
+			return i
+		}
+		lastRet = r.Ret
+	}
+	return len(rs)
+}
+
+// capHint bounds an attacker-controlled count to a sane initial slice or
+// map capacity; real growth beyond it goes through append and is paid for
+// by the byte budget.
+func capHint(n uint64, max int) int {
+	if max < 0 {
+		max = 0
+	}
+	if n < uint64(max) {
+		return int(n)
+	}
+	return max
+}
+
+// hintMax caps an initial-capacity hint so even the hint allocation stays
+// inside the remaining payload budget.
+func (d *decoder) hintMax(perEntry int64, max int) int {
+	if m := d.budget / perEntry; m < int64(max) {
+		return int(m)
+	}
+	return max
 }
 
 // WriteDir stores the trace as a directory: one file per rank plus metadata,
@@ -343,49 +645,106 @@ func WriteDir(dir string, t *Trace, opts EncodeOptions) error {
 	return nil
 }
 
-// ReadDir loads a trace directory written by WriteDir.
+// ReadDir loads a trace directory written by WriteDir, with default options.
 func ReadDir(dir string) (*Trace, error) {
+	t, _, err := ReadDirWithOptions(dir, DecodeOptions{})
+	return t, err
+}
+
+// ReadDirWithOptions loads a trace directory written by WriteDir. In
+// tolerate mode, rank files that are damaged mid-stream contribute their
+// salvaged prefix, and files that are missing or unreadable leave an empty
+// rank stream; both are reported per rank in the stats.
+func ReadDirWithOptions(dir string, opts DecodeOptions) (*Trace, *DecodeStats, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	byRank := make(map[int]*Trace)
-	nranks := -1
+	failed := make(map[int]error) // tolerate mode: files that salvaged nothing
+	stats := &DecodeStats{}
+	nranks, maxRank := -1, -1
 	for _, e := range entries {
 		var rank int
 		if _, err := fmt.Sscanf(e.Name(), "rank-%d.viot", &rank); err != nil {
 			continue
 		}
+		if rank > maxRank {
+			maxRank = rank
+		}
 		f, err := os.Open(filepath.Join(dir, e.Name()))
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		sub, err := Decode(f)
+		sub, fstats, err := DecodeWithOptions(f, opts)
 		f.Close()
 		if err != nil {
-			return nil, fmt.Errorf("trace: %s: %w", e.Name(), err)
+			// The file holds a single-rank stream whose in-file rank is
+			// 0; report the world rank the file name declares.
+			if de, ok := AsDecodeError(err); ok && de.Rank == 0 {
+				de.Rank = rank
+			}
+			if !opts.Tolerate {
+				return nil, nil, fmt.Errorf("trace: %s: %w", e.Name(), err)
+			}
+			failed[rank] = err
+			continue
 		}
 		if n := sub.Meta["verifyio.nranks"]; n != "" {
 			fmt.Sscanf(n, "%d", &nranks)
 		}
+		// The file's salvage stats are for its single in-file rank 0;
+		// remap them to the world rank the file name declares.
+		for _, rr := range fstats.Ranks {
+			rr.Rank = rank
+			if de, ok := AsDecodeError(rr.Err); ok && de.Rank == 0 {
+				de.Rank = rank
+			}
+			stats.Ranks = append(stats.Ranks, rr)
+		}
 		byRank[rank] = sub
 	}
-	if len(byRank) == 0 {
-		return nil, fmt.Errorf("trace: no rank files in %s", dir)
+	if len(byRank) == 0 && len(failed) == 0 {
+		return nil, nil, fmt.Errorf("trace: no rank files in %s", dir)
 	}
-	if nranks < 0 {
-		nranks = len(byRank)
+	if nranks < 0 || (opts.Tolerate && maxRank+1 > nranks) {
+		nranks = maxRank + 1
 	}
-	if len(byRank) != nranks {
-		return nil, fmt.Errorf("trace: directory holds %d rank files, metadata says %d ranks", len(byRank), nranks)
+	// The rank count came from file names and metadata — input, not
+	// ground truth. Bound it like any other decoded count.
+	if lim := opts.Limits.withDefaults(); nranks > lim.MaxRanks {
+		if !opts.Tolerate {
+			return nil, nil, &DecodeError{
+				Kind: LimitExceeded, Section: "directory", Rank: -1, Record: -1,
+				Err: fmt.Errorf("rank count %d exceeds limit %d", nranks, lim.MaxRanks),
+			}
+		}
+		nranks = lim.MaxRanks
+	}
+	if !opts.Tolerate && len(byRank) != nranks {
+		return nil, nil, fmt.Errorf("trace: directory holds %d rank files, metadata says %d ranks", len(byRank), nranks)
 	}
 	t := New(nranks)
 	for rank := 0; rank < nranks; rank++ {
 		sub, ok := byRank[rank]
 		if !ok {
-			return nil, fmt.Errorf("trace: missing rank file for rank %d", rank)
+			if !opts.Tolerate {
+				return nil, nil, fmt.Errorf("trace: missing rank file for rank %d", rank)
+			}
+			err := failed[rank]
+			if err == nil {
+				err = &DecodeError{
+					Kind: Truncated, Section: "directory",
+					Rank: rank, Record: -1,
+					Err: errors.New("missing rank file"),
+				}
+			}
+			stats.Ranks = append(stats.Ranks, RankRecovery{Rank: rank, Salvaged: 0, Dropped: -1, Err: err})
+			continue
 		}
-		t.Ranks[rank] = renumber(sub.Ranks[0], rank)
+		if len(sub.Ranks) > 0 {
+			t.Ranks[rank] = renumber(sub.Ranks[0], rank)
+		}
 		if rank == 0 {
 			for k, v := range sub.Meta {
 				switch k {
@@ -396,7 +755,8 @@ func ReadDir(dir string) (*Trace, error) {
 			}
 		}
 	}
-	return t, nil
+	sort.Slice(stats.Ranks, func(i, j int) bool { return stats.Ranks[i].Rank < stats.Ranks[j].Rank })
+	return t, stats, nil
 }
 
 func renumber(rs []Record, rank int) []Record {
@@ -418,27 +778,4 @@ func putUvarint(w *bufio.Writer, v uint64) {
 func putString(w *bufio.Writer, s string) {
 	putUvarint(w, uint64(len(s)))
 	w.WriteString(s)
-}
-
-func getUvarint(br *bufio.Reader) (uint64, error) {
-	v, err := binary.ReadUvarint(br)
-	if err != nil {
-		return 0, fmt.Errorf("trace: truncated varint: %w", err)
-	}
-	return v, nil
-}
-
-func getString(br *bufio.Reader) (string, error) {
-	n, err := getUvarint(br)
-	if err != nil {
-		return "", err
-	}
-	if n > 1<<24 {
-		return "", fmt.Errorf("trace: implausible string length %d", n)
-	}
-	buf := make([]byte, n)
-	if _, err := io.ReadFull(br, buf); err != nil {
-		return "", fmt.Errorf("trace: truncated string: %w", err)
-	}
-	return string(buf), nil
 }

@@ -1,0 +1,133 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// fuzzLimits keeps individual fuzz executions cheap so the engine can get
+// through many inputs; the limit checks themselves are what's under test.
+func fuzzLimits() Limits {
+	return Limits{
+		MaxMeta: 1 << 8, MaxStrings: 1 << 12, MaxStringLen: 1 << 12,
+		MaxRanks: 1 << 6, MaxRecords: 1 << 12, MaxArgs: 1 << 6,
+		MaxDepth: 1 << 6, MaxPayload: 1 << 22,
+	}
+}
+
+func fuzzSeedTrace() *Trace {
+	tr := New(2)
+	tr.Meta["program"] = "fuzz-seed"
+	tick := []int64{0, 0}
+	add := func(rank int, layer Layer, fn string, depth int, chain []string, args ...string) {
+		tick[rank] += 2
+		tr.Append(Record{
+			Rank: rank, Func: fn, Layer: layer, Depth: depth,
+			Args: args, Tick: tick[rank], Ret: tick[rank] + 1, Chain: chain,
+		})
+	}
+	for rank := 0; rank < 2; rank++ {
+		add(rank, LayerPOSIX, "open", 0, nil, "f.bin", "rw", "3")
+		for i := 0; i < 4; i++ {
+			add(rank, LayerPOSIX, "pwrite", 1,
+				[]string{"mpi-io:MPI_File_write_at"}, "3", "8", fmt.Sprint(8*i))
+		}
+		add(rank, LayerPOSIX, "close", 0, nil, "3")
+	}
+	return tr
+}
+
+// FuzzDecode drives the single-stream decoder with arbitrary bytes: it must
+// never panic, must classify every failure as a DecodeError, and in
+// tolerate mode must always hand back a structurally valid trace.
+func FuzzDecode(f *testing.F) {
+	for _, compress := range []bool{false, true} {
+		var buf bytes.Buffer
+		if err := Encode(&buf, fuzzSeedTrace(), EncodeOptions{Compress: compress}); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte("VIOT\x01\x00"))
+	f.Add([]byte("VIOT\x01\x00\x00\x00\x02\x00\x00"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, stats, err := DecodeWithOptions(bytes.NewReader(data), DecodeOptions{Limits: fuzzLimits()})
+		if err != nil {
+			if _, ok := AsDecodeError(err); !ok {
+				t.Fatalf("unclassified decode error: %v", err)
+			}
+		} else {
+			if !stats.Clean() {
+				t.Fatalf("strict decode salvaged: %+v", stats)
+			}
+			if verr := tr.Validate(); verr != nil {
+				t.Fatalf("strict decode returned invalid trace: %v", verr)
+			}
+			var buf bytes.Buffer
+			if eerr := Encode(&buf, tr, EncodeOptions{Compress: false}); eerr != nil {
+				t.Fatalf("decoded trace does not re-encode: %v", eerr)
+			}
+		}
+
+		ttr, _, terr := DecodeWithOptions(bytes.NewReader(data), DecodeOptions{Tolerate: true, Limits: fuzzLimits()})
+		if terr != nil {
+			if _, ok := AsDecodeError(terr); !ok {
+				t.Fatalf("unclassified tolerant decode error: %v", terr)
+			}
+			if err == nil {
+				t.Fatalf("tolerate failed where strict succeeded: %v", terr)
+			}
+		} else if verr := ttr.Validate(); verr != nil {
+			t.Fatalf("tolerant decode returned invalid trace: %v", verr)
+		}
+	})
+}
+
+// FuzzReadDir drives the directory reader with two arbitrary rank files.
+// Tolerate mode must always produce a valid (possibly partly empty) trace —
+// the lenient path can never be the thing that fails a verification run.
+func FuzzReadDir(f *testing.F) {
+	var files [2][]byte
+	seed := fuzzSeedTrace()
+	dir := f.TempDir()
+	if err := WriteDir(dir, seed, EncodeOptions{Compress: true}); err != nil {
+		f.Fatal(err)
+	}
+	for rank := range files {
+		data, err := os.ReadFile(filepath.Join(dir, fmt.Sprintf("rank-%d.viot", rank)))
+		if err != nil {
+			f.Fatal(err)
+		}
+		files[rank] = data
+	}
+	f.Add(files[0], files[1])
+	f.Add(files[0], files[1][:len(files[1])/2]) // rank 1 truncated mid-stream
+	f.Add([]byte{}, files[1])
+	f.Fuzz(func(t *testing.T, rank0, rank1 []byte) {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, "rank-0.viot"), rank0, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "rank-1.viot"), rank1, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if tr, stats, err := ReadDirWithOptions(dir, DecodeOptions{Limits: fuzzLimits()}); err == nil {
+			if !stats.Clean() {
+				t.Fatalf("strict ReadDir salvaged: %+v", stats)
+			}
+			if verr := tr.Validate(); verr != nil {
+				t.Fatalf("strict ReadDir returned invalid trace: %v", verr)
+			}
+		}
+		tr, _, err := ReadDirWithOptions(dir, DecodeOptions{Tolerate: true, Limits: fuzzLimits()})
+		if err != nil {
+			t.Fatalf("tolerant ReadDir failed: %v", err)
+		}
+		if verr := tr.Validate(); verr != nil {
+			t.Fatalf("tolerant ReadDir returned invalid trace: %v", verr)
+		}
+	})
+}

@@ -1,0 +1,59 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+)
+
+// Span is a named byte range inside an uncompressed encoded trace. Offsets
+// are absolute into the encoded stream (the 6-byte header included).
+// Container spans ("meta", "string-table", "record") overlap the field spans
+// they contain ("meta-count", "depth").
+type Span struct {
+	// Name identifies the region: "header", "meta-count", "meta",
+	// "string-count", "string-table", "nranks", "rank-count", "record",
+	// "depth".
+	Name string
+	// Rank scopes rank-level spans ("rank-count", "record", "depth");
+	// -1 otherwise.
+	Rank int
+	// Index is the record index for "record"/"depth" spans; -1 otherwise.
+	Index int
+	// Start and End delimit the bytes [Start, End).
+	Start, End int64
+}
+
+// Layout parses an uncompressed encoded trace and returns the byte span of
+// every section and of the size-bearing fields a mutation harness wants to
+// target (counts, depths, record boundaries). It is the map the
+// fault-injection corpus is generated from — truncating at each span End
+// exercises every section boundary of the decoder.
+func Layout(data []byte) ([]Span, error) {
+	if len(data) >= 6 && data[5]&flagCompress != 0 {
+		return nil, errors.New("trace: Layout requires an uncompressed trace (encode with Compress: false)")
+	}
+	_, _, spans, err := decodeStream(bytes.NewReader(data), DecodeOptions{}, true)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Span, 0, len(spans)+1)
+	out = append(out, Span{Name: "header", Rank: -1, Index: -1, Start: 0, End: 6})
+	for _, s := range spans {
+		// Decoder spans are payload-relative; make them absolute.
+		s.Start += 6
+		s.End += 6
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// SpanByName returns the first span with the given name, rank and index
+// (use -1 for unscoped spans).
+func SpanByName(spans []Span, name string, rank, index int) (Span, bool) {
+	for _, s := range spans {
+		if s.Name == name && s.Rank == rank && s.Index == index {
+			return s, true
+		}
+	}
+	return Span{}, false
+}

@@ -98,6 +98,53 @@ func ReadTraceDir(dir string) (*Trace, error) {
 	return &Trace{t: tr}, nil
 }
 
+// RankRecovery describes what lenient loading did to one damaged rank.
+type RankRecovery struct {
+	// Rank is the world rank of the damaged stream.
+	Rank int
+	// Salvaged is the number of records recovered from the rank's
+	// well-formed prefix.
+	Salvaged int
+	// Dropped is the number of records lost, or -1 when the stream was too
+	// damaged to know how many it held.
+	Dropped int
+	// Reason describes the damage (the classified decode error).
+	Reason string
+}
+
+// Recovery summarizes a lenient trace load: which ranks were damaged and
+// what was salvaged. An empty Ranks slice means the trace was intact.
+type Recovery struct {
+	Ranks []RankRecovery
+}
+
+// Clean reports whether the load salvaged nothing — the trace was intact.
+func (r *Recovery) Clean() bool { return r == nil || len(r.Ranks) == 0 }
+
+// ReadTraceDirTolerant loads a trace directory leniently: damaged or missing
+// rank streams are salvaged to their longest well-formed prefix instead of
+// failing the whole load, and the returned Recovery reports exactly what was
+// kept and lost per rank. Verifying a salvaged trace is equivalent to
+// verifying an execution that stopped where the trace breaks off — partial
+// evidence, reported honestly.
+func ReadTraceDirTolerant(dir string) (*Trace, *Recovery, error) {
+	tr, stats, err := trace.ReadDirWithOptions(dir, trace.DecodeOptions{Tolerate: true})
+	if err != nil {
+		return nil, nil, err
+	}
+	rec := &Recovery{}
+	for _, rr := range stats.Ranks {
+		reason := "unknown damage"
+		if rr.Err != nil {
+			reason = rr.Err.Error()
+		}
+		rec.Ranks = append(rec.Ranks, RankRecovery{
+			Rank: rr.Rank, Salvaged: rr.Salvaged, Dropped: rr.Dropped, Reason: reason,
+		})
+	}
+	return &Trace{t: tr}, rec, nil
+}
+
 // TraceProgram runs prog once per rank under the Recorder⁺ tracer, against
 // a simulated file system providing the given consistency model, and
 // returns the execution trace (step 1 of the workflow). Note the file

@@ -2,9 +2,12 @@ package verifyio
 
 import (
 	"bytes"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	itrace "verifyio/internal/trace"
 )
 
 func TestModelsOrder(t *testing.T) {
@@ -160,5 +163,107 @@ func TestBadInputs(t *testing.T) {
 	}
 	if _, err := ReadTraceDir(t.TempDir()); err == nil {
 		t.Error("ReadTraceDir accepted empty dir")
+	}
+}
+
+// TestTolerantReadMatchesIntactPrefix is the acceptance test for lenient
+// ingestion: verifying a trace salvaged from a mid-stream-truncated rank
+// file must produce reports byte-identical (modulo the wall-clock timing
+// line) to verifying the equivalent intact prefix trace, with accurate
+// salvage accounting.
+func TestTolerantReadMatchesIntactPrefix(t *testing.T) {
+	full, err := RunCorpusTest("record")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Store uncompressed so the trace layout is addressable, then chop
+	// rank 1's stream clean at a record boundary part-way through.
+	dir := filepath.Join(t.TempDir(), "damaged")
+	if err := itrace.WriteDir(dir, full.t, itrace.EncodeOptions{Compress: false}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "rank-1.viot")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans, err := itrace.Layout(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keep := len(full.t.Ranks[1]) / 2
+	if keep < 2 {
+		t.Fatalf("rank 1 too small to truncate meaningfully: %d records", len(full.t.Ranks[1]))
+	}
+	cut, ok := itrace.SpanByName(spans, "record", 0, keep-1)
+	if !ok {
+		t.Fatalf("no span for record %d", keep-1)
+	}
+	if err := os.WriteFile(path, data[:cut.End], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Strict loading must refuse; lenient loading salvages with exact
+	// counts.
+	if _, err := ReadTraceDir(dir); err == nil {
+		t.Fatal("strict ReadTraceDir accepted a truncated rank file")
+	}
+	salvaged, rec, err := ReadTraceDirTolerant(dir)
+	if err != nil {
+		t.Fatalf("tolerant read failed: %v", err)
+	}
+	wantDropped := len(full.t.Ranks[1]) - keep
+	if rec.Clean() || len(rec.Ranks) != 1 {
+		t.Fatalf("recovery = %+v, want exactly one damaged rank", rec)
+	}
+	rr := rec.Ranks[0]
+	if rr.Rank != 1 || rr.Salvaged != keep || rr.Dropped != wantDropped {
+		t.Fatalf("recovery = %+v, want rank 1 salvaged %d dropped %d", rr, keep, wantDropped)
+	}
+	if rr.Reason == "" || !strings.Contains(rr.Reason, "truncated") {
+		t.Errorf("recovery reason %q does not classify the damage", rr.Reason)
+	}
+
+	// The reference: the same execution as if rank 1 had only ever logged
+	// the prefix.
+	ptr := itrace.New(full.t.NumRanks())
+	ptr.Meta = full.t.Meta
+	copy(ptr.Ranks, full.t.Ranks)
+	ptr.Ranks[1] = full.t.Ranks[1][:keep]
+	if err := ptr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	prefix := &Trace{t: ptr}
+
+	opts := &Options{Algorithm: "vector-clock", Workers: 1, ContinueOnUnmatched: true}
+	got, err := VerifyAll(salvaged, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := VerifyAll(prefix, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("report counts differ: %d vs %d", len(got), len(want))
+	}
+	stripTiming := func(rep *Report) string {
+		var buf bytes.Buffer
+		rep.Render(&buf)
+		var kept []string
+		for _, line := range strings.Split(buf.String(), "\n") {
+			if strings.HasPrefix(line, "timing:") {
+				continue
+			}
+			kept = append(kept, line)
+		}
+		return strings.Join(kept, "\n")
+	}
+	for i := range got {
+		g, w := stripTiming(got[i]), stripTiming(want[i])
+		if g != w {
+			t.Errorf("%s: salvaged-trace report differs from intact-prefix report:\n--- salvaged\n%s\n--- intact\n%s",
+				got[i].Model, g, w)
+		}
 	}
 }

@@ -14,6 +14,7 @@ package verifyio
 import (
 	"bytes"
 	"fmt"
+	"runtime"
 	"testing"
 
 	"verifyio/internal/corpus"
@@ -266,6 +267,40 @@ func BenchmarkFig6_HDF5Pattern(b *testing.B) {
 					b.Fatalf("%s MPI-IO racy = %v, want %v", variant.test, got, variant.wantRace)
 				}
 			}
+		})
+	}
+}
+
+// BenchmarkAnalyze measures the parallel analysis front-end (steps 2–3:
+// concurrent conflict detection and MPI matching, sharded per-rank replay
+// and per-file sweep) plus graph construction on the large synthetic
+// scaling trace, at increasing worker counts. Pair counts are asserted
+// identical across worker counts — the speedup is for identical output.
+// cmd/bench runs the same workload over the full scaling corpus and writes
+// BENCH_analyze.json.
+func BenchmarkAnalyze(b *testing.B) {
+	tr := corpus.ScalingTrace(8, 4000, 1<<18, 7)
+	workerCounts := []int{1, 2, 4}
+	if n := runtime.GOMAXPROCS(0); n > 4 {
+		workerCounts = append(workerCounts, n)
+	}
+	var pairs int64 = -1
+	for _, workers := range workerCounts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				a, err := verify.AnalyzeOpts(tr, verify.AlgoVectorClock,
+					verify.AnalyzeOptions{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if pairs < 0 {
+					pairs = a.Conflicts.Pairs
+				} else if a.Conflicts.Pairs != pairs {
+					b.Fatalf("workers=%d changed the pair count: %d vs %d",
+						workers, a.Conflicts.Pairs, pairs)
+				}
+			}
+			b.ReportMetric(float64(pairs), "pairs")
 		})
 	}
 }

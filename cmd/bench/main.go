@@ -1,0 +1,264 @@
+// Command bench measures the analysis front-end (steps 2–4): it runs
+// Analyze + a four-model verification pass over every scaling-corpus trace
+// at workers ∈ {1, GOMAXPROCS} and writes the results — ns/op, allocs/op,
+// bytes/op, and the per-stage timing breakdown — as JSON. The committed
+// BENCH_analyze.json at the repository root is this command's output; CI
+// regenerates and validates it with -benchtime 1x on every push.
+//
+// Usage:
+//
+//	bench [-out BENCH_analyze.json] [-benchtime 5x|2s] [-check FILE]
+//
+// -benchtime accepts either a fixed iteration count ("5x") or a minimum
+// duration per (trace, workers) cell ("2s"), mirroring go test. -check
+// validates an existing output file instead of benchmarking.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"verifyio/internal/corpus"
+	"verifyio/internal/semantics"
+	"verifyio/internal/trace"
+	"verifyio/internal/verify"
+)
+
+// Output schema. Field names are part of the artifact contract checked by
+// -check and the CI smoke job.
+type output struct {
+	Generated  string       `json:"generated"`
+	GoVersion  string       `json:"go"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	BenchTime  string       `json:"benchtime"`
+	Traces     []traceBench `json:"traces"`
+}
+
+type traceBench struct {
+	Name    string `json:"name"`
+	Ranks   int    `json:"ranks"`
+	Records int    `json:"records"`
+	Ops     int    `json:"ops"`
+	Pairs   int64  `json:"pairs"`
+	Groups  int    `json:"groups"`
+	Runs    []run  `json:"runs"`
+	// Speedup is ns/op at workers=1 divided by ns/op at the highest
+	// worker count (1.0 when GOMAXPROCS is 1).
+	Speedup float64 `json:"speedup"`
+}
+
+type run struct {
+	Workers     int      `json:"workers"`
+	Iters       int      `json:"iters"`
+	NsPerOp     int64    `json:"ns_per_op"`
+	AllocsPerOp int64    `json:"allocs_per_op"`
+	BytesPerOp  int64    `json:"bytes_per_op"`
+	Stages      stagesNs `json:"stages_ns"`
+	RaceCount   int64    `json:"race_count"`
+}
+
+// stagesNs is the Timing breakdown of the last iteration, in nanoseconds.
+type stagesNs struct {
+	Detect          int64 `json:"detect"`
+	Match           int64 `json:"match"`
+	DetectMatchWall int64 `json:"detect_match_wall"`
+	BuildGraph      int64 `json:"build_graph"`
+	VectorClock     int64 `json:"vector_clock"`
+	Verification    int64 `json:"verification"`
+	Total           int64 `json:"total"`
+}
+
+func main() {
+	var (
+		out       = flag.String("out", "BENCH_analyze.json", "output file")
+		benchtime = flag.String("benchtime", "3x", "iterations per cell: \"Nx\" or a duration (\"2s\")")
+		check     = flag.String("check", "", "validate an existing output file and exit")
+	)
+	flag.Parse()
+
+	if *check != "" {
+		if err := checkFile(*check); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %s: %v\n", *check, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: well-formed\n", *check)
+		return
+	}
+
+	iters, minTime, err := parseBenchTime(*benchtime)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(2)
+	}
+
+	res := output{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		BenchTime:  *benchtime,
+	}
+	workerCounts := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		workerCounts = append(workerCounts, n)
+	}
+
+	for _, sc := range corpus.ScalingCorpus() {
+		tr, err := sc.Gen()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %s: %v\n", sc.Name, err)
+			os.Exit(1)
+		}
+		tb := traceBench{Name: sc.Name, Ranks: tr.NumRanks(), Records: tr.NumRecords()}
+		var baseRaces int64 = -1
+		for _, workers := range workerCounts {
+			r, a, races := benchOne(tr, workers, iters, minTime)
+			tb.Ops = len(a.Conflicts.Ops)
+			tb.Pairs = a.Conflicts.Pairs
+			tb.Groups = len(a.Conflicts.Groups)
+			// The determinism contract, enforced while measuring: every
+			// worker count must report the same races.
+			if baseRaces == -1 {
+				baseRaces = races
+			} else if races != baseRaces {
+				fmt.Fprintf(os.Stderr, "bench: %s: workers=%d found %d races, workers=1 found %d\n",
+					sc.Name, workers, races, baseRaces)
+				os.Exit(1)
+			}
+			tb.Runs = append(tb.Runs, r)
+			fmt.Printf("%-16s workers=%-3d %12d ns/op %12d allocs/op\n",
+				sc.Name, workers, r.NsPerOp, r.AllocsPerOp)
+		}
+		tb.Speedup = float64(tb.Runs[0].NsPerOp) / float64(tb.Runs[len(tb.Runs)-1].NsPerOp)
+		res.Traces = append(res.Traces, tb)
+	}
+
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+// benchOne measures Analyze + a four-model verify pass at one worker count.
+func benchOne(tr *trace.Trace, workers, iters int, minTime time.Duration) (run, *verify.Analysis, int64) {
+	var (
+		lastA     *verify.Analysis
+		races     int64
+		elapsed   time.Duration
+		done      int
+		allocs    uint64
+		bytes     uint64
+		memBefore runtime.MemStats
+		memAfter  runtime.MemStats
+	)
+	runtime.GC()
+	runtime.ReadMemStats(&memBefore)
+	for done = 0; done < iters || elapsed < minTime; done++ {
+		start := time.Now()
+		a, err := verify.AnalyzeOpts(tr, verify.AlgoVectorClock, verify.AnalyzeOptions{Workers: workers})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: analyze: %v\n", err)
+			os.Exit(1)
+		}
+		races = 0
+		for _, m := range semantics.All() {
+			rep, err := a.Verify(verify.Options{Model: m, Workers: workers, ContinueOnUnmatched: true})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bench: verify: %v\n", err)
+				os.Exit(1)
+			}
+			races += rep.RaceCount
+			a.Timing.Verification += rep.Timing.Verification
+		}
+		elapsed += time.Since(start)
+		lastA = a
+	}
+	runtime.ReadMemStats(&memAfter)
+	allocs = memAfter.Mallocs - memBefore.Mallocs
+	bytes = memAfter.TotalAlloc - memBefore.TotalAlloc
+
+	t := lastA.Timing
+	return run{
+		Workers:     workers,
+		Iters:       done,
+		NsPerOp:     elapsed.Nanoseconds() / int64(done),
+		AllocsPerOp: int64(allocs) / int64(done),
+		BytesPerOp:  int64(bytes) / int64(done),
+		RaceCount:   races,
+		Stages: stagesNs{
+			Detect:          t.DetectConflicts.Nanoseconds(),
+			Match:           t.Match.Nanoseconds(),
+			DetectMatchWall: t.DetectMatchWall.Nanoseconds(),
+			BuildGraph:      t.BuildGraph.Nanoseconds(),
+			VectorClock:     t.VectorClock.Nanoseconds(),
+			Verification:    t.Verification.Nanoseconds(),
+			Total:           t.Total().Nanoseconds(),
+		},
+	}, lastA, races
+}
+
+// parseBenchTime accepts "Nx" (fixed iterations) or a Go duration (minimum
+// time per cell).
+func parseBenchTime(s string) (iters int, minTime time.Duration, err error) {
+	if n, ok := strings.CutSuffix(s, "x"); ok {
+		v, err := strconv.Atoi(n)
+		if err != nil || v < 1 {
+			return 0, 0, fmt.Errorf("bad -benchtime %q", s)
+		}
+		return v, 0, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil || d <= 0 {
+		return 0, 0, fmt.Errorf("bad -benchtime %q", s)
+	}
+	return 1, d, nil
+}
+
+// checkFile validates the artifact shape: parses, and requires a non-empty
+// trace list where every trace has runs at workers=1 and at GOMAXPROCS
+// (equal when GOMAXPROCS is 1) with positive ns/op and stage totals.
+func checkFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var res output
+	if err := json.Unmarshal(data, &res); err != nil {
+		return fmt.Errorf("not valid JSON: %w", err)
+	}
+	if res.Generated == "" || res.GoVersion == "" || res.GOMAXPROCS < 1 {
+		return fmt.Errorf("missing header fields")
+	}
+	if len(res.Traces) == 0 {
+		return fmt.Errorf("no traces")
+	}
+	for _, tb := range res.Traces {
+		if tb.Name == "" || len(tb.Runs) == 0 {
+			return fmt.Errorf("trace %q has no runs", tb.Name)
+		}
+		if tb.Runs[0].Workers != 1 {
+			return fmt.Errorf("trace %q: first run must be workers=1, got %d", tb.Name, tb.Runs[0].Workers)
+		}
+		for _, r := range tb.Runs {
+			if r.Iters < 1 || r.NsPerOp <= 0 {
+				return fmt.Errorf("trace %q workers=%d: bad iteration stats", tb.Name, r.Workers)
+			}
+			if r.Stages.Total <= 0 {
+				return fmt.Errorf("trace %q workers=%d: missing stage breakdown", tb.Name, r.Workers)
+			}
+		}
+	}
+	return nil
+}

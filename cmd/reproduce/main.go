@@ -46,7 +46,7 @@ func run() int {
 	var (
 		out      = flag.String("out", "results", "output directory for the artifacts")
 		only     = flag.String("only", "", "comma-separated subset (table1,table2,table3,table4,fig3,fig4)")
-		workers  = flag.Int("workers", 0, "verification worker goroutines (0 = GOMAXPROCS, 1 = serial)")
+		workers  = flag.Int("workers", 0, "analysis+verification worker goroutines for steps 2–4 (0 = GOMAXPROCS, 1 = serial)")
 		tolerate = flag.Bool("tolerate", false, "read stored traces leniently, salvaging damaged rank streams")
 	)
 	flag.Parse()
@@ -235,7 +235,7 @@ func table4(w io.Writer, vopts verify.Options, dopts trace.DecodeOptions) error 
 			return err
 		}
 		readTime := time.Since(readStart)
-		a, err := verify.Analyze(tr, verify.AlgoVectorClock)
+		a, err := verify.AnalyzeOpts(tr, verify.AlgoVectorClock, verify.AnalyzeOptions{Workers: vopts.Workers})
 		if err != nil {
 			return err
 		}
@@ -274,6 +274,8 @@ func table4(w io.Writer, vopts verify.Options, dopts trace.DecodeOptions) error 
 	}
 	stage("Read trace", func(t verify.Timing) time.Duration { return t.ReadTrace })
 	stage("Detect conflicts", func(t verify.Timing) time.Duration { return t.DetectConflicts })
+	stage("Match MPI calls", func(t verify.Timing) time.Duration { return t.Match })
+	stage("  detect+match wall clock", func(t verify.Timing) time.Duration { return t.DetectMatchWall })
 	stage("Build the happens-before graph", func(t verify.Timing) time.Duration { return t.BuildGraph })
 	stage("Generate vector clock", func(t verify.Timing) time.Duration { return t.VectorClock })
 	stage("Verification (4 models)", func(t verify.Timing) time.Duration { return t.Verification })
@@ -305,7 +307,7 @@ func fig3(w io.Writer, vopts verify.Options) error {
 		if err != nil {
 			return err
 		}
-		a, err := verify.Analyze(tr, verify.AlgoVectorClock)
+		a, err := verify.AnalyzeOpts(tr, verify.AlgoVectorClock, verify.AnalyzeOptions{Workers: vopts.Workers})
 		if err != nil {
 			return err
 		}

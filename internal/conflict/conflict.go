@@ -11,19 +11,27 @@
 // descriptor from open and a FILE* stream from fopen) to the same file are
 // compared against each other.
 //
-// The detector reports conflict groups (X, ζ): for each data operation X, a
-// map from process rank to the operations on that rank that conflict with X,
-// sorted in program order — the structure the verifier's pruning (Fig. 3)
-// operates on. Only cross-rank pairs are conflicts: same-process operations
-// are totally ordered by program order.
+// The replay state is per-rank by construction, so the detector shards it:
+// each rank replays independently with rank-local file identities, and a
+// serial merge canonicalizes those identities into exactly the ids a
+// rank-major serial scan would assign (see mergeShards). The sort-and-sweep
+// over per-file interval lists is likewise sharded per file. Both shardings
+// are exact — the result is identical at every worker count.
+//
+// The detector reports conflict groups (X, ζ): for each data operation X,
+// the operations on other ranks that conflict with X, partitioned by rank
+// and sorted in program order — the structure the verifier's pruning
+// (Fig. 3) operates on. Only cross-rank pairs are conflicts: same-process
+// operations are totally ordered by program order. Groups use a flat
+// CSR-style layout (see Group).
 package conflict
 
 import (
 	"fmt"
 	"math"
-	"sort"
 	"strings"
 
+	"verifyio/internal/par"
 	"verifyio/internal/recorder"
 	"verifyio/internal/trace"
 )
@@ -63,7 +71,7 @@ type Result struct {
 	// pair counted once).
 	Pairs int64
 	// Groups holds, for each op index with at least one conflict, the
-	// conflict group (X, ζ).
+	// conflict group (X, ζ), sorted by X.
 	Groups []Group
 	// Skipped counts records that looked like data operations but could
 	// not be interpreted (missing arguments, unknown handles) — tolerated
@@ -71,14 +79,12 @@ type Result struct {
 	Skipped int
 }
 
-// Group is a conflict group (X, ζ).
-type Group struct {
-	// X indexes Result.Ops.
-	X int
-	// ByRank maps a process rank to the indices (into Result.Ops) of the
-	// operations on that rank conflicting with X, sorted in program
-	// order.
-	ByRank map[int][]int
+// Options configures the detector.
+type Options struct {
+	// Workers bounds the goroutines used for the per-rank metadata replay
+	// and the per-file conflict sweep. 0 means GOMAXPROCS; 1 forces the
+	// serial path. The result is identical at every worker count.
+	Workers int
 }
 
 // handleState is the per-handle replay state: which file, and the handle's
@@ -88,268 +94,312 @@ type handleState struct {
 	pos int64
 }
 
-// Detect scans the trace and returns all data operations, synchronization
-// points, and conflict groups.
+// Detect scans the trace with a GOMAXPROCS-wide worker pool; see
+// DetectOpts.
 func Detect(tr *trace.Trace) (*Result, error) {
-	res := &Result{}
-	fids := make(map[string]int)
+	return DetectOpts(tr, Options{})
+}
+
+// DetectOpts scans the trace and returns all data operations,
+// synchronization points, and conflict groups.
+func DetectOpts(tr *trace.Trace, opts Options) (*Result, error) {
+	workers := par.Resolve(opts.Workers)
+
+	shards := make([]*rankShard, len(tr.Ranks))
+	par.Do(workers, len(tr.Ranks), func(rank int) {
+		shards[rank] = replayRank(tr.Ranks[rank])
+	})
+
+	res := mergeShards(shards)
+	if len(res.Ops) > math.MaxInt32 {
+		return nil, fmt.Errorf("conflict: %d data operations exceed the int32 group index space", len(res.Ops))
+	}
+	detectPairs(res, workers)
+	return res, nil
+}
+
+// localKey names a file identity as one rank sees it in isolation: the path
+// plus the number of unlinks of that path the rank had replayed when the
+// identity was first used. Unlink retires a path's current identity — a
+// later create at the same path is a different file — so the generation
+// count is exactly what distinguishes identities sharing a path. Unlinks on
+// other ranks shift the generation during the merge (cross-rank
+// interleavings resolve by rank-major scan order, a documented
+// approximation like the paper's (FP, EOF) replay).
+type localKey struct {
+	path string
+	gen  int
+}
+
+// rankShard is one rank's replay output. Op/Sync FIDs index keys; the merge
+// rewrites them to canonical file ids.
+type rankShard struct {
+	ops     []Op
+	syncs   []SyncPoint
+	keys    []localKey     // local fid -> identity, in first-use order
+	unlinks map[string]int // path -> total unlinks on this rank
+	skipped int
+}
+
+// replayRank replays one rank's metadata history. It touches no shared
+// state, which is what makes the replay embarrassingly parallel.
+func replayRank(recs []trace.Record) *rankShard {
+	sh := &rankShard{unlinks: make(map[string]int)}
+	fids := make(map[localKey]int)
+	// fidOf resolves a path to the rank-local id of its current identity.
+	// During the scan sh.unlinks doubles as the unlinks-seen-so-far
+	// counter.
 	fidOf := func(path string) int {
-		id, ok := fids[path]
+		k := localKey{path: path, gen: sh.unlinks[path]}
+		id, ok := fids[k]
 		if !ok {
-			id = len(res.Files)
-			fids[path] = id
-			res.Files = append(res.Files, path)
+			id = len(sh.keys)
+			fids[k] = id
+			sh.keys = append(sh.keys, k)
 		}
 		return id
 	}
 
-	for rank := range tr.Ranks {
-		handles := make(map[string]*handleState) // handle arg -> state
-		eof := make(map[int]int64)               // fid -> local EOF estimate
+	handles := make(map[string]*handleState) // handle arg -> state
+	eof := make(map[int]int64)               // local fid -> EOF estimate
 
-		growEOF := func(fid int, end int64) {
-			if end > eof[fid] {
-				eof[fid] = end
-			}
-		}
-		addOp := func(rec *trace.Record, fid int, write bool, start, n int64) {
-			if n <= 0 {
-				return
-			}
-			res.Ops = append(res.Ops, Op{
-				Ref: trace.Ref{Rank: rec.Rank, Seq: rec.Seq},
-				FID: fid, Write: write, Start: start, End: start + n,
-			})
-			if write {
-				growEOF(fid, start+n)
-			}
-		}
-		addSync := func(rec *trace.Record, fid int) {
-			res.Syncs = append(res.Syncs, SyncPoint{
-				Ref:  trace.Ref{Rank: rec.Rank, Seq: rec.Seq},
-				Func: rec.Func, FID: fid,
-			})
-		}
-		lookup := func(handle string) *handleState {
-			return handles[handle]
-		}
-
-		for i := range tr.Ranks[rank] {
-			rec := &tr.Ranks[rank][i]
-			switch rec.Func {
-			case "open":
-				fd := rec.Arg(2)
-				if rec.Arg(0) == "" || fd == "" {
-					res.Skipped++
-					continue
-				}
-				fid := fidOf(rec.Arg(0))
-				st := &handleState{fid: fid}
-				flags := rec.Arg(1)
-				if contains(flags, "trunc") {
-					eof[fid] = 0
-				}
-				if contains(flags, "append") {
-					st.pos = eof[fid]
-				}
-				handles[fd] = st
-				addSync(rec, fid)
-
-			case "fopen":
-				id := rec.Arg(2)
-				if rec.Arg(0) == "" || id == "" {
-					res.Skipped++
-					continue
-				}
-				fid := fidOf(rec.Arg(0))
-				st := &handleState{fid: fid}
-				switch rec.Arg(1) {
-				case "w", "w+":
-					eof[fid] = 0
-				case "a", "a+":
-					st.pos = eof[fid]
-				}
-				handles[id] = st
-				addSync(rec, fid)
-
-			case "close", "fclose":
-				st := lookup(rec.Arg(0))
-				if st == nil {
-					res.Skipped++
-					continue
-				}
-				addSync(rec, st.fid)
-				delete(handles, rec.Arg(0))
-
-			case "fsync", "fdatasync":
-				st := lookup(rec.Arg(0))
-				if st == nil {
-					res.Skipped++
-					continue
-				}
-				addSync(rec, st.fid)
-
-			case "read", "write":
-				st := lookup(rec.Arg(0))
-				n, ok := rec.IntArg(1)
-				if st == nil || !ok {
-					res.Skipped++
-					continue
-				}
-				addOp(rec, st.fid, rec.Func == "write", st.pos, n)
-				st.pos += n
-
-			case "pread", "pwrite":
-				st := lookup(rec.Arg(0))
-				n, okN := rec.IntArg(1)
-				off, okO := rec.IntArg(2)
-				if st == nil || !okN || !okO {
-					res.Skipped++
-					continue
-				}
-				addOp(rec, st.fid, rec.Func == "pwrite", off, n)
-
-			case "fread", "fwrite":
-				st := lookup(rec.Arg(0))
-				size, okS := rec.IntArg(1)
-				count, okC := rec.IntArg(2)
-				// A corrupt record can carry negative fields or a
-				// size*count product past int64: both would poison the
-				// interval index with nonsense ranges.
-				if st == nil || !okS || !okC || size < 0 || count < 0 ||
-					(size > 0 && count > math.MaxInt64/size) {
-					res.Skipped++
-					continue
-				}
-				// Access size = size * count (the paper's fwrite
-				// example).
-				n := size * count
-				addOp(rec, st.fid, rec.Func == "fwrite", st.pos, n)
-				st.pos += n
-
-			case "readv", "writev":
-				// [fd, iovcnt, len...] — contiguous in the file, so
-				// one range of the summed lengths at the current
-				// position.
-				st := lookup(rec.Arg(0))
-				cnt, okC := rec.IntArg(1)
-				if st == nil || !okC || cnt < 0 || cnt > int64(len(rec.Args)) {
-					res.Skipped++
-					continue
-				}
-				total := int64(0)
-				bad := false
-				for k := 0; k < int(cnt); k++ {
-					n, ok := rec.IntArg(2 + k)
-					if !ok {
-						bad = true
-						break
-					}
-					total += n
-				}
-				if bad {
-					res.Skipped++
-					continue
-				}
-				addOp(rec, st.fid, rec.Func == "writev", st.pos, total)
-				st.pos += total
-
-			case "lseek", "fseek":
-				st := lookup(rec.Arg(0))
-				if st == nil {
-					res.Skipped++
-					continue
-				}
-				// Prefer the recorded resulting position; fall back
-				// to replaying the whence rule against (FP, EOF).
-				if pos, ok := rec.IntArg(3); ok {
-					st.pos = pos
-					continue
-				}
-				off, okO := rec.IntArg(1)
-				whence, errW := recorder.ParseWhence(rec.Arg(2))
-				if !okO || errW != nil {
-					res.Skipped++
-					continue
-				}
-				switch whence {
-				case 0: // SEEK_SET
-					st.pos = off
-				case 1: // SEEK_CUR
-					st.pos += off
-				case 2: // SEEK_END
-					st.pos = eof[st.fid] + off
-				}
-
-			case "ftruncate":
-				st := lookup(rec.Arg(0))
-				size, ok := rec.IntArg(1)
-				if st == nil || !ok {
-					res.Skipped++
-					continue
-				}
-				// Truncation rewrites the affected range: shrink
-				// clobbers [size, EOF), growth zero-fills [EOF, size).
-				old := eof[st.fid]
-				lo, hi := size, old
-				if size > old {
-					lo, hi = old, size
-				}
-				addOp(rec, st.fid, true, lo, hi-lo)
-				eof[st.fid] = size
-
-			case "unlink":
-				// Unlink retires the path's current file identity:
-				// a later create at the same path is a different
-				// file and must not be compared against this one.
-				// (Cross-rank unlink/recreate interleavings are
-				// resolved by scan order — a documented
-				// approximation, like the paper's (FP, EOF)
-				// replay.)
-				if rec.Arg(0) == "" {
-					res.Skipped++
-					continue
-				}
-				delete(fids, rec.Arg(0))
-
-			case "MPI_File_open":
-				// [comm, path, amode, fd] — the fd aliases the nested
-				// POSIX open, giving the MPI-IO sync op its file.
-				if rec.Arg(1) == "" {
-					res.Skipped++
-					continue
-				}
-				addSync(rec, fidOf(rec.Arg(1)))
-
-			case "MPI_File_close", "MPI_File_sync":
-				st := lookup(rec.Arg(0))
-				if st == nil {
-					// The nested POSIX close has already removed the
-					// handle when the MPI-IO record is emitted
-					// (records appear at call return, innermost
-					// first). Resolve through the close that just
-					// happened instead.
-					if fid, ok := lastClosedFID(res.Syncs, rank, rec.Seq); ok {
-						addSync(rec, fid)
-						continue
-					}
-					res.Skipped++
-					continue
-				}
-				addSync(rec, st.fid)
-			}
+	growEOF := func(fid int, end int64) {
+		if end > eof[fid] {
+			eof[fid] = end
 		}
 	}
-	detectPairs(res)
-	return res, nil
+	addOp := func(rec *trace.Record, fid int, write bool, start, n int64) {
+		if n <= 0 {
+			return
+		}
+		sh.ops = append(sh.ops, Op{
+			Ref: trace.Ref{Rank: rec.Rank, Seq: rec.Seq},
+			FID: fid, Write: write, Start: start, End: start + n,
+		})
+		if write {
+			growEOF(fid, start+n)
+		}
+	}
+	addSync := func(rec *trace.Record, fid int) {
+		sh.syncs = append(sh.syncs, SyncPoint{
+			Ref:  trace.Ref{Rank: rec.Rank, Seq: rec.Seq},
+			Func: rec.Func, FID: fid,
+		})
+	}
+	lookup := func(handle string) *handleState {
+		return handles[handle]
+	}
+
+	for i := range recs {
+		rec := &recs[i]
+		switch rec.Func {
+		case "open":
+			fd := rec.Arg(2)
+			if rec.Arg(0) == "" || fd == "" {
+				sh.skipped++
+				continue
+			}
+			fid := fidOf(rec.Arg(0))
+			st := &handleState{fid: fid}
+			flags := rec.Arg(1)
+			if contains(flags, "trunc") {
+				eof[fid] = 0
+			}
+			if contains(flags, "append") {
+				st.pos = eof[fid]
+			}
+			handles[fd] = st
+			addSync(rec, fid)
+
+		case "fopen":
+			id := rec.Arg(2)
+			if rec.Arg(0) == "" || id == "" {
+				sh.skipped++
+				continue
+			}
+			fid := fidOf(rec.Arg(0))
+			st := &handleState{fid: fid}
+			switch rec.Arg(1) {
+			case "w", "w+":
+				eof[fid] = 0
+			case "a", "a+":
+				st.pos = eof[fid]
+			}
+			handles[id] = st
+			addSync(rec, fid)
+
+		case "close", "fclose":
+			st := lookup(rec.Arg(0))
+			if st == nil {
+				sh.skipped++
+				continue
+			}
+			addSync(rec, st.fid)
+			delete(handles, rec.Arg(0))
+
+		case "fsync", "fdatasync":
+			st := lookup(rec.Arg(0))
+			if st == nil {
+				sh.skipped++
+				continue
+			}
+			addSync(rec, st.fid)
+
+		case "read", "write":
+			st := lookup(rec.Arg(0))
+			n, ok := rec.IntArg(1)
+			if st == nil || !ok {
+				sh.skipped++
+				continue
+			}
+			addOp(rec, st.fid, rec.Func == "write", st.pos, n)
+			st.pos += n
+
+		case "pread", "pwrite":
+			st := lookup(rec.Arg(0))
+			n, okN := rec.IntArg(1)
+			off, okO := rec.IntArg(2)
+			if st == nil || !okN || !okO {
+				sh.skipped++
+				continue
+			}
+			addOp(rec, st.fid, rec.Func == "pwrite", off, n)
+
+		case "fread", "fwrite":
+			st := lookup(rec.Arg(0))
+			size, okS := rec.IntArg(1)
+			count, okC := rec.IntArg(2)
+			// A corrupt record can carry negative fields or a
+			// size*count product past int64: both would poison the
+			// interval index with nonsense ranges.
+			if st == nil || !okS || !okC || size < 0 || count < 0 ||
+				(size > 0 && count > math.MaxInt64/size) {
+				sh.skipped++
+				continue
+			}
+			// Access size = size * count (the paper's fwrite
+			// example).
+			n := size * count
+			addOp(rec, st.fid, rec.Func == "fwrite", st.pos, n)
+			st.pos += n
+
+		case "readv", "writev":
+			// [fd, iovcnt, len...] — contiguous in the file, so
+			// one range of the summed lengths at the current
+			// position.
+			st := lookup(rec.Arg(0))
+			cnt, okC := rec.IntArg(1)
+			if st == nil || !okC || cnt < 0 || cnt > int64(len(rec.Args)) {
+				sh.skipped++
+				continue
+			}
+			total := int64(0)
+			bad := false
+			for k := 0; k < int(cnt); k++ {
+				n, ok := rec.IntArg(2 + k)
+				if !ok {
+					bad = true
+					break
+				}
+				total += n
+			}
+			if bad {
+				sh.skipped++
+				continue
+			}
+			addOp(rec, st.fid, rec.Func == "writev", st.pos, total)
+			st.pos += total
+
+		case "lseek", "fseek":
+			st := lookup(rec.Arg(0))
+			if st == nil {
+				sh.skipped++
+				continue
+			}
+			// Prefer the recorded resulting position; fall back
+			// to replaying the whence rule against (FP, EOF).
+			if pos, ok := rec.IntArg(3); ok {
+				st.pos = pos
+				continue
+			}
+			off, okO := rec.IntArg(1)
+			whence, errW := recorder.ParseWhence(rec.Arg(2))
+			if !okO || errW != nil {
+				sh.skipped++
+				continue
+			}
+			switch whence {
+			case 0: // SEEK_SET
+				st.pos = off
+			case 1: // SEEK_CUR
+				st.pos += off
+			case 2: // SEEK_END
+				st.pos = eof[st.fid] + off
+			}
+
+		case "ftruncate":
+			st := lookup(rec.Arg(0))
+			size, ok := rec.IntArg(1)
+			if st == nil || !ok {
+				sh.skipped++
+				continue
+			}
+			// Truncation rewrites the affected range: shrink
+			// clobbers [size, EOF), growth zero-fills [EOF, size).
+			old := eof[st.fid]
+			lo, hi := size, old
+			if size > old {
+				lo, hi = old, size
+			}
+			addOp(rec, st.fid, true, lo, hi-lo)
+			eof[st.fid] = size
+
+		case "unlink":
+			// Bumping the generation retires the path's current
+			// identity: the next fidOf at this path resolves to a
+			// fresh key.
+			if rec.Arg(0) == "" {
+				sh.skipped++
+				continue
+			}
+			sh.unlinks[rec.Arg(0)]++
+
+		case "MPI_File_open":
+			// [comm, path, amode, fd] — the fd aliases the nested
+			// POSIX open, giving the MPI-IO sync op its file.
+			if rec.Arg(1) == "" {
+				sh.skipped++
+				continue
+			}
+			addSync(rec, fidOf(rec.Arg(1)))
+
+		case "MPI_File_close", "MPI_File_sync":
+			st := lookup(rec.Arg(0))
+			if st == nil {
+				// The nested POSIX close has already removed the
+				// handle when the MPI-IO record is emitted
+				// (records appear at call return, innermost
+				// first). Resolve through the close that just
+				// happened instead.
+				if fid, ok := lastClosedFID(sh.syncs, rec.Seq); ok {
+					addSync(rec, fid)
+					continue
+				}
+				sh.skipped++
+				continue
+			}
+			addSync(rec, st.fid)
+		}
+	}
+	return sh
 }
 
 // lastClosedFID finds the fid of the most recent close/fsync sync point on
 // this rank (the nested POSIX record of the enclosing MPI-IO call).
-func lastClosedFID(syncs []SyncPoint, rank, beforeSeq int) (int, bool) {
+func lastClosedFID(syncs []SyncPoint, beforeSeq int) (int, bool) {
 	for i := len(syncs) - 1; i >= 0; i-- {
 		sp := syncs[i]
-		if sp.Ref.Rank != rank || sp.Ref.Seq >= beforeSeq {
+		if sp.Ref.Seq >= beforeSeq {
 			continue
 		}
 		switch sp.Func {
@@ -361,76 +411,57 @@ func lastClosedFID(syncs []SyncPoint, rank, beforeSeq int) (int, bool) {
 	return 0, false
 }
 
-// detectPairs runs the sort-and-sweep over per-file interval lists (the
-// paper's conflict_detection pseudocode) and builds the conflict groups.
-func detectPairs(res *Result) {
-	byFile := make(map[int][]int)
-	for i := range res.Ops {
-		byFile[res.Ops[i].FID] = append(byFile[res.Ops[i].FID], i)
+// mergeShards canonicalizes file identities and concatenates the per-rank
+// outputs in rank order, reproducing exactly the ids and ordering of a
+// single rank-major scan with one global path table.
+//
+// The equivalence: in a serial scan, two fidOf calls resolve to the same id
+// iff they name the same path with no unlink of that path between them. A
+// rank-local key (path, g) therefore denotes the global identity
+// (path, genBefore[path] + g), where genBefore accumulates the unlink
+// counts of all earlier ranks — earlier unlinks on the same rank are
+// already in g, later ranks' unlinks come after every use on this rank.
+// Canonical ids are assigned on first sight walking the ranks' key tables
+// in order, which is each identity's first-use position in the rank-major
+// scan, so the numbering matches too.
+func mergeShards(shards []*rankShard) *Result {
+	res := &Result{}
+	nops, nsyncs := 0, 0
+	for _, sh := range shards {
+		nops += len(sh.ops)
+		nsyncs += len(sh.syncs)
+		res.Skipped += sh.skipped
 	}
-	groups := make(map[int]*Group)
-	groupOf := func(x int) *Group {
-		g, ok := groups[x]
-		if !ok {
-			g = &Group{X: x, ByRank: make(map[int][]int)}
-			groups[x] = g
-		}
-		return g
-	}
+	res.Ops = make([]Op, 0, nops)
+	res.Syncs = make([]SyncPoint, 0, nsyncs)
 
-	fids := make([]int, 0, len(byFile))
-	for fid := range byFile {
-		fids = append(fids, fid)
-	}
-	sort.Ints(fids)
-
-	for _, fid := range fids {
-		idx := byFile[fid]
-		sort.Slice(idx, func(a, b int) bool {
-			oa, ob := &res.Ops[idx[a]], &res.Ops[idx[b]]
-			if oa.Start != ob.Start {
-				return oa.Start < ob.Start
+	canon := make(map[localKey]int)
+	genBefore := make(map[string]int)
+	for _, sh := range shards {
+		remap := make([]int, len(sh.keys))
+		for i, k := range sh.keys {
+			gk := localKey{path: k.path, gen: k.gen + genBefore[k.path]}
+			id, ok := canon[gk]
+			if !ok {
+				id = len(res.Files)
+				canon[gk] = id
+				res.Files = append(res.Files, k.path)
 			}
-			return oa.Ref.Less(ob.Ref)
-		})
-		for i := 0; i < len(idx); i++ {
-			I := &res.Ops[idx[i]]
-			for j := i + 1; j < len(idx); j++ {
-				J := &res.Ops[idx[j]]
-				if J.Start >= I.End {
-					// Sorted by start: no later interval can
-					// overlap I either.
-					break
-				}
-				if !I.Write && !J.Write {
-					continue
-				}
-				if I.Ref.Rank == J.Ref.Rank {
-					continue // ordered by program order
-				}
-				res.Pairs++
-				groupOf(idx[i]).ByRank[J.Ref.Rank] = append(groupOf(idx[i]).ByRank[J.Ref.Rank], idx[j])
-				groupOf(idx[j]).ByRank[I.Ref.Rank] = append(groupOf(idx[j]).ByRank[I.Ref.Rank], idx[i])
-			}
+			remap[i] = id
+		}
+		for p, n := range sh.unlinks {
+			genBefore[p] += n
+		}
+		for _, op := range sh.ops {
+			op.FID = remap[op.FID]
+			res.Ops = append(res.Ops, op)
+		}
+		for _, sp := range sh.syncs {
+			sp.FID = remap[sp.FID]
+			res.Syncs = append(res.Syncs, sp)
 		}
 	}
-
-	xs := make([]int, 0, len(groups))
-	for x := range groups {
-		xs = append(xs, x)
-	}
-	sort.Ints(xs)
-	for _, x := range xs {
-		g := groups[x]
-		for rank := range g.ByRank {
-			lst := g.ByRank[rank]
-			sort.Slice(lst, func(a, b int) bool {
-				return res.Ops[lst[a]].Ref.Less(res.Ops[lst[b]].Ref)
-			})
-			g.ByRank[rank] = lst
-		}
-		res.Groups = append(res.Groups, *g)
-	}
+	return res
 }
 
 // PathOf returns the path for a file id.

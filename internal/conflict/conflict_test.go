@@ -255,7 +255,7 @@ func TestGroupsSortedByProgramOrder(t *testing.T) {
 	if g == nil {
 		t.Fatal("no group for rank 0's write")
 	}
-	lst := g.ByRank[1]
+	lst := g.ByRank(res.Ops)[1]
 	if len(lst) != 3 {
 		t.Fatalf("ζ[1] = %v", lst)
 	}

@@ -1,0 +1,202 @@
+package conflict
+
+import (
+	"cmp"
+	"slices"
+
+	"verifyio/internal/par"
+)
+
+// Group is a conflict group (X, ζ) in a flat CSR-style layout: the indices
+// of the operations conflicting with X form one ascending []int32 view into
+// a Result-wide arena, with per-rank runs delimited by offset views into a
+// second arena. Because Result.Ops is ordered by (rank, seq), ascending op
+// index is program order and each rank's conflicting operations form one
+// contiguous run, ranks ascending — the map-of-slices this layout replaces
+// (rank -> program-ordered indices) stored exactly the same information at
+// the cost of a map and a slice header per rank per group.
+type Group struct {
+	// X indexes Result.Ops.
+	X int
+	// ys are the conflicting op indices, ascending.
+	ys []int32
+	// runs holds NumRuns()+1 offsets into ys: run k is
+	// ys[runs[k]:runs[k+1]], a maximal same-rank span.
+	runs []int32
+}
+
+// Ys returns the indices (into Result.Ops) of all operations conflicting
+// with X, ascending — which is (rank, seq) program order. The slice is a
+// view; callers must not modify it.
+func (g *Group) Ys() []int32 { return g.ys }
+
+// NumRuns returns the number of per-rank runs in the group.
+func (g *Group) NumRuns() int {
+	if len(g.runs) == 0 {
+		return 0
+	}
+	return len(g.runs) - 1
+}
+
+// RunAt returns the k-th run: the indices of the conflicting operations on
+// one rank, in program order. Runs are ordered by ascending rank. The slice
+// is a view; callers must not modify it.
+func (g *Group) RunAt(k int) []int32 {
+	return g.ys[g.runs[k]:g.runs[k+1]]
+}
+
+// ByRank materializes the associative view the CSR layout replaced: process
+// rank -> indices (into ops, which must be the Result.Ops slice the group
+// indexes) of the operations on that rank conflicting with X, in program
+// order. It exists for tests and external consumers; hot paths iterate
+// RunAt directly.
+func (g *Group) ByRank(ops []Op) map[int][]int {
+	out := make(map[int][]int, g.NumRuns())
+	for k := 0; k < g.NumRuns(); k++ {
+		run := g.RunAt(k)
+		lst := make([]int, len(run))
+		for i, y := range run {
+			lst[i] = int(y)
+		}
+		out[ops[run[0]].Ref.Rank] = lst
+	}
+	return out
+}
+
+// pairRec is one directed conflicting pair during the per-file sweep.
+type pairRec struct{ x, y int32 }
+
+// fileSweep is one file's sweep output. The groups view file-local ys/runs
+// storage; the merge copies them into the Result-wide arenas.
+type fileSweep struct {
+	pairs  int64
+	groups []Group
+	nys    int
+	nruns  int
+}
+
+// detectPairs runs the sort-and-sweep over per-file interval lists (the
+// paper's conflict_detection pseudocode) and builds the conflict groups.
+// An operation belongs to exactly one file, so the per-file sweeps are
+// independent and shard across the worker pool; their group lists have
+// disjoint X sets, so the final sort by X interleaves them exactly as a
+// serial ascending-fid sweep would have emitted them.
+func detectPairs(res *Result, workers int) {
+	byFile := make([][]int32, len(res.Files))
+	for i := range res.Ops {
+		fid := res.Ops[i].FID
+		byFile[fid] = append(byFile[fid], int32(i))
+	}
+
+	sweeps := make([]fileSweep, len(byFile))
+	par.Do(workers, len(byFile), func(fid int) {
+		sweeps[fid] = sweepFile(res.Ops, byFile[fid])
+	})
+
+	totalGroups, totalYs, totalRuns := 0, 0, 0
+	for i := range sweeps {
+		res.Pairs += sweeps[i].pairs
+		totalGroups += len(sweeps[i].groups)
+		totalYs += sweeps[i].nys
+		totalRuns += sweeps[i].nruns
+	}
+	if totalGroups == 0 {
+		return
+	}
+	groups := make([]Group, 0, totalGroups)
+	for i := range sweeps {
+		groups = append(groups, sweeps[i].groups...)
+	}
+	slices.SortFunc(groups, func(a, b Group) int { return cmp.Compare(a.X, b.X) })
+
+	// Compact the per-file storage into two Result-wide arenas in group
+	// order. Capacities are exact, so the appends never reallocate and the
+	// rebased views stay valid.
+	ys := make([]int32, 0, totalYs)
+	runs := make([]int32, 0, totalRuns)
+	for i := range groups {
+		g := &groups[i]
+		ylo, rlo := len(ys), len(runs)
+		ys = append(ys, g.ys...)
+		runs = append(runs, g.runs...)
+		g.ys = ys[ylo:len(ys):len(ys)]
+		g.runs = runs[rlo:len(runs):len(runs)]
+	}
+	res.Groups = groups
+}
+
+// sweepFile sorts one file's operations by start offset and sweeps for
+// overlapping cross-rank pairs with at least one write, then folds the
+// pair list into CSR groups.
+func sweepFile(ops []Op, idx []int32) fileSweep {
+	slices.SortFunc(idx, func(a, b int32) int {
+		oa, ob := &ops[a], &ops[b]
+		if oa.Start != ob.Start {
+			return cmp.Compare(oa.Start, ob.Start)
+		}
+		// Op index order is (rank, seq) order: Ops is rank-major.
+		return cmp.Compare(a, b)
+	})
+
+	var sw fileSweep
+	var recs []pairRec
+	for i := 0; i < len(idx); i++ {
+		I := &ops[idx[i]]
+		for j := i + 1; j < len(idx); j++ {
+			J := &ops[idx[j]]
+			if J.Start >= I.End {
+				// Sorted by start: no later interval can overlap I
+				// either.
+				break
+			}
+			if !I.Write && !J.Write {
+				continue
+			}
+			if I.Ref.Rank == J.Ref.Rank {
+				continue // ordered by program order
+			}
+			sw.pairs++
+			recs = append(recs, pairRec{x: idx[i], y: idx[j]}, pairRec{x: idx[j], y: idx[i]})
+		}
+	}
+	if len(recs) == 0 {
+		return sw
+	}
+
+	// Sorting the directed pairs by (x, y) clusters each group's ys
+	// contiguously and ascending; runs then fall out of a single walk.
+	slices.SortFunc(recs, func(a, b pairRec) int {
+		if a.x != b.x {
+			return cmp.Compare(a.x, b.x)
+		}
+		return cmp.Compare(a.y, b.y)
+	})
+	ysArena := make([]int32, len(recs))
+	var runArena []int32
+	for s := 0; s < len(recs); {
+		x := recs[s].x
+		e := s
+		for e < len(recs) && recs[e].x == x {
+			ysArena[e] = recs[e].y
+			e++
+		}
+		ys := ysArena[s:e]
+		rlo := len(runArena)
+		prevRank := -1
+		for k, y := range ys {
+			if r := ops[y].Ref.Rank; r != prevRank {
+				runArena = append(runArena, int32(k)) // run offsets are group-relative
+				prevRank = r
+			}
+		}
+		runArena = append(runArena, int32(len(ys)))
+		// Earlier groups keep views into superseded runArena backing
+		// arrays after growth; their contents are complete and never
+		// rewritten, and detectPairs rebases everything anyway.
+		sw.groups = append(sw.groups, Group{X: int(x), ys: ys, runs: runArena[rlo:len(runArena)]})
+		s = e
+	}
+	sw.nys = len(ysArena)
+	sw.nruns = len(runArena)
+	return sw
+}

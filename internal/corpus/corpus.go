@@ -127,7 +127,7 @@ func VerifyOpts(t Test, algo verify.Algo, opts verify.Options) (*Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	a, err := verify.Analyze(tr, algo)
+	a, err := verify.AnalyzeOpts(tr, algo, verify.AnalyzeOptions{Workers: opts.Workers})
 	if err != nil {
 		return nil, fmt.Errorf("corpus: %s: %w", t.Name, err)
 	}

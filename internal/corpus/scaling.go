@@ -1,0 +1,82 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+
+	"verifyio/internal/trace"
+)
+
+// ScalingCase is one entry of the scaling corpus: traces sized to stress
+// the analysis front-end (steps 2–4) rather than to reproduce a paper
+// finding. cmd/bench and the BenchmarkAnalyze harness run Analyze+VerifyAll
+// over these at different worker counts.
+type ScalingCase struct {
+	Name string
+	Gen  func() (*trace.Trace, error)
+}
+
+// ScalingTrace synthesizes a deterministic trace of nranks ranks, each
+// issuing ops pwrite/pread calls of width 16 at pseudo-random offsets
+// within window (overlap density is controlled by window), with an
+// MPI_Barrier across all ranks every barrierEvery data operations — enough
+// MPI structure to give the matcher and happens-before construction real
+// work. The same arguments always produce the identical trace.
+func ScalingTrace(nranks, ops int, window int64, seed int64) *trace.Trace {
+	const barrierEvery = 64
+	tr := trace.New(nranks)
+	for rank := 0; rank < nranks; rank++ {
+		// Seed per rank so the trace does not change shape when only
+		// nranks varies.
+		rng := rand.New(rand.NewSource(seed + int64(rank)))
+		tick := int64(2)
+		emit := func(layer trace.Layer, fn string, args ...string) {
+			tr.Append(trace.Record{Rank: rank, Func: fn, Layer: layer,
+				Args: args, Tick: tick, Ret: tick + 1})
+			tick += 2
+		}
+		emit(trace.LayerMPI, "MPI_Barrier", "comm-world")
+		emit(trace.LayerPOSIX, "open", "scaling.dat", "rw|creat", "3")
+		for i := 0; i < ops; i++ {
+			off := fmt.Sprint(rng.Int63n(window))
+			if rng.Intn(4) == 0 {
+				emit(trace.LayerPOSIX, "pread", "3", "16", off)
+			} else {
+				emit(trace.LayerPOSIX, "pwrite", "3", "16", off)
+			}
+			if (i+1)%barrierEvery == 0 {
+				emit(trace.LayerPOSIX, "fsync", "3")
+				emit(trace.LayerMPI, "MPI_Barrier", "comm-world")
+			}
+		}
+		emit(trace.LayerPOSIX, "close", "3")
+		emit(trace.LayerMPI, "MPI_Barrier", "comm-world")
+	}
+	return tr
+}
+
+// ScalingCorpus returns the benchmark traces: two synthetic traces (the
+// "large" one is the speedup yardstick) plus the heaviest corpus tests, so
+// the numbers cover both the adversarial sweep-bound shape and the
+// library-generated shape of real traces.
+func ScalingCorpus() []ScalingCase {
+	cases := []ScalingCase{
+		{Name: "synth-mid", Gen: func() (*trace.Trace, error) {
+			return ScalingTrace(4, 1500, 1<<14, 42), nil
+		}},
+		{Name: "synth-large", Gen: func() (*trace.Trace, error) {
+			return ScalingTrace(8, 4000, 1<<18, 7), nil
+		}},
+	}
+	for _, name := range []string{"pmulti_dset", "nc4perf"} {
+		name := name
+		cases = append(cases, ScalingCase{Name: name, Gen: func() (*trace.Trace, error) {
+			t, err := ByName(name)
+			if err != nil {
+				return nil, err
+			}
+			return Run(t)
+		}})
+	}
+	return cases
+}

@@ -1,8 +1,9 @@
 package match
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"verifyio/internal/trace"
 )
@@ -14,15 +15,22 @@ func (m *matcher) matchCollectives() {
 	for gid := range m.colls {
 		gids = append(gids, gid)
 	}
-	sort.Strings(gids)
+	slices.Sort(gids)
 
 	for _, gid := range gids {
 		byRank := m.colls[gid]
 		members, ok := m.members[gid]
 		if !ok {
+			// Walk the participating ranks in order: map iteration order
+			// must not leak into the refs.
 			var refs []trace.Ref
-			for _, entries := range byRank {
-				if len(entries) > 0 {
+			ranks := make([]int, 0, len(byRank))
+			for r := range byRank {
+				ranks = append(ranks, r)
+			}
+			slices.Sort(ranks)
+			for _, r := range ranks {
+				if entries := byRank[r]; len(entries) > 0 {
 					refs = append(refs, entries[0].init)
 				}
 			}
@@ -172,18 +180,17 @@ func (m *matcher) matchP2P() {
 			keys = append(keys, k)
 		}
 	}
-	sort.Slice(keys, func(i, j int) bool {
-		a, b := keys[i], keys[j]
-		if a.comm != b.comm {
-			return a.comm < b.comm
+	slices.SortFunc(keys, func(a, b p2pKey) int {
+		if c := cmp.Compare(a.comm, b.comm); c != 0 {
+			return c
 		}
-		if a.src != b.src {
-			return a.src < b.src
+		if c := cmp.Compare(a.src, b.src); c != 0 {
+			return c
 		}
-		if a.dst != b.dst {
-			return a.dst < b.dst
+		if c := cmp.Compare(a.dst, b.dst); c != 0 {
+			return c
 		}
-		return a.tag < b.tag
+		return cmp.Compare(a.tag, b.tag)
 	})
 
 	for _, key := range keys {
@@ -191,7 +198,7 @@ func (m *matcher) matchP2P() {
 		recvs := m.recvs[key]
 		// Receives match in posting order (non-overtaking): sort by the
 		// initiation record.
-		sort.Slice(recvs, func(i, j int) bool { return recvs[i].init.Less(recvs[j].init) })
+		slices.SortFunc(recvs, func(a, b recvEntry) int { return refCompare(a.init, b.init) })
 		n := len(sends)
 		if len(recvs) < n {
 			n = len(recvs)
@@ -214,18 +221,25 @@ func (m *matcher) matchP2P() {
 }
 
 func (m *matcher) sortOutputs() {
-	sort.Slice(m.res.Edges, func(i, j int) bool {
-		a, b := m.res.Edges[i], m.res.Edges[j]
-		if a.From != b.From {
-			return a.From.Less(b.From)
+	slices.SortFunc(m.res.Edges, func(a, b Edge) int {
+		if c := refCompare(a.From, b.From); c != 0 {
+			return c
 		}
-		return a.To.Less(b.To)
+		return refCompare(a.To, b.To)
 	})
-	sort.Slice(m.res.Problems, func(i, j int) bool {
-		a, b := m.res.Problems[i], m.res.Problems[j]
-		if a.Kind != b.Kind {
-			return a.Kind < b.Kind
+	slices.SortFunc(m.res.Problems, func(a, b Problem) int {
+		if c := cmp.Compare(a.Kind, b.Kind); c != 0 {
+			return c
 		}
-		return a.Detail < b.Detail
+		return cmp.Compare(a.Detail, b.Detail)
 	})
+}
+
+// refCompare orders refs by rank, then program order — trace.Ref.Less as a
+// three-way comparison for slices.SortFunc.
+func refCompare(a, b trace.Ref) int {
+	if c := cmp.Compare(a.Rank, b.Rank); c != 0 {
+		return c
+	}
+	return cmp.Compare(a.Seq, b.Seq)
 }

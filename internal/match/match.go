@@ -41,10 +41,14 @@
 package match
 
 import (
+	"cmp"
 	"fmt"
+	"maps"
+	"slices"
 	"strconv"
 	"strings"
 
+	"verifyio/internal/par"
 	"verifyio/internal/trace"
 )
 
@@ -171,10 +175,32 @@ type recvEntry struct {
 	resolved   bool
 }
 
-// Match replays the MPI records of tr.
+// Options configures the matcher.
+type Options struct {
+	// Workers bounds the goroutines used for the per-rank scan phase. 0
+	// means GOMAXPROCS; 1 forces the serial path. The result is identical
+	// at every worker count.
+	Workers int
+}
+
+// Match replays the MPI records of tr with a GOMAXPROCS-wide worker pool;
+// see MatchOpts.
 func Match(tr *trace.Trace) (*Result, error) {
+	return MatchOpts(tr, Options{})
+}
+
+// MatchOpts replays the MPI records of tr in three phases. Phase 0 replays
+// only the communicator-creation records, serially in rank order, giving
+// each rank the membership view a serial rank-major scan would have had on
+// reaching it (all lower ranks' registrations; its own arrive in phase 1).
+// Phase 1 scans the ranks in parallel — each scan touches only its own view
+// and output buckets. Phase 2 merges the per-rank outputs in rank order and
+// runs the (cheap, cross-rank) collective and point-to-point matching. The
+// phases reproduce the serial scan's behavior exactly, including on
+// malformed traces, at every worker count.
+func MatchOpts(tr *trace.Trace, opts Options) (*Result, error) {
+	workers := par.Resolve(opts.Workers)
 	m := &matcher{
-		tr:      tr,
 		res:     &Result{},
 		members: map[string][]int{},
 		colls:   map[string]map[int][]collEntry{},
@@ -188,9 +214,50 @@ func Match(tr *trace.Trace) (*Result, error) {
 	}
 	m.members["comm-world"] = world
 
+	// Phase 0: membership views. Registration errors are discarded here —
+	// phase 1 re-runs each rank's registrations against its own view and
+	// reports them in record order, like the serial scan did.
+	views := make([]map[string][]int, len(tr.Ranks))
 	for rank := range tr.Ranks {
-		m.scanRank(rank)
+		views[rank] = maps.Clone(m.members)
+		for i := range tr.Ranks[rank] {
+			rec := &tr.Ranks[rank][i]
+			switch rec.Func {
+			case "MPI_Comm_dup":
+				_ = registerComm(m.members, rec.Arg(1), rec.Arg(2))
+			case "MPI_Comm_split":
+				_ = registerComm(m.members, rec.Arg(3), rec.Arg(4))
+			}
+		}
 	}
+
+	// Phase 1: independent per-rank scans.
+	outs := make([]*rankOut, len(tr.Ranks))
+	par.Do(workers, len(tr.Ranks), func(rank int) {
+		outs[rank] = scanRank(tr, rank, views[rank])
+	})
+
+	// Phase 2: merge in rank order — the append order of a serial
+	// rank-major scan (per-key send/recv buckets and per-rank collective
+	// entry lists all grow rank by rank there too).
+	for rank, out := range outs {
+		m.res.Problems = append(m.res.Problems, out.problems...)
+		for gid, entries := range out.colls {
+			byRank, ok := m.colls[gid]
+			if !ok {
+				byRank = map[int][]collEntry{}
+				m.colls[gid] = byRank
+			}
+			byRank[rank] = entries
+		}
+		for key, entries := range out.sends {
+			m.sends[key] = append(m.sends[key], entries...)
+		}
+		for key, entries := range out.recvs {
+			m.recvs[key] = append(m.recvs[key], entries...)
+		}
+	}
+
 	m.matchCollectives()
 	m.matchP2P()
 	m.sortOutputs()
@@ -204,7 +271,6 @@ type p2pKey struct {
 }
 
 type matcher struct {
-	tr  *trace.Trace
 	res *Result
 
 	// members: communicator gid -> world ranks.
@@ -235,18 +301,35 @@ type pendingReq struct {
 	collIdx int
 }
 
-func (m *matcher) scanRank(rank int) {
-	recs := m.tr.Ranks[rank]
+// rankOut is one rank's scan output, merged rank-major in phase 2.
+type rankOut struct {
+	// colls: gid -> this rank's ordered collective entries.
+	colls map[string][]collEntry
+	// sends/recvs: this rank's contributions to the matching buckets.
+	sends    map[p2pKey][]sendEntry
+	recvs    map[p2pKey][]recvEntry
+	problems []Problem
+}
+
+func (o *rankOut) problem(kind ProblemKind, detail string, refs ...trace.Ref) {
+	o.problems = append(o.problems, Problem{Kind: kind, Detail: detail, Refs: refs})
+}
+
+// scanRank scans one rank's records against its membership view. It reads
+// tr and mutates only the view and its own output, which is what makes the
+// scan phase embarrassingly parallel.
+func scanRank(tr *trace.Trace, rank int, members map[string][]int) *rankOut {
+	recs := tr.Ranks[rank]
+	out := &rankOut{
+		colls: map[string][]collEntry{},
+		sends: map[p2pKey][]sendEntry{},
+		recvs: map[p2pKey][]recvEntry{},
+	}
 	pending := map[string]*pendingReq{} // request id -> op
 
 	addColl := func(gid string, e collEntry) int {
-		byRank, ok := m.colls[gid]
-		if !ok {
-			byRank = map[int][]collEntry{}
-			m.colls[gid] = byRank
-		}
-		byRank[rank] = append(byRank[rank], e)
-		return len(byRank[rank]) - 1
+		out.colls[gid] = append(out.colls[gid], e)
+		return len(out.colls[gid]) - 1
 	}
 
 	// complete retires a request id at the given completion record with
@@ -261,13 +344,13 @@ func (m *matcher) scanRank(rank int) {
 		delete(pending, req)
 		switch {
 		case p.collGID != "":
-			m.colls[p.collGID][rank][p.collIdx].completion = at
+			out.colls[p.collGID][p.collIdx].completion = at
 		case p.fn == "MPI_Isend":
 			// The send edge uses the initiation record; nothing to do
 			// at completion.
 		case p.fn == "MPI_Irecv":
 			key := p2pKey{comm: p.comm, src: src, dst: rank, tag: tag}
-			m.recvs[key] = append(m.recvs[key], recvEntry{
+			out.recvs[key] = append(out.recvs[key], recvEntry{
 				init: p.init, completion: at, src: src, tag: tag, resolved: true,
 			})
 		}
@@ -280,7 +363,7 @@ func (m *matcher) scanRank(rank int) {
 		}
 		ref := trace.Ref{Rank: rank, Seq: rec.Seq}
 		malformed := func(why string) {
-			m.problem(MalformedRecord, fmt.Sprintf("%s: %s", rec.Func, why), ref)
+			out.problem(MalformedRecord, fmt.Sprintf("%s: %s", rec.Func, why), ref)
 		}
 
 		switch rec.Func {
@@ -290,14 +373,14 @@ func (m *matcher) scanRank(rank int) {
 				malformed("bad arguments")
 				continue
 			}
-			dstWorld, ok := m.worldRank(comm, dst)
+			dstWorld, ok := worldRank(members, comm, dst)
 			if !ok {
 				malformed("unknown communicator " + comm)
 				continue
 			}
-			srcComm, _ := m.commRank(comm, rank)
+			srcComm, _ := commRank(members, comm, rank)
 			key := p2pKey{comm: comm, src: srcComm, dst: dstWorld, tag: tag}
-			m.sends[key] = append(m.sends[key], sendEntry{init: ref, tag: tag})
+			out.sends[key] = append(out.sends[key], sendEntry{init: ref, tag: tag})
 
 		case "MPI_Sendrecv":
 			// [comm, dst, stag, scount, src, rtag, nrecv, aSrc, aTag]
@@ -309,16 +392,16 @@ func (m *matcher) scanRank(rank int) {
 				malformed("bad arguments")
 				continue
 			}
-			dstWorld, okD := m.worldRank(comm, dst)
+			dstWorld, okD := worldRank(members, comm, dst)
 			if !okD {
 				malformed("unknown communicator " + comm)
 				continue
 			}
-			srcComm, _ := m.commRank(comm, rank)
+			srcComm, _ := commRank(members, comm, rank)
 			sKey := p2pKey{comm: comm, src: srcComm, dst: dstWorld, tag: stag}
-			m.sends[sKey] = append(m.sends[sKey], sendEntry{init: ref, tag: stag})
+			out.sends[sKey] = append(out.sends[sKey], sendEntry{init: ref, tag: stag})
 			rKey := p2pKey{comm: comm, src: int(aSrc), dst: rank, tag: int(aTag)}
-			m.recvs[rKey] = append(m.recvs[rKey], recvEntry{
+			out.recvs[rKey] = append(out.recvs[rKey], recvEntry{
 				init: ref, completion: ref, src: int(aSrc), tag: int(aTag), resolved: true,
 			})
 
@@ -329,14 +412,14 @@ func (m *matcher) scanRank(rank int) {
 				malformed("bad arguments")
 				continue
 			}
-			dstWorld, ok := m.worldRank(comm, dst)
+			dstWorld, ok := worldRank(members, comm, dst)
 			if !ok {
 				malformed("unknown communicator " + comm)
 				continue
 			}
-			srcComm, _ := m.commRank(comm, rank)
+			srcComm, _ := commRank(members, comm, rank)
 			key := p2pKey{comm: comm, src: srcComm, dst: dstWorld, tag: tag}
-			m.sends[key] = append(m.sends[key], sendEntry{init: ref, tag: tag})
+			out.sends[key] = append(out.sends[key], sendEntry{init: ref, tag: tag})
 			pending[req] = &pendingReq{fn: rec.Func, init: ref, comm: comm, peer: dst, tag: tag}
 
 		case "MPI_Recv":
@@ -349,7 +432,7 @@ func (m *matcher) scanRank(rank int) {
 				continue
 			}
 			key := p2pKey{comm: comm, src: int(aSrc), dst: rank, tag: int(aTag)}
-			m.recvs[key] = append(m.recvs[key], recvEntry{
+			out.recvs[key] = append(out.recvs[key], recvEntry{
 				init: ref, completion: ref, src: int(aSrc), tag: int(aTag), resolved: true,
 			})
 
@@ -438,14 +521,14 @@ func (m *matcher) scanRank(rank int) {
 
 		case "MPI_Comm_dup":
 			// [parent, new, members]
-			if err := m.registerComm(rec.Arg(1), rec.Arg(2)); err != nil {
+			if err := registerComm(members, rec.Arg(1), rec.Arg(2)); err != nil {
 				malformed(err.Error())
 			}
 			addColl(rec.Arg(0), collEntry{fn: rec.Func, init: ref, completion: ref, rootArg: -1})
 
 		case "MPI_Comm_split":
 			// [parent, color, key, new, members]
-			if err := m.registerComm(rec.Arg(3), rec.Arg(4)); err != nil {
+			if err := registerComm(members, rec.Arg(3), rec.Arg(4)); err != nil {
 				malformed(err.Error())
 			}
 			addColl(rec.Arg(0), collEntry{fn: rec.Func, init: ref, completion: ref, rootArg: -1})
@@ -483,14 +566,28 @@ func (m *matcher) scanRank(rank int) {
 			if rec.Func == "MPI_File_open" {
 				comm = rec.Arg(0)
 			}
-			addColl(m.fileComm(rank, rec, comm), collEntry{fn: rec.Func, init: ref, completion: ref, rootArg: root})
+			addColl(fileComm(tr, rank, rec, comm), collEntry{fn: rec.Func, init: ref, completion: ref, rootArg: root})
 		}
 	}
 
-	for req, p := range pending {
-		m.problem(DanglingRequest,
+	// Dangling requests are reported in initiation order: map iteration
+	// order must not leak into the problem list.
+	dangling := make([]string, 0, len(pending))
+	for req := range pending {
+		dangling = append(dangling, req)
+	}
+	slices.SortFunc(dangling, func(a, b string) int {
+		if c := cmp.Compare(pending[a].init.Seq, pending[b].init.Seq); c != 0 {
+			return c
+		}
+		return cmp.Compare(a, b)
+	})
+	for _, req := range dangling {
+		p := pending[req]
+		out.problem(DanglingRequest,
 			fmt.Sprintf("%s request %s never completed by MPI_Wait*/MPI_Test*", p.fn, req), p.init)
 	}
+	return out
 }
 
 // fileComm resolves the communicator for MPI-IO collective records: the comm
@@ -498,12 +595,12 @@ func (m *matcher) scanRank(rank int) {
 // rank at a time covers this simulation's programs; files opened on
 // different comms interleaved would need an fh→comm table, which the traces
 // also contain via the open records.)
-func (m *matcher) fileComm(rank int, rec *trace.Record, explicit string) string {
+func fileComm(tr *trace.Trace, rank int, rec *trace.Record, explicit string) string {
 	if explicit != "" {
 		return explicit
 	}
 	fd := rec.Arg(0)
-	recs := m.tr.Ranks[rank]
+	recs := tr.Ranks[rank]
 	for i := rec.Seq; i >= 0; i-- {
 		r := &recs[i]
 		if r.Func == "MPI_File_open" && r.Arg(3) == fd {
@@ -525,37 +622,37 @@ func (m *matcher) fileComm(rank int, rec *trace.Record, explicit string) string 
 // collectives on the unregistered communicator would otherwise surface as
 // confusing mismatched/missing-collective problems with no hint that the
 // creation itself was the bad record.
-func (m *matcher) registerComm(gid, members string) error {
-	if gid == "" || members == "" {
+func registerComm(members map[string][]int, gid, list string) error {
+	if gid == "" || list == "" {
 		return fmt.Errorf("communicator creation missing group id or member list")
 	}
-	if _, ok := m.members[gid]; ok {
+	if _, ok := members[gid]; ok {
 		return nil
 	}
-	parts := strings.Split(members, ",")
+	parts := strings.Split(list, ",")
 	ranks := make([]int, 0, len(parts))
 	for _, p := range parts {
 		v, err := strconv.Atoi(p)
 		if err != nil || v < 0 {
-			return fmt.Errorf("communicator %s member list %q: %q is not a rank", gid, members, p)
+			return fmt.Errorf("communicator %s member list %q: %q is not a rank", gid, list, p)
 		}
 		ranks = append(ranks, v)
 	}
-	m.members[gid] = ranks
+	members[gid] = ranks
 	return nil
 }
 
-func (m *matcher) worldRank(gid string, commRank int) (int, bool) {
-	mem, ok := m.members[gid]
+func worldRank(members map[string][]int, gid string, commRank int) (int, bool) {
+	mem, ok := members[gid]
 	if !ok || commRank < 0 || commRank >= len(mem) {
 		return -1, false
 	}
 	return mem[commRank], true
 }
 
-func (m *matcher) commRank(gid string, worldRank int) (int, bool) {
-	for i, w := range m.members[gid] {
-		if w == worldRank {
+func commRank(members map[string][]int, gid string, world int) (int, bool) {
+	for i, w := range members[gid] {
+		if w == world {
 			return i, true
 		}
 	}

@@ -1,0 +1,56 @@
+// Package par provides the worker-pool primitive shared by the parallel
+// analysis stages (conflict detection, MPI matching): run n independent
+// tasks on a bounded number of goroutines.
+//
+// The contract that keeps results worker-count-independent lives here: the
+// serial and parallel paths execute the same task function over the same
+// index space, each index in isolation, so callers only need their tasks to
+// be index-pure (output i depends only on input i) and their merge step to
+// run in index order.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Resolve normalizes a Workers option: 0 or negative means GOMAXPROCS.
+func Resolve(workers int) int {
+	if workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
+
+// Do runs fn(i) for every i in [0, n) on up to workers goroutines, claiming
+// indices from an atomic cursor (cheap dynamic load balancing — task costs
+// vary wildly across ranks and files). With workers <= 1 or n <= 1 it
+// degenerates to a plain loop on the calling goroutine.
+func Do(workers, n int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -11,11 +11,13 @@ package verify
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"verifyio/internal/conflict"
 	"verifyio/internal/hbgraph"
 	"verifyio/internal/match"
+	"verifyio/internal/par"
 	"verifyio/internal/trace"
 )
 
@@ -65,17 +67,27 @@ type Timing struct {
 	ReadTrace time.Duration
 	// DetectConflicts covers step 2.
 	DetectConflicts time.Duration
-	// BuildGraph covers MPI matching plus happens-before construction.
+	// Match covers step 3 (MPI matching).
+	Match time.Duration
+	// BuildGraph covers happens-before graph construction.
 	BuildGraph time.Duration
 	// VectorClock covers clock generation (zero for other algorithms).
 	VectorClock time.Duration
 	// Verification covers the per-model conflict checking.
 	Verification time.Duration
+
+	// DetectMatchWall is the wall-clock time of the combined
+	// detect-conflicts/match phase. With Workers != 1 the two stages run
+	// concurrently (they are independent consumers of the trace), so this
+	// is less than DetectConflicts + Match; serially it is their sum. It
+	// reports overlap and is excluded from Total, which sums the
+	// per-stage durations.
+	DetectMatchWall time.Duration
 }
 
 // Total sums all stages.
 func (t Timing) Total() time.Duration {
-	return t.ReadTrace + t.DetectConflicts + t.BuildGraph + t.VectorClock + t.Verification
+	return t.ReadTrace + t.DetectConflicts + t.Match + t.BuildGraph + t.VectorClock + t.Verification
 }
 
 // Analysis is the model-independent part of a verification run.
@@ -99,26 +111,71 @@ const (
 	autoBigGraph     = 200_000
 )
 
-// Analyze runs steps 2 and 3 on the trace and prepares the happens-before
-// oracle.
+// AnalyzeOptions tunes Analyze.
+type AnalyzeOptions struct {
+	// Workers bounds the goroutines used inside steps 2–3: conflict.Detect
+	// shards its per-rank replay and per-file sweep, match.Match its
+	// per-rank scan, and with Workers != 1 the two steps additionally run
+	// concurrently with each other. 0 means GOMAXPROCS; 1 forces the fully
+	// serial path. The analysis is identical at every worker count.
+	Workers int
+}
+
+// Analyze runs steps 2 and 3 with a GOMAXPROCS-wide worker pool; see
+// AnalyzeOpts.
 func Analyze(tr *trace.Trace, algo Algo) (*Analysis, error) {
+	return AnalyzeOpts(tr, algo, AnalyzeOptions{})
+}
+
+// AnalyzeOpts runs steps 2 and 3 on the trace and prepares the
+// happens-before oracle.
+func AnalyzeOpts(tr *trace.Trace, algo Algo, opts AnalyzeOptions) (*Analysis, error) {
+	workers := par.Resolve(opts.Workers)
 	a := &Analysis{Trace: tr}
 
-	start := time.Now()
-	conf, err := conflict.Detect(tr)
-	if err != nil {
-		return nil, fmt.Errorf("verify: conflict detection: %w", err)
+	// Steps 2 and 3 read the trace and nothing else, so they can overlap.
+	// Each stage times itself; the shared wall clock records the overlap.
+	var (
+		conf    *conflict.Result
+		confErr error
+		mres    *match.Result
+		mErr    error
+	)
+	wall := time.Now()
+	detect := func() {
+		start := time.Now()
+		conf, confErr = conflict.DetectOpts(tr, conflict.Options{Workers: opts.Workers})
+		a.Timing.DetectConflicts = time.Since(start)
+	}
+	doMatch := func() {
+		start := time.Now()
+		mres, mErr = match.MatchOpts(tr, match.Options{Workers: opts.Workers})
+		a.Timing.Match = time.Since(start)
+	}
+	if workers > 1 {
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			doMatch()
+		}()
+		detect()
+		wg.Wait()
+	} else {
+		detect()
+		doMatch()
+	}
+	a.Timing.DetectMatchWall = time.Since(wall)
+	if confErr != nil {
+		return nil, fmt.Errorf("verify: conflict detection: %w", confErr)
+	}
+	if mErr != nil {
+		return nil, fmt.Errorf("verify: MPI matching: %w", mErr)
 	}
 	a.Conflicts = conf
-	a.Timing.DetectConflicts = time.Since(start)
-
-	start = time.Now()
-	mres, err := match.Match(tr)
-	if err != nil {
-		return nil, fmt.Errorf("verify: MPI matching: %w", err)
-	}
 	a.Match = mres
 
+	start := time.Now()
 	if algo == AlgoAuto {
 		if conf.Pairs < autoFewConflicts && tr.NumRecords() > autoBigGraph {
 			algo = AlgoOnTheFly

@@ -47,8 +47,8 @@ func (r *Report) Render(w io.Writer) {
 		}
 	}
 	t := r.Timing
-	fmt.Fprintf(w, "timing: read=%v detect=%v graph=%v vclock=%v verify=%v total=%v\n",
-		t.ReadTrace, t.DetectConflicts, t.BuildGraph, t.VectorClock, t.Verification, t.Total())
+	fmt.Fprintf(w, "timing: read=%v detect=%v match=%v graph=%v vclock=%v verify=%v total=%v\n",
+		t.ReadTrace, t.DetectConflicts, t.Match, t.BuildGraph, t.VectorClock, t.Verification, t.Total())
 }
 
 // Summary returns a one-line summary suitable for Fig. 4-style tables.

@@ -1,0 +1,55 @@
+package verify
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestTimingTotalSumsAllStages pins Total() to the Timing struct by
+// reflection: every duration field must contribute to the sum except the
+// ones in the explicit exclusion set (overlap diagnostics, not stages).
+// Adding a stage field without updating Total (or this set) fails here.
+func TestTimingTotalSumsAllStages(t *testing.T) {
+	excluded := map[string]bool{
+		// Wall-clock of the concurrent detect+match phase; reporting-only,
+		// would double-count DetectConflicts and Match.
+		"DetectMatchWall": true,
+	}
+	var tm Timing
+	v := reflect.ValueOf(&tm).Elem()
+	var want time.Duration
+	for i := 0; i < v.NumField(); i++ {
+		f := v.Type().Field(i)
+		if f.Type != reflect.TypeOf(time.Duration(0)) {
+			t.Fatalf("Timing.%s is not a time.Duration; update this test", f.Name)
+		}
+		d := time.Duration(1) << uint(i) // distinct power of two per field
+		v.Field(i).SetInt(int64(d))
+		if excluded[f.Name] {
+			continue
+		}
+		want += d
+	}
+	if got := tm.Total(); got != want {
+		t.Errorf("Total() = %d, want %d: a stage field is missing from the sum (or an excluded field leaked in)", got, want)
+	}
+}
+
+// TestTimingSerialWallEqualsSum checks the serial contract: with Workers=1
+// the detect+match wall clock is the sum of the two stages (no overlap), and
+// with Workers>1 it never exceeds that sum.
+func TestTimingSerialWallEqualsSum(t *testing.T) {
+	tr := runTraced(t, 2, fig2Program)
+	a, err := AnalyzeOpts(tr, AlgoVectorClock, AnalyzeOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := a.Timing.DetectConflicts + a.Timing.Match
+	if a.Timing.DetectMatchWall < sum {
+		t.Errorf("serial wall %v < detect+match sum %v", a.Timing.DetectMatchWall, sum)
+	}
+	if a.Timing.Total() == 0 {
+		t.Error("Total() is zero after a full analysis")
+	}
+}

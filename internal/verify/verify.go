@@ -109,7 +109,7 @@ type Report struct {
 
 // Run performs the whole pipeline (steps 2–4) on a trace for one model.
 func Run(tr *trace.Trace, opts Options) (*Report, error) {
-	a, err := Analyze(tr, opts.Algo)
+	a, err := AnalyzeOpts(tr, opts.Algo, AnalyzeOptions{Workers: opts.Workers})
 	if err != nil {
 		return nil, err
 	}
@@ -354,13 +354,11 @@ func (v *verifier) verifyGroups(lo, hi int) {
 	for gi := lo; gi < hi; gi++ {
 		g := &v.a.Conflicts.Groups[gi]
 		x := &ops[g.X]
-		ranks := make([]int, 0, len(g.ByRank))
-		for r := range g.ByRank {
-			ranks = append(ranks, r)
-		}
-		sort.Ints(ranks)
-		for _, r := range ranks {
-			ys := g.ByRank[r]
+		// CSR runs are already ordered by ascending rank, each run in
+		// program order — the walk the map-of-slices layout needed a
+		// per-group rank sort to produce.
+		for k := 0; k < g.NumRuns(); k++ {
+			ys := g.RunAt(k)
 			if v.opts.DisablePruning {
 				for _, yi := range ys {
 					y := &ops[yi]
@@ -388,7 +386,7 @@ func (v *verifier) verifyGroups(lo, hi int) {
 // Each of the paper's four scenarios is the degenerate case where a search
 // terminates after one probe; in general the run costs O(log n) checks
 // instead of n.
-func (v *verifier) verifyRun(x *conflict.Op, ys []int) {
+func (v *verifier) verifyRun(x *conflict.Op, ys []int32) {
 	ops := v.a.Conflicts.Ops
 	n := len(ys)
 	// iF: first index with X ps Y_i (n when none).

@@ -3,8 +3,11 @@ package verifyio
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
+	"runtime"
 	"testing"
 
+	"verifyio/internal/conflict"
 	"verifyio/internal/corpus"
 	"verifyio/internal/semantics"
 	"verifyio/internal/trace"
@@ -77,6 +80,109 @@ func TestParallelCorpusDeterminism(t *testing.T) {
 	}
 	if !sawRace {
 		t.Fatal("corpus trace produced no races; the determinism test is vacuous")
+	}
+}
+
+// detectFingerprint serializes everything a conflict.Result exposes —
+// operations, file table, sync points, pair count, and every group's CSR
+// contents via the accessors — so two Results compare bit-for-bit.
+func detectFingerprint(t *testing.T, res *conflict.Result) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "pairs=%d skipped=%d files=%q\n", res.Pairs, res.Skipped, res.Files)
+	for _, op := range res.Ops {
+		fmt.Fprintf(&buf, "op %d:%d fid=%d w=%v [%d,%d)\n",
+			op.Ref.Rank, op.Ref.Seq, op.FID, op.Write, op.Start, op.End)
+	}
+	for _, sp := range res.Syncs {
+		fmt.Fprintf(&buf, "sync %d:%d %s fid=%d\n", sp.Ref.Rank, sp.Ref.Seq, sp.Func, sp.FID)
+	}
+	for _, g := range res.Groups {
+		fmt.Fprintf(&buf, "group x=%d ys=%v runs=", g.X, g.Ys())
+		for k := 0; k < g.NumRuns(); k++ {
+			fmt.Fprintf(&buf, "%v;", g.RunAt(k))
+		}
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes()
+}
+
+// TestDetectWorkerDeterminism is the step-2 determinism gate: for every
+// corpus trace, the sharded detector must produce an identical Result at
+// every worker count — same ops, same canonical fids, same groups in the
+// same CSR order.
+func TestDetectWorkerDeterminism(t *testing.T) {
+	workerCounts := []int{1, 2, 7, runtime.GOMAXPROCS(0)}
+	for _, tc := range corpus.Tests() {
+		tr, err := corpus.Run(tc)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.Name, err)
+		}
+		var base []byte
+		for _, w := range workerCounts {
+			res, err := conflict.DetectOpts(tr, conflict.Options{Workers: w})
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", tc.Name, w, err)
+			}
+			fp := detectFingerprint(t, res)
+			if base == nil {
+				base = fp
+			} else if !bytes.Equal(base, fp) {
+				t.Errorf("%s: Detect workers=%d differs from workers=1", tc.Name, w)
+			}
+		}
+	}
+}
+
+// TestAnalyzeParallelDeterminism runs the whole front-end — concurrent
+// detect+match, sharded sweep, graph, vector clocks, all-model verify —
+// serially and in parallel on conflict-heavy traces and requires
+// byte-identical reports.
+func TestAnalyzeParallelDeterminism(t *testing.T) {
+	for _, name := range []string{"pmulti_dset", "nc4perf", "flexible", "collective_error"} {
+		tr := corpusTraceT(t, name)
+		serialA, err := verify.AnalyzeOpts(tr, verify.AlgoVectorClock, verify.AnalyzeOptions{Workers: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		parallelA, err := verify.AnalyzeOpts(tr, verify.AlgoVectorClock, verify.AnalyzeOptions{Workers: 8})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		serial, err := serialA.VerifyAll(semantics.All(), verify.Options{Workers: 1, ContinueOnUnmatched: true})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		parallel, err := parallelA.VerifyAll(semantics.All(), verify.Options{Workers: 8, ContinueOnUnmatched: true})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for i := range serial {
+			if !bytes.Equal(reportFingerprint(t, serial[i]), reportFingerprint(t, parallel[i])) {
+				t.Errorf("%s/%s: parallel analysis report differs from serial", name, serial[i].Model)
+			}
+		}
+	}
+}
+
+// TestScalingTraceDeterministic pins the benchmark corpus: the synthetic
+// scaling trace must be reproducible (same arguments, same records), or the
+// committed BENCH_analyze.json numbers describe nothing.
+func TestScalingTraceDeterministic(t *testing.T) {
+	a := corpus.ScalingTrace(4, 200, 1<<12, 42)
+	b := corpus.ScalingTrace(4, 200, 1<<12, 42)
+	var ba, bb bytes.Buffer
+	if err := trace.WriteText(&ba, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteText(&bb, b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ba.Bytes(), bb.Bytes()) {
+		t.Fatal("ScalingTrace is not deterministic")
+	}
+	if a.NumRanks() != 4 {
+		t.Fatalf("ranks = %d, want 4", a.NumRanks())
 	}
 }
 

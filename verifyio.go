@@ -202,10 +202,13 @@ type Options struct {
 	MaxRaceDetails int
 	// ContinueOnUnmatched verifies even when MPI matching found problems.
 	ContinueOnUnmatched bool
-	// Workers is the number of goroutines used to verify conflict groups
-	// (and to run models concurrently in VerifyAll). 0 means GOMAXPROCS;
-	// 1 forces the serial path. Results are independent of the worker
-	// count.
+	// Workers is the number of goroutines used across steps 2–4: conflict
+	// detection shards its per-rank replay and per-file sweep, MPI
+	// matching its per-rank scan (with the two steps also running
+	// concurrently with each other), and verification shards the conflict
+	// groups (plus running models concurrently in VerifyAll). 0 means
+	// GOMAXPROCS; 1 forces the fully serial path. Results are independent
+	// of the worker count.
 	Workers int
 }
 
@@ -214,6 +217,13 @@ func (o *Options) algo() (verify.Algo, error) {
 		return verify.AlgoAuto, nil
 	}
 	return verify.AlgoByName(o.Algorithm)
+}
+
+func (o *Options) analyzeOptions() verify.AnalyzeOptions {
+	if o == nil {
+		return verify.AnalyzeOptions{}
+	}
+	return verify.AnalyzeOptions{Workers: o.Workers}
 }
 
 func (o *Options) verifyOptions(m semantics.Model) verify.Options {
@@ -253,14 +263,22 @@ type Problem struct {
 type Timing struct {
 	ReadTrace       time.Duration
 	DetectConflicts time.Duration
-	BuildGraph      time.Duration
-	VectorClock     time.Duration
-	Verification    time.Duration
+	// Match covers step 3 (MPI matching), previously lumped into
+	// BuildGraph.
+	Match        time.Duration
+	BuildGraph   time.Duration
+	VectorClock  time.Duration
+	Verification time.Duration
+	// DetectMatchWall is the wall-clock time of the combined conflict
+	// detection / MPI matching phase, which runs both steps concurrently
+	// when Options.Workers != 1. It reports overlap (wall < detect+match)
+	// and is excluded from Total.
+	DetectMatchWall time.Duration
 }
 
 // Total sums all stages.
 func (t Timing) Total() time.Duration {
-	return t.ReadTrace + t.DetectConflicts + t.BuildGraph + t.VectorClock + t.Verification
+	return t.ReadTrace + t.DetectConflicts + t.Match + t.BuildGraph + t.VectorClock + t.Verification
 }
 
 // Report is the outcome of verifying a trace against one model.
@@ -313,9 +331,11 @@ func wrapReport(rep *verify.Report) *Report {
 		Timing: Timing{
 			ReadTrace:       rep.Timing.ReadTrace,
 			DetectConflicts: rep.Timing.DetectConflicts,
+			Match:           rep.Timing.Match,
 			BuildGraph:      rep.Timing.BuildGraph,
 			VectorClock:     rep.Timing.VectorClock,
 			Verification:    rep.Timing.Verification,
+			DetectMatchWall: rep.Timing.DetectMatchWall,
 		},
 		inner: rep,
 	}
@@ -377,7 +397,7 @@ func Diagnose(t *Trace, model Model, opts *Options) (*Report, []Diagnosis, error
 	if err != nil {
 		return nil, nil, err
 	}
-	a, err := verify.Analyze(t.t, algo)
+	a, err := verify.AnalyzeOpts(t.t, algo, opts.analyzeOptions())
 	if err != nil {
 		return nil, nil, err
 	}
@@ -441,7 +461,7 @@ func VerifyAll(t *Trace, opts *Options) ([]*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	a, err := verify.Analyze(t.t, algo)
+	a, err := verify.AnalyzeOpts(t.t, algo, opts.analyzeOptions())
 	if err != nil {
 		return nil, err
 	}

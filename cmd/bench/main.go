@@ -8,10 +8,19 @@
 // Usage:
 //
 //	bench [-out BENCH_analyze.json] [-benchtime 5x|2s] [-check FILE]
+//	bench -compare NEW -baseline OLD [-max-overhead PCT]
 //
 // -benchtime accepts either a fixed iteration count ("5x") or a minimum
 // duration per (trace, workers) cell ("2s"), mirroring go test. -check
-// validates an existing output file instead of benchmarking.
+// validates an existing output file instead of benchmarking. -compare reads
+// two output files and reports the mean ns/op delta of NEW relative to OLD
+// across matching (trace, workers) cells, failing when it exceeds
+// -max-overhead percent — the CI guard that telemetry-disabled runs stay
+// within noise of the committed baseline.
+//
+// Every run cell also records the stable telemetry metrics of the workload
+// (conflict pairs, checks performed, par pool task counts, ...) captured
+// from one extra instrumented iteration that is excluded from the timing.
 package main
 
 import (
@@ -25,6 +34,7 @@ import (
 	"time"
 
 	"verifyio/internal/corpus"
+	"verifyio/internal/obs"
 	"verifyio/internal/semantics"
 	"verifyio/internal/trace"
 	"verifyio/internal/verify"
@@ -61,6 +71,10 @@ type run struct {
 	BytesPerOp  int64    `json:"bytes_per_op"`
 	Stages      stagesNs `json:"stages_ns"`
 	RaceCount   int64    `json:"race_count"`
+	// Metrics is the stable telemetry section of one instrumented iteration
+	// of this cell (deterministic at a fixed worker count; the timed
+	// iterations above run with telemetry disabled).
+	Metrics *obs.Section `json:"metrics,omitempty"`
 }
 
 // stagesNs is the Timing breakdown of the last iteration, in nanoseconds.
@@ -76,10 +90,15 @@ type stagesNs struct {
 
 func main() {
 	var (
-		out       = flag.String("out", "BENCH_analyze.json", "output file")
-		benchtime = flag.String("benchtime", "3x", "iterations per cell: \"Nx\" or a duration (\"2s\")")
-		check     = flag.String("check", "", "validate an existing output file and exit")
+		out         = flag.String("out", "BENCH_analyze.json", "output file")
+		benchtime   = flag.String("benchtime", "3x", "iterations per cell: \"Nx\" or a duration (\"2s\")")
+		check       = flag.String("check", "", "validate an existing output file and exit")
+		compare     = flag.String("compare", "", "output file to compare against -baseline and exit")
+		baseline    = flag.String("baseline", "", "baseline output file for -compare")
+		maxOverhead = flag.Float64("max-overhead", 2.0, "fail -compare when the mean ns/op overhead exceeds this percentage")
+		prof        obs.Profiling
 	)
+	prof.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *check != "" {
@@ -90,6 +109,27 @@ func main() {
 		fmt.Printf("%s: well-formed\n", *check)
 		return
 	}
+	if *compare != "" || *baseline != "" {
+		if *compare == "" || *baseline == "" {
+			fmt.Fprintln(os.Stderr, "bench: -compare and -baseline must be used together")
+			os.Exit(2)
+		}
+		if err := compareFiles(*compare, *baseline, *maxOverhead); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	stopProf, err := prof.Start(os.Stderr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(2)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		}
+	}()
 
 	iters, minTime, err := parseBenchTime(*benchtime)
 	if err != nil {
@@ -189,6 +229,24 @@ func benchOne(tr *trace.Trace, workers, iters int, minTime time.Duration) (run, 
 	allocs = memAfter.Mallocs - memBefore.Mallocs
 	bytes = memAfter.TotalAlloc - memBefore.TotalAlloc
 
+	// One extra instrumented iteration, outside the timed window, captures
+	// the cell's stable telemetry metrics (the timed loop above runs with
+	// telemetry disabled so the artifact measures the uninstrumented path).
+	reg := obs.NewRegistry()
+	oc := obs.Ctx{R: reg}
+	if a, err := verify.AnalyzeOpts(tr, verify.AlgoVectorClock, verify.AnalyzeOptions{Workers: workers, Obs: oc}); err == nil {
+		for _, m := range semantics.All() {
+			if _, err := a.Verify(verify.Options{Model: m, Workers: workers, ContinueOnUnmatched: true, Obs: oc}); err != nil {
+				fmt.Fprintf(os.Stderr, "bench: instrumented verify: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	} else {
+		fmt.Fprintf(os.Stderr, "bench: instrumented analyze: %v\n", err)
+		os.Exit(1)
+	}
+	metrics := reg.Snapshot().Stable
+
 	t := lastA.Timing
 	return run{
 		Workers:     workers,
@@ -197,6 +255,7 @@ func benchOne(tr *trace.Trace, workers, iters int, minTime time.Duration) (run, 
 		AllocsPerOp: int64(allocs) / int64(done),
 		BytesPerOp:  int64(bytes) / int64(done),
 		RaceCount:   races,
+		Metrics:     &metrics,
 		Stages: stagesNs{
 			Detect:          t.DetectConflicts.Nanoseconds(),
 			Match:           t.Match.Nanoseconds(),
@@ -258,7 +317,73 @@ func checkFile(path string) error {
 			if r.Stages.Total <= 0 {
 				return fmt.Errorf("trace %q workers=%d: missing stage breakdown", tb.Name, r.Workers)
 			}
+			if r.Metrics == nil {
+				return fmt.Errorf("trace %q workers=%d: missing metrics snapshot", tb.Name, r.Workers)
+			}
+			if r.Metrics.Counters["verify.checks"] < 0 || len(r.Metrics.Counters) == 0 {
+				return fmt.Errorf("trace %q workers=%d: empty metrics snapshot", tb.Name, r.Workers)
+			}
 		}
+	}
+	return nil
+}
+
+// compareFiles reports the ns/op delta of newPath relative to basePath over
+// every (trace, workers) cell present in both, failing when the mean
+// overhead exceeds maxPct percent. Single-cell deltas are reported but not
+// gated on — they are dominated by scheduling noise at small benchtimes.
+func compareFiles(newPath, basePath string, maxPct float64) error {
+	load := func(path string) (output, error) {
+		var res output
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return res, err
+		}
+		if err := json.Unmarshal(data, &res); err != nil {
+			return res, fmt.Errorf("%s: not valid JSON: %w", path, err)
+		}
+		return res, nil
+	}
+	newRes, err := load(newPath)
+	if err != nil {
+		return err
+	}
+	baseRes, err := load(basePath)
+	if err != nil {
+		return err
+	}
+	type cell struct {
+		name    string
+		workers int
+	}
+	base := map[cell]int64{}
+	for _, tb := range baseRes.Traces {
+		for _, r := range tb.Runs {
+			base[cell{tb.Name, r.Workers}] = r.NsPerOp
+		}
+	}
+	var sum float64
+	var n int
+	fmt.Printf("%-16s %-8s %14s %14s %8s\n", "trace", "workers", "baseline ns/op", "new ns/op", "delta")
+	for _, tb := range newRes.Traces {
+		for _, r := range tb.Runs {
+			old, ok := base[cell{tb.Name, r.Workers}]
+			if !ok || old <= 0 {
+				continue
+			}
+			delta := 100 * (float64(r.NsPerOp) - float64(old)) / float64(old)
+			fmt.Printf("%-16s %-8d %14d %14d %+7.2f%%\n", tb.Name, r.Workers, old, r.NsPerOp, delta)
+			sum += delta
+			n++
+		}
+	}
+	if n == 0 {
+		return fmt.Errorf("no common (trace, workers) cells between %s and %s", newPath, basePath)
+	}
+	mean := sum / float64(n)
+	fmt.Printf("mean overhead over %d cells: %+.2f%% (limit %.2f%%)\n", n, mean, maxPct)
+	if mean > maxPct {
+		return fmt.Errorf("mean overhead %+.2f%% exceeds limit %.2f%%", mean, maxPct)
 	}
 	return nil
 }

@@ -1,0 +1,162 @@
+// Command obscheck validates the telemetry artifacts the other CLIs emit —
+// the schema check CI's observability smoke job runs on -trace-out and
+// -metrics-out files.
+//
+// Usage:
+//
+//	obscheck -chrome FILE [-stages read-trace,detect,match,build-graph,verify] [-shards]
+//	obscheck -metrics FILE
+//	obscheck -compare-stable FILE_A -with FILE_B
+//
+// -chrome checks a Chrome trace_event document: structural invariants (named
+// tracks, resolvable parents, children nested in time) plus the presence of
+// every required pipeline stage span; -shards additionally requires the
+// per-rank replay/scan shard spans a Workers>1 run emits. -metrics checks a
+// metrics snapshot (histogram bucket invariants, non-negative counters) and
+// that the stable section is non-empty. -compare-stable asserts two metrics
+// files have byte-identical stable sections — the determinism contract for
+// runs at the same worker count.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"verifyio/internal/obs"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		chrome  = flag.String("chrome", "", "Chrome trace_event JSON file to validate")
+		stages  = flag.String("stages", "read-trace,detect,match,build-graph,verify", "comma-separated span names the trace must contain")
+		shards  = flag.Bool("shards", false, "require per-rank shard spans (replay, scan) in the trace")
+		metrics = flag.String("metrics", "", "metrics snapshot JSON file to validate")
+		compare = flag.String("compare-stable", "", "metrics file whose stable section must byte-match -with")
+		with    = flag.String("with", "", "second metrics file for -compare-stable")
+	)
+	flag.Parse()
+
+	ran := false
+	if *chrome != "" {
+		ran = true
+		if err := checkChrome(*chrome, *stages, *shards); err != nil {
+			fmt.Fprintf(os.Stderr, "obscheck: %v\n", err)
+			return 1
+		}
+		fmt.Printf("%s: valid chrome trace\n", *chrome)
+	}
+	if *metrics != "" {
+		ran = true
+		if err := checkMetrics(*metrics); err != nil {
+			fmt.Fprintf(os.Stderr, "obscheck: %v\n", err)
+			return 1
+		}
+		fmt.Printf("%s: valid metrics snapshot\n", *metrics)
+	}
+	if *compare != "" || *with != "" {
+		ran = true
+		if *compare == "" || *with == "" {
+			fmt.Fprintln(os.Stderr, "obscheck: -compare-stable and -with must be used together")
+			return 2
+		}
+		if err := compareStable(*compare, *with); err != nil {
+			fmt.Fprintf(os.Stderr, "obscheck: %v\n", err)
+			return 1
+		}
+		fmt.Printf("%s and %s: stable sections identical\n", *compare, *with)
+	}
+	if !ran {
+		flag.Usage()
+		return 2
+	}
+	return 0
+}
+
+func checkChrome(path, stages string, shards bool) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	events, err := obs.ParseChromeTrace(data)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if err := obs.ValidateEvents(events); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	seen := map[string]int{}
+	for _, e := range events {
+		if e.Ph == "X" {
+			seen[e.Name]++
+		}
+	}
+	for _, stage := range strings.Split(stages, ",") {
+		stage = strings.TrimSpace(stage)
+		if stage != "" && seen[stage] == 0 {
+			return fmt.Errorf("%s: no %q span (have %d spans across %d distinct names)",
+				path, stage, len(events), len(seen))
+		}
+	}
+	if shards {
+		for _, shard := range []string{"replay", "scan"} {
+			if seen[shard] == 0 {
+				return fmt.Errorf("%s: no %q shard span — was the run single-worker?", path, shard)
+			}
+		}
+	}
+	return nil
+}
+
+func loadSnapshot(path string) (*obs.Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("%s: not a metrics snapshot: %w", path, err)
+	}
+	return &snap, nil
+}
+
+func checkMetrics(path string) error {
+	snap, err := loadSnapshot(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.ValidateSnapshot(snap); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if len(snap.Stable.Counters)+len(snap.Stable.Gauges)+len(snap.Stable.Histograms) == 0 {
+		return fmt.Errorf("%s: stable section is empty", path)
+	}
+	return nil
+}
+
+func compareStable(pathA, pathB string) error {
+	var stable [2][]byte
+	for i, path := range []string{pathA, pathB} {
+		snap, err := loadSnapshot(path)
+		if err != nil {
+			return err
+		}
+		b, err := json.MarshalIndent(snap.Stable, "", "  ")
+		if err != nil {
+			return err
+		}
+		stable[i] = b
+	}
+	if !bytes.Equal(stable[0], stable[1]) {
+		return fmt.Errorf("stable sections differ:\n--- %s\n%s\n--- %s\n%s",
+			pathA, stable[0], pathB, stable[1])
+	}
+	return nil
+}

@@ -14,7 +14,9 @@
 //
 // Usage:
 //
-//	reproduce [-out DIR] [-only table1,fig4,...]
+//	reproduce [-out DIR] [-only table1,fig4,...] [-workers N] [-tolerate]
+//	          [-trace-out FILE] [-metrics-out FILE]
+//	          [-cpuprofile FILE] [-memprofile FILE] [-debug-addr ADDR]
 package main
 
 import (
@@ -27,6 +29,7 @@ import (
 	"time"
 
 	"verifyio/internal/corpus"
+	"verifyio/internal/obs"
 	"verifyio/internal/recorder"
 	"verifyio/internal/semantics"
 	"verifyio/internal/trace"
@@ -48,10 +51,38 @@ func run() int {
 		only     = flag.String("only", "", "comma-separated subset (table1,table2,table3,table4,fig3,fig4)")
 		workers  = flag.Int("workers", 0, "analysis+verification worker goroutines for steps 2–4 (0 = GOMAXPROCS, 1 = serial)")
 		tolerate = flag.Bool("tolerate", false, "read stored traces leniently, salvaging damaged rank streams")
+
+		traceOut   = flag.String("trace-out", "", "write telemetry spans as Chrome trace_event JSON to this file")
+		metricsOut = flag.String("metrics-out", "", "write the runtime metrics snapshot as JSON to this file")
+		prof       obs.Profiling
 	)
+	prof.RegisterFlags(flag.CommandLine)
 	flag.Parse()
-	vopts := verify.Options{Workers: *workers}
-	dopts := trace.DecodeOptions{Tolerate: *tolerate}
+	stopProf, err := prof.Start(os.Stderr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "reproduce: %v\n", err)
+		return 2
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(os.Stderr, "reproduce: %v\n", err)
+		}
+	}()
+	var oc obs.Ctx
+	if *traceOut != "" || *metricsOut != "" || prof.DebugAddr != "" {
+		oc = obs.Ctx{T: obs.NewTracer(), R: obs.NewRegistry()}
+		obs.PublishRegistry("verifyio", oc.R)
+	}
+	defer func() {
+		if err := obs.WriteFileWith(*traceOut, oc.T.WriteChromeTrace); err != nil {
+			fmt.Fprintf(os.Stderr, "reproduce: write -trace-out: %v\n", err)
+		}
+		if err := obs.WriteFileWith(*metricsOut, oc.R.WriteMetrics); err != nil {
+			fmt.Fprintf(os.Stderr, "reproduce: write -metrics-out: %v\n", err)
+		}
+	}()
+	vopts := verify.Options{Workers: *workers, Obs: oc}
+	dopts := trace.DecodeOptions{Tolerate: *tolerate, Obs: oc}
 
 	// fig4 is computed once and shared with table3/table4.
 	var rows []*corpus.Row
@@ -235,7 +266,7 @@ func table4(w io.Writer, vopts verify.Options, dopts trace.DecodeOptions) error 
 			return err
 		}
 		readTime := time.Since(readStart)
-		a, err := verify.AnalyzeOpts(tr, verify.AlgoVectorClock, verify.AnalyzeOptions{Workers: vopts.Workers})
+		a, err := verify.AnalyzeOpts(tr, verify.AlgoVectorClock, verify.AnalyzeOptions{Workers: vopts.Workers, Obs: vopts.Obs})
 		if err != nil {
 			return err
 		}
@@ -307,7 +338,7 @@ func fig3(w io.Writer, vopts verify.Options) error {
 		if err != nil {
 			return err
 		}
-		a, err := verify.AnalyzeOpts(tr, verify.AlgoVectorClock, verify.AnalyzeOptions{Workers: vopts.Workers})
+		a, err := verify.AnalyzeOpts(tr, verify.AlgoVectorClock, verify.AnalyzeOptions{Workers: vopts.Workers, Obs: vopts.Obs})
 		if err != nil {
 			return err
 		}

@@ -7,6 +7,13 @@
 //	verifyio -trace DIR [-model posix|commit|session|mpi-io|all]
 //	         [-algorithm auto|vector-clock|reachability|transitive-closure|on-the-fly]
 //	         [-workers N] [-no-pruning] [-max-races N] [-details] [-tolerate]
+//	         [-trace-out FILE] [-metrics-out FILE]
+//	         [-cpuprofile FILE] [-memprofile FILE] [-debug-addr ADDR]
+//
+// -trace-out writes the run's telemetry spans as Chrome trace_event JSON
+// (load in chrome://tracing or https://ui.perfetto.dev); -metrics-out writes
+// the runtime metric registry. -debug-addr serves net/http/pprof and expvar
+// (including the live metrics) while the run executes.
 //
 // Exit status: 0 when every verified model is properly synchronized, 1 when
 // data races were found, 2 when verification aborted on unmatched MPI calls
@@ -17,10 +24,12 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"verifyio"
+	"verifyio/internal/obs"
 	"verifyio/internal/trace"
 )
 
@@ -41,13 +50,42 @@ func run() int {
 		dump      = flag.Bool("dump", false, "print the trace as text and exit")
 		jsonOut   = flag.Bool("json", false, "emit the reports as JSON")
 		tolerate  = flag.Bool("tolerate", false, "salvage damaged or truncated rank streams instead of failing")
+
+		traceOut   = flag.String("trace-out", "", "write telemetry spans as Chrome trace_event JSON to this file")
+		metricsOut = flag.String("metrics-out", "", "write the runtime metrics snapshot as JSON to this file")
+		prof       obs.Profiling
 	)
+	prof.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	if *traceDir == "" {
 		fmt.Fprintln(os.Stderr, "verifyio: -trace DIR is required")
 		flag.Usage()
 		return 2
 	}
+	stopProf, err := prof.Start(os.Stderr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "verifyio: %v\n", err)
+		return 2
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(os.Stderr, "verifyio: %v\n", err)
+		}
+	}()
+
+	var tel *verifyio.Telemetry
+	if *traceOut != "" || *metricsOut != "" || prof.DebugAddr != "" {
+		tel = verifyio.NewTelemetry()
+		tel.Publish("verifyio")
+	}
+	defer func() {
+		if err := obs.WriteFileWith(*traceOut, func(w io.Writer) error { return tel.WriteChromeTrace(w) }); err != nil {
+			fmt.Fprintf(os.Stderr, "verifyio: write -trace-out: %v\n", err)
+		}
+		if err := obs.WriteFileWith(*metricsOut, func(w io.Writer) error { return tel.WriteMetrics(w) }); err != nil {
+			fmt.Fprintf(os.Stderr, "verifyio: write -metrics-out: %v\n", err)
+		}
+	}()
 	if *dump {
 		raw, _, err := trace.ReadDirWithOptions(*traceDir, trace.DecodeOptions{Tolerate: *tolerate})
 		if err != nil {
@@ -62,24 +100,20 @@ func run() int {
 	}
 
 	start := time.Now()
-	var tr *verifyio.Trace
-	var err error
-	if *tolerate {
-		var rec *verifyio.Recovery
-		tr, rec, err = verifyio.ReadTraceDirTolerant(*traceDir)
-		if err == nil && !rec.Clean() {
-			for _, rr := range rec.Ranks {
-				dropped := fmt.Sprintf("%d records dropped", rr.Dropped)
-				if rr.Dropped < 0 {
-					dropped = "unknown records dropped"
-				}
-				fmt.Fprintf(os.Stderr, "verifyio: rank %d damaged: %d records salvaged, %s (%s)\n",
-					rr.Rank, rr.Salvaged, dropped, rr.Reason)
+	tr, rec, err := verifyio.ReadTraceDirOpts(*traceDir, verifyio.ReadOptions{
+		Tolerate:  *tolerate,
+		Telemetry: tel,
+	})
+	if err == nil && !rec.Clean() {
+		for _, rr := range rec.Ranks {
+			dropped := fmt.Sprintf("%d records dropped", rr.Dropped)
+			if rr.Dropped < 0 {
+				dropped = "unknown records dropped"
 			}
-			fmt.Fprintf(os.Stderr, "verifyio: verifying the salvaged prefix; results cover only the recovered records\n")
+			fmt.Fprintf(os.Stderr, "verifyio: rank %d damaged: %d records salvaged, %s (%s)\n",
+				rr.Rank, rr.Salvaged, dropped, rr.Reason)
 		}
-	} else {
-		tr, err = verifyio.ReadTraceDir(*traceDir)
+		fmt.Fprintf(os.Stderr, "verifyio: verifying the salvaged prefix; results cover only the recovered records\n")
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "verifyio: %v\n", err)
@@ -97,6 +131,7 @@ func run() int {
 		DisablePruning: *noPrune,
 		MaxRaceDetails: *maxRaces,
 		Workers:        *workers,
+		Telemetry:      tel,
 	}
 
 	var reports []*verifyio.Report

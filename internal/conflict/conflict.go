@@ -31,6 +31,7 @@ import (
 	"math"
 	"strings"
 
+	"verifyio/internal/obs"
 	"verifyio/internal/par"
 	"verifyio/internal/recorder"
 	"verifyio/internal/trace"
@@ -85,6 +86,8 @@ type Options struct {
 	// and the per-file conflict sweep. 0 means GOMAXPROCS; 1 forces the
 	// serial path. The result is identical at every worker count.
 	Workers int
+	// Obs carries telemetry sinks; the zero Ctx disables instrumentation.
+	Obs obs.Ctx
 }
 
 // handleState is the per-handle replay state: which file, and the handle's
@@ -104,17 +107,36 @@ func Detect(tr *trace.Trace) (*Result, error) {
 // synchronization points, and conflict groups.
 func DetectOpts(tr *trace.Trace, opts Options) (*Result, error) {
 	workers := par.Resolve(opts.Workers)
+	oc, span := opts.Obs.StartLane("detect", "detect", obs.Int("ranks", len(tr.Ranks)))
+	span.SetCat("detect")
+	defer span.End()
 
 	shards := make([]*rankShard, len(tr.Ranks))
-	par.Do(workers, len(tr.Ranks), func(rank int) {
+	par.DoObs(oc, "detect-replay", workers, len(tr.Ranks), func(rank int) {
+		_, sp := oc.StartLane("detect/rank-"+fmt.Sprint(rank), "replay", obs.Int("rank", rank))
 		shards[rank] = replayRank(tr.Ranks[rank])
+		sp.End()
 	})
 
+	_, mergeSpan := oc.Start("merge")
 	res := mergeShards(shards)
+	mergeSpan.End()
 	if len(res.Ops) > math.MaxInt32 {
 		return nil, fmt.Errorf("conflict: %d data operations exceed the int32 group index space", len(res.Ops))
 	}
-	detectPairs(res, workers)
+	detectPairs(res, workers, oc)
+	if r := oc.R; r != nil {
+		r.Counter("conflict.ops").Add(int64(len(res.Ops)))
+		r.Counter("conflict.syncs").Add(int64(len(res.Syncs)))
+		r.Counter("conflict.skipped").Add(int64(res.Skipped))
+		r.Counter("conflict.files").Add(int64(len(res.Files)))
+		r.Counter("conflict.pairs").Add(res.Pairs)
+		r.Counter("conflict.groups").Add(int64(len(res.Groups)))
+		fanout := r.Histogram("conflict.group_fanout", []int64{1, 2, 4, 8, 16, 32, 64, 128, 256})
+		for i := range res.Groups {
+			fanout.Observe(int64(len(res.Groups[i].Ys())))
+		}
+	}
 	return res, nil
 }
 

@@ -2,8 +2,10 @@ package conflict
 
 import (
 	"cmp"
+	"fmt"
 	"slices"
 
+	"verifyio/internal/obs"
 	"verifyio/internal/par"
 )
 
@@ -81,7 +83,10 @@ type fileSweep struct {
 // independent and shard across the worker pool; their group lists have
 // disjoint X sets, so the final sort by X interleaves them exactly as a
 // serial ascending-fid sweep would have emitted them.
-func detectPairs(res *Result, workers int) {
+func detectPairs(res *Result, workers int, oc obs.Ctx) {
+	sc, sweepSpan := oc.Start("sweep", obs.Int("files", len(res.Files)))
+	defer sweepSpan.End()
+
 	byFile := make([][]int32, len(res.Files))
 	for i := range res.Ops {
 		fid := res.Ops[i].FID
@@ -89,8 +94,15 @@ func detectPairs(res *Result, workers int) {
 	}
 
 	sweeps := make([]fileSweep, len(byFile))
-	par.Do(workers, len(byFile), func(fid int) {
+	par.DoObs(sc, "detect-sweep", workers, len(byFile), func(fid int) {
+		var sp *obs.Span
+		// Files with fewer than two ops cannot conflict; skip their spans
+		// so traces on wide file sets stay readable.
+		if len(byFile[fid]) > 1 {
+			_, sp = sc.StartLane("detect/sweep-"+fmt.Sprint(fid), "sweep-file", obs.Int("fid", fid))
+		}
 		sweeps[fid] = sweepFile(res.Ops, byFile[fid])
+		sp.End()
 	})
 
 	totalGroups, totalYs, totalRuns := 0, 0, 0

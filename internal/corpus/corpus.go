@@ -127,7 +127,7 @@ func VerifyOpts(t Test, algo verify.Algo, opts verify.Options) (*Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	a, err := verify.AnalyzeOpts(tr, algo, verify.AnalyzeOptions{Workers: opts.Workers})
+	a, err := verify.AnalyzeOpts(tr, algo, verify.AnalyzeOptions{Workers: opts.Workers, Obs: opts.Obs})
 	if err != nil {
 		return nil, fmt.Errorf("corpus: %s: %w", t.Name, err)
 	}

@@ -94,10 +94,12 @@ type BFSOracle struct {
 }
 
 type bfsStripe struct {
-	mu  sync.Mutex
-	max int                     // row capacity of this stripe
-	by  map[int32]*list.Element // source node -> LRU element
-	lru *list.List              // front = most recently used; values are *bfsRow
+	mu   sync.Mutex
+	max  int                     // row capacity of this stripe
+	by   map[int32]*list.Element // source node -> LRU element
+	lru  *list.List              // front = most recently used; values are *bfsRow
+	hits int64                   // memo hits, under mu
+	miss int64                   // memo misses (rows computed), under mu
 }
 
 type bfsRow struct {
@@ -151,11 +153,13 @@ func (o *BFSOracle) row(id int32) []uint64 {
 	s := &o.stripes[int(id)%bfsStripes]
 	s.mu.Lock()
 	if el, ok := s.by[id]; ok {
+		s.hits++
 		s.lru.MoveToFront(el)
 		bits := el.Value.(*bfsRow).bits
 		s.mu.Unlock()
 		return bits
 	}
+	s.miss++
 	s.mu.Unlock()
 
 	bits := o.computeRow(id)
@@ -195,6 +199,20 @@ func (o *BFSOracle) computeRow(id int32) []uint64 {
 
 // Name identifies the algorithm.
 func (o *BFSOracle) Name() string { return "reachability" }
+
+// MemoStats sums the memo hit/miss counts across stripes. The split is
+// scheduling-dependent under concurrent queries (two goroutines can both
+// miss on one source), so consumers record it as a volatile metric.
+func (o *BFSOracle) MemoStats() (hits, misses int64) {
+	for i := range o.stripes {
+		s := &o.stripes[i]
+		s.mu.Lock()
+		hits += s.hits
+		misses += s.miss
+		s.mu.Unlock()
+	}
+	return hits, misses
+}
 
 // ---------------------------------------------------------------------------
 // 3. Transitive closure (§IV-D3)

@@ -48,6 +48,7 @@ import (
 	"strconv"
 	"strings"
 
+	"verifyio/internal/obs"
 	"verifyio/internal/par"
 	"verifyio/internal/trace"
 )
@@ -181,6 +182,8 @@ type Options struct {
 	// means GOMAXPROCS; 1 forces the serial path. The result is identical
 	// at every worker count.
 	Workers int
+	// Obs carries telemetry sinks; the zero Ctx disables instrumentation.
+	Obs obs.Ctx
 }
 
 // Match replays the MPI records of tr with a GOMAXPROCS-wide worker pool;
@@ -200,6 +203,9 @@ func Match(tr *trace.Trace) (*Result, error) {
 // malformed traces, at every worker count.
 func MatchOpts(tr *trace.Trace, opts Options) (*Result, error) {
 	workers := par.Resolve(opts.Workers)
+	oc, span := opts.Obs.StartLane("match", "match", obs.Int("ranks", len(tr.Ranks)))
+	span.SetCat("match")
+	defer span.End()
 	m := &matcher{
 		res:     &Result{},
 		members: map[string][]int{},
@@ -217,6 +223,7 @@ func MatchOpts(tr *trace.Trace, opts Options) (*Result, error) {
 	// Phase 0: membership views. Registration errors are discarded here —
 	// phase 1 re-runs each rank's registrations against its own view and
 	// reports them in record order, like the serial scan did.
+	_, regSpan := oc.Start("register")
 	views := make([]map[string][]int, len(tr.Ranks))
 	for rank := range tr.Ranks {
 		views[rank] = maps.Clone(m.members)
@@ -231,15 +238,20 @@ func MatchOpts(tr *trace.Trace, opts Options) (*Result, error) {
 		}
 	}
 
+	regSpan.End()
+
 	// Phase 1: independent per-rank scans.
 	outs := make([]*rankOut, len(tr.Ranks))
-	par.Do(workers, len(tr.Ranks), func(rank int) {
+	par.DoObs(oc, "match-scan", workers, len(tr.Ranks), func(rank int) {
+		_, sp := oc.StartLane("match/rank-"+strconv.Itoa(rank), "scan", obs.Int("rank", rank))
 		outs[rank] = scanRank(tr, rank, views[rank])
+		sp.End()
 	})
 
 	// Phase 2: merge in rank order — the append order of a serial
 	// rank-major scan (per-key send/recv buckets and per-rank collective
 	// entry lists all grow rank by rank there too).
+	_, mergeSpan := oc.Start("merge")
 	for rank, out := range outs {
 		m.res.Problems = append(m.res.Problems, out.problems...)
 		for gid, entries := range out.colls {
@@ -258,9 +270,21 @@ func MatchOpts(tr *trace.Trace, opts Options) (*Result, error) {
 		}
 	}
 
+	mergeSpan.End()
+
+	_, collSpan := oc.Start("collectives")
 	m.matchCollectives()
+	collSpan.End()
+	_, p2pSpan := oc.Start("p2p")
 	m.matchP2P()
+	p2pSpan.End()
 	m.sortOutputs()
+	if r := oc.R; r != nil {
+		r.Counter("match.edges").Add(int64(len(m.res.Edges)))
+		r.Counter("match.problems").Add(int64(len(m.res.Problems)))
+		r.Counter("match.collectives").Add(int64(m.res.Collectives))
+		r.Counter("match.p2p").Add(int64(m.res.P2P))
+	}
 	return m.res, nil
 }
 

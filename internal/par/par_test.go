@@ -1,0 +1,118 @@
+package par
+
+import (
+	"errors"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"verifyio/internal/obs"
+)
+
+func TestDoCoversIndexSpace(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, runtime.GOMAXPROCS(0)} {
+		const n = 100
+		var hits [n]atomic.Int32
+		Do(workers, n, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestDoPanicPropagatesOriginalStack(t *testing.T) {
+	sentinel := errors.New("task exploded")
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic was swallowed")
+		}
+		tp, ok := r.(*TaskPanic)
+		if !ok {
+			t.Fatalf("recovered %T, want *TaskPanic", r)
+		}
+		if tp.Value != sentinel {
+			t.Fatalf("panic value = %v, want sentinel", tp.Value)
+		}
+		if tp.Index != 13 {
+			t.Fatalf("panic index = %d, want 13", tp.Index)
+		}
+		// The captured stack must point at the panicking task function, not
+		// at Do's caller.
+		if !strings.Contains(string(tp.Stack), "explodingTask") {
+			t.Fatalf("stack lost goroutine identity:\n%s", tp.Stack)
+		}
+		if !errors.Is(tp, sentinel) {
+			t.Fatal("TaskPanic does not unwrap to the original error")
+		}
+	}()
+	Do(4, 64, func(i int) {
+		if i == 13 {
+			explodingTask(sentinel)
+		}
+	})
+}
+
+// explodingTask exists so the test can assert the panicking frame survives
+// into TaskPanic.Stack.
+func explodingTask(err error) { panic(err) }
+
+func TestDoPanicDrainsPool(t *testing.T) {
+	// After the first panic the pool must stop claiming new indices (drain),
+	// not run the remaining thousands of tasks.
+	var ran atomic.Int64
+	func() {
+		defer func() { recover() }()
+		Do(2, 100000, func(i int) {
+			ran.Add(1)
+			if i == 0 {
+				panic("stop")
+			}
+		})
+	}()
+	if got := ran.Load(); got >= 100000 {
+		t.Fatalf("pool ran all %d tasks after panic", got)
+	}
+}
+
+func TestDoObsRecordsPoolStats(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		r := obs.NewRegistry()
+		const n = 50
+		DoObs(obs.Ctx{R: r}, "test-pool", workers, n, func(i int) {})
+		snap := r.Snapshot()
+		if got := snap.Stable.Counters["par.test-pool.tasks_submitted"]; got != n {
+			t.Fatalf("workers=%d submitted = %d, want %d", workers, got, n)
+		}
+		if got := snap.Stable.Counters["par.test-pool.tasks_completed"]; got != n {
+			t.Fatalf("workers=%d completed = %d, want %d", workers, got, n)
+		}
+		maxc := snap.Volatile.Gauges["par.test-pool.max_concurrent"]
+		if maxc < 1 || maxc > int64(workers) {
+			t.Fatalf("workers=%d max_concurrent = %d", workers, maxc)
+		}
+		if _, ok := snap.Volatile.Gauges["par.test-pool.busy_ns"]; !ok {
+			t.Fatalf("workers=%d busy_ns missing", workers)
+		}
+	}
+}
+
+func TestDoObsDisabledIsDo(t *testing.T) {
+	var hits atomic.Int64
+	DoObs(obs.Ctx{}, "unused", 4, 32, func(i int) { hits.Add(1) })
+	if hits.Load() != 32 {
+		t.Fatalf("ran %d tasks", hits.Load())
+	}
+}
+
+func TestResolve(t *testing.T) {
+	if Resolve(0) != runtime.GOMAXPROCS(0) || Resolve(-3) != runtime.GOMAXPROCS(0) {
+		t.Fatal("Resolve(<=0) != GOMAXPROCS")
+	}
+	if Resolve(5) != 5 {
+		t.Fatal("Resolve(5) != 5")
+	}
+}

@@ -10,6 +10,8 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+
+	"verifyio/internal/obs"
 )
 
 // Binary trace format.
@@ -656,6 +658,10 @@ func ReadDir(dir string) (*Trace, error) {
 // salvaged prefix, and files that are missing or unreadable leave an empty
 // rank stream; both are reported per rank in the stats.
 func ReadDirWithOptions(dir string, opts DecodeOptions) (*Trace, *DecodeStats, error) {
+	oc, span := opts.Obs.Start("read-trace", obs.String("dir", dir))
+	span.SetCat("decode")
+	defer span.End()
+
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, nil, err
@@ -676,7 +682,9 @@ func ReadDirWithOptions(dir string, opts DecodeOptions) (*Trace, *DecodeStats, e
 		if err != nil {
 			return nil, nil, err
 		}
+		_, rankSpan := oc.Start("read-rank", obs.Int("rank", rank))
 		sub, fstats, err := DecodeWithOptions(f, opts)
+		rankSpan.End()
 		f.Close()
 		if err != nil {
 			// The file holds a single-rank stream whose in-file rank is
@@ -756,6 +764,17 @@ func ReadDirWithOptions(dir string, opts DecodeOptions) (*Trace, *DecodeStats, e
 		}
 	}
 	sort.Slice(stats.Ranks, func(i, j int) bool { return stats.Ranks[i].Rank < stats.Ranks[j].Rank })
+	if r := opts.Obs.R; r != nil {
+		decoded := 0
+		for _, rs := range t.Ranks {
+			decoded += len(rs)
+		}
+		r.Counter("trace.records_decoded").Add(int64(decoded))
+		r.Counter("trace.ranks_salvaged").Add(int64(len(stats.Ranks)))
+		r.Counter("trace.records_salvaged").Add(int64(stats.Salvaged()))
+		dropped, _ := stats.Dropped()
+		r.Counter("trace.records_dropped").Add(int64(dropped))
+	}
 	return t, stats, nil
 }
 

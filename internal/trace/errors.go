@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+
+	"verifyio/internal/obs"
 )
 
 // Structured decode errors and resource limits for the trace-ingestion
@@ -186,6 +188,8 @@ type DecodeOptions struct {
 	Tolerate bool
 	// Limits bounds decoder allocations; zero fields use DefaultLimits.
 	Limits Limits
+	// Obs carries telemetry sinks; the zero Ctx disables instrumentation.
+	Obs obs.Ctx
 }
 
 // RankRecovery reports lenient-mode salvage on one damaged rank stream.

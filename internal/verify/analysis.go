@@ -17,6 +17,7 @@ import (
 	"verifyio/internal/conflict"
 	"verifyio/internal/hbgraph"
 	"verifyio/internal/match"
+	"verifyio/internal/obs"
 	"verifyio/internal/par"
 	"verifyio/internal/trace"
 )
@@ -76,16 +77,28 @@ type Timing struct {
 	// Verification covers the per-model conflict checking.
 	Verification time.Duration
 
+	// Wall-clock overlap fields. Every field whose name ends in "Wall"
+	// measures elapsed wall time across stages that (can) run concurrently,
+	// so it overlaps the per-stage durations above and MUST be excluded
+	// from Total — adding one to the sum would double-report. The naming
+	// convention is enforced by the reflection pin test in timing_test.go:
+	// a new overlap field is excluded automatically by its suffix, and a
+	// new per-stage field fails the test until Total is updated.
+
 	// DetectMatchWall is the wall-clock time of the combined
 	// detect-conflicts/match phase. With Workers != 1 the two stages run
 	// concurrently (they are independent consumers of the trace), so this
-	// is less than DetectConflicts + Match; serially it is their sum. It
-	// reports overlap and is excluded from Total, which sums the
-	// per-stage durations.
+	// is less than DetectConflicts + Match; serially it is their sum.
 	DetectMatchWall time.Duration
+	// AnalyzeWall is the wall-clock time of the whole Analyze call
+	// (detect + match + graph build + clock generation), the elapsed time
+	// a caller observes for steps 2–3.
+	AnalyzeWall time.Duration
 }
 
-// Total sums all stages.
+// Total sums the per-stage durations. Wall-clock overlap fields
+// ("Wall"-suffixed) are intentionally excluded: they re-measure spans of
+// the same stages and would double-report.
 func (t Timing) Total() time.Duration {
 	return t.ReadTrace + t.DetectConflicts + t.Match + t.BuildGraph + t.VectorClock + t.Verification
 }
@@ -119,6 +132,9 @@ type AnalyzeOptions struct {
 	// concurrently with each other. 0 means GOMAXPROCS; 1 forces the fully
 	// serial path. The analysis is identical at every worker count.
 	Workers int
+	// Obs carries telemetry sinks through the whole analysis; the zero Ctx
+	// disables instrumentation.
+	Obs obs.Ctx
 }
 
 // Analyze runs steps 2 and 3 with a GOMAXPROCS-wide worker pool; see
@@ -132,6 +148,11 @@ func Analyze(tr *trace.Trace, algo Algo) (*Analysis, error) {
 func AnalyzeOpts(tr *trace.Trace, algo Algo, opts AnalyzeOptions) (*Analysis, error) {
 	workers := par.Resolve(opts.Workers)
 	a := &Analysis{Trace: tr}
+	oc, span := opts.Obs.Start("analyze", obs.Int("workers", workers))
+	span.SetCat("analyze")
+	defer span.End()
+	analyzeWall := time.Now()
+	defer func() { a.Timing.AnalyzeWall = time.Since(analyzeWall) }()
 
 	// Steps 2 and 3 read the trace and nothing else, so they can overlap.
 	// Each stage times itself; the shared wall clock records the overlap.
@@ -144,12 +165,12 @@ func AnalyzeOpts(tr *trace.Trace, algo Algo, opts AnalyzeOptions) (*Analysis, er
 	wall := time.Now()
 	detect := func() {
 		start := time.Now()
-		conf, confErr = conflict.DetectOpts(tr, conflict.Options{Workers: opts.Workers})
+		conf, confErr = conflict.DetectOpts(tr, conflict.Options{Workers: opts.Workers, Obs: oc})
 		a.Timing.DetectConflicts = time.Since(start)
 	}
 	doMatch := func() {
 		start := time.Now()
-		mres, mErr = match.MatchOpts(tr, match.Options{Workers: opts.Workers})
+		mres, mErr = match.MatchOpts(tr, match.Options{Workers: opts.Workers, Obs: oc})
 		a.Timing.Match = time.Since(start)
 	}
 	if workers > 1 {
@@ -185,23 +206,34 @@ func AnalyzeOpts(tr *trace.Trace, algo Algo, opts AnalyzeOptions) (*Analysis, er
 	}
 	a.Algorithm = algo
 
+	_, buildSpan := oc.Start("build-graph", obs.String("algorithm", algo.String()))
 	if algo == AlgoOnTheFly {
 		a.Oracle = hbgraph.NewOnTheFly(tr, mres.Edges)
 		a.Timing.BuildGraph = time.Since(start)
+		buildSpan.End()
 		return a, nil
 	}
 
 	g, err := hbgraph.Build(tr, mres.Edges)
 	if err != nil {
+		buildSpan.End()
 		return nil, fmt.Errorf("verify: happens-before graph: %w", err)
 	}
 	a.Graph = g
 	a.Timing.BuildGraph = time.Since(start)
+	buildSpan.AddAttr(obs.Int("nodes", g.Nodes()), obs.Int("sync_edges", g.SyncEdges()))
+	buildSpan.End()
+	if r := oc.R; r != nil {
+		r.Gauge("hbgraph.nodes").Set(int64(g.Nodes()))
+		r.Gauge("hbgraph.sync_edges").Set(int64(g.SyncEdges()))
+	}
 
 	start = time.Now()
 	switch algo {
 	case AlgoVectorClock:
+		_, vcSpan := oc.Start("vector-clocks")
 		vc, err := g.VectorClocks()
+		vcSpan.End()
 		if err != nil {
 			return nil, fmt.Errorf("verify: vector clocks: %w", err)
 		}

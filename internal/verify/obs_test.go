@@ -1,0 +1,181 @@
+package verify
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"verifyio/internal/obs"
+	"verifyio/internal/semantics"
+)
+
+// pipelineTelemetry runs the full analyze+verify pipeline on the Fig. 2
+// trace with telemetry attached and returns the tracer, registry, and
+// exported events.
+func pipelineTelemetry(t *testing.T, workers int) (*obs.Tracer, *obs.Registry, []obs.ChromeEvent) {
+	t.Helper()
+	tr := runTraced(t, 2, fig2Program)
+	tracer := obs.NewTracer()
+	reg := obs.NewRegistry()
+	oc := obs.Ctx{T: tracer, R: reg}
+	a, err := AnalyzeOpts(tr, AlgoVectorClock, AnalyzeOptions{Workers: workers, Obs: oc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.VerifyAll(semantics.All(), Options{Workers: workers, Obs: oc}); err != nil {
+		t.Fatal(err)
+	}
+	return tracer, reg, tracer.Events()
+}
+
+// TestPipelineSpansCoverAllStages asserts a telemetry-enabled run emits the
+// documented span taxonomy: all five stages, with shard spans at Workers>1.
+func TestPipelineSpansCoverAllStages(t *testing.T) {
+	_, reg, events := pipelineTelemetry(t, 2)
+
+	counts := map[string]int{}
+	for _, e := range events {
+		if e.Ph == "X" {
+			counts[e.Name]++
+		}
+	}
+	for _, stage := range []string{"analyze", "detect", "match", "build-graph", "vector-clocks", "verify"} {
+		if counts[stage] == 0 {
+			t.Errorf("no %q span emitted; spans: %v", stage, counts)
+		}
+	}
+	// Shard spans: per-rank replay and scan (2 ranks), per-model verify
+	// lanes (4 models).
+	if counts["replay"] != 2 {
+		t.Errorf("replay shard spans = %d, want 2", counts["replay"])
+	}
+	if counts["scan"] != 2 {
+		t.Errorf("scan shard spans = %d, want 2", counts["scan"])
+	}
+	if counts["verify"] != 4 {
+		t.Errorf("verify model spans = %d, want 4", counts["verify"])
+	}
+	if err := obs.ValidateEvents(events); err != nil {
+		t.Errorf("pipeline trace fails validation: %v", err)
+	}
+
+	// The metric registry must cover the documented name families.
+	names := map[string]bool{}
+	for _, n := range reg.Names() {
+		names[n] = true
+	}
+	for _, n := range []string{
+		"conflict.ops", "conflict.pairs", "conflict.groups", "conflict.group_fanout",
+		"match.edges", "match.collectives",
+		"hbgraph.nodes", "hbgraph.sync_edges",
+		"verify.groups", "verify.checks", "verify.races",
+		"par.detect-replay.tasks_submitted", "par.match-scan.tasks_completed",
+	} {
+		if !names[n] {
+			t.Errorf("metric %q missing from registry; have %v", n, reg.Names())
+		}
+	}
+}
+
+// TestPipelineStableMetricsDeterministic runs the pipeline twice at the same
+// worker count and asserts the stable metric section exports byte-identical
+// JSON — the -metrics-out acceptance contract.
+func TestPipelineStableMetricsDeterministic(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var snaps [2]*obs.Snapshot
+		for i := range snaps {
+			_, reg, _ := pipelineTelemetry(t, workers)
+			snaps[i] = reg.Snapshot()
+			snaps[i].Volatile = obs.Section{} // timing/scheduling-valued; schema-checked elsewhere
+		}
+		var bufs [2][]byte
+		for i, s := range snaps {
+			b, err := json.Marshal(s) // map keys marshal sorted: equal snapshots are byte-equal
+			if err != nil {
+				t.Fatal(err)
+			}
+			bufs[i] = b
+		}
+		if !bytes.Equal(bufs[0], bufs[1]) {
+			t.Errorf("workers=%d: stable metrics differ across runs:\n%s\nvs\n%s",
+				workers, bufs[0], bufs[1])
+		}
+	}
+}
+
+// TestPipelineSpanContentWorkerIndependent asserts the exported span
+// content (names, lanes/tids, ids, parents) is identical across runs at the
+// same worker count, even though goroutine scheduling varies.
+func TestPipelineSpanContentWorkerIndependent(t *testing.T) {
+	shape := func() []obs.ChromeEvent {
+		_, _, events := pipelineTelemetry(t, 4)
+		return events
+	}
+	want := shape()
+	for trial := 0; trial < 3; trial++ {
+		got := shape()
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d events, want %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			g, w := got[i], want[i]
+			if g.Name != w.Name || g.TID != w.TID || g.Ph != w.Ph ||
+				g.Args["id"] != w.Args["id"] || g.Args["parent"] != w.Args["parent"] {
+				t.Fatalf("trial %d event %d: got %+v want %+v", trial, i, g, w)
+			}
+		}
+	}
+}
+
+// TestReportEmbedsMetrics checks Report.Metrics carries the snapshot when a
+// registry is attached and stays nil when telemetry is off.
+func TestReportEmbedsMetrics(t *testing.T) {
+	tr := runTraced(t, 2, fig2Program)
+	a, err := Analyze(tr, AlgoVectorClock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := a.Verify(Options{Model: semantics.POSIXModel()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Metrics != nil {
+		t.Error("Report.Metrics set without a registry")
+	}
+
+	reg := obs.NewRegistry()
+	a2, err := AnalyzeOpts(tr, AlgoVectorClock, AnalyzeOptions{Obs: obs.Ctx{R: reg}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := a2.Verify(Options{Model: semantics.POSIXModel(), Obs: obs.Ctx{R: reg}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Metrics == nil {
+		t.Fatal("Report.Metrics nil with a registry attached")
+	}
+	if rep2.Metrics.Stable.Counters["verify.checks"] == 0 {
+		t.Error("embedded metrics missing verify.checks")
+	}
+}
+
+// TestTelemetryDoesNotChangeReport asserts instrumented and plain runs
+// produce identical verification outcomes.
+func TestTelemetryDoesNotChangeReport(t *testing.T) {
+	tr := runTraced(t, 2, fig2Program)
+	plain, err := Run(tr, Options{Model: semantics.SessionModel()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oc := obs.Ctx{T: obs.NewTracer(), R: obs.NewRegistry()}
+	instr, err := Run(tr, Options{Model: semantics.SessionModel(), Obs: oc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.RaceCount != instr.RaceCount || plain.ChecksPerformed != instr.ChecksPerformed ||
+		plain.ConflictPairs != instr.ConflictPairs {
+		t.Errorf("telemetry changed the report: plain races=%d checks=%d, instrumented races=%d checks=%d",
+			plain.RaceCount, plain.ChecksPerformed, instr.RaceCount, instr.ChecksPerformed)
+	}
+}

@@ -2,23 +2,24 @@ package verify
 
 import (
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 )
 
 // TestTimingTotalSumsAllStages pins Total() to the Timing struct by
 // reflection: every duration field must contribute to the sum except the
-// ones in the explicit exclusion set (overlap diagnostics, not stages).
-// Adding a stage field without updating Total (or this set) fails here.
+// wall-clock overlap fields, which are identified by the "Wall" name suffix.
+// Those re-measure elapsed time across stages that run concurrently, so
+// adding one to Total would double-report; the suffix convention makes the
+// exclusion automatic and this test makes it load-bearing. Adding a stage
+// field without updating Total — or naming an overlap field without the
+// suffix — fails here.
 func TestTimingTotalSumsAllStages(t *testing.T) {
-	excluded := map[string]bool{
-		// Wall-clock of the concurrent detect+match phase; reporting-only,
-		// would double-count DetectConflicts and Match.
-		"DetectMatchWall": true,
-	}
 	var tm Timing
 	v := reflect.ValueOf(&tm).Elem()
 	var want time.Duration
+	var sawWall []string
 	for i := 0; i < v.NumField(); i++ {
 		f := v.Type().Field(i)
 		if f.Type != reflect.TypeOf(time.Duration(0)) {
@@ -26,13 +27,20 @@ func TestTimingTotalSumsAllStages(t *testing.T) {
 		}
 		d := time.Duration(1) << uint(i) // distinct power of two per field
 		v.Field(i).SetInt(int64(d))
-		if excluded[f.Name] {
+		if strings.HasSuffix(f.Name, "Wall") {
+			sawWall = append(sawWall, f.Name)
 			continue
 		}
 		want += d
 	}
 	if got := tm.Total(); got != want {
-		t.Errorf("Total() = %d, want %d: a stage field is missing from the sum (or an excluded field leaked in)", got, want)
+		t.Errorf("Total() = %d, want %d: a stage field is missing from the sum (or a Wall-suffixed overlap field leaked in)", got, want)
+	}
+	// The overlap fields this PR series has introduced; a rename that breaks
+	// the suffix convention shows up as a miscount here before it silently
+	// double-reports in Total.
+	if len(sawWall) != 2 {
+		t.Errorf("found %d Wall-suffixed overlap fields %v, want 2 (DetectMatchWall, AnalyzeWall)", len(sawWall), sawWall)
 	}
 }
 
@@ -48,6 +56,9 @@ func TestTimingSerialWallEqualsSum(t *testing.T) {
 	sum := a.Timing.DetectConflicts + a.Timing.Match
 	if a.Timing.DetectMatchWall < sum {
 		t.Errorf("serial wall %v < detect+match sum %v", a.Timing.DetectMatchWall, sum)
+	}
+	if a.Timing.AnalyzeWall < a.Timing.DetectMatchWall {
+		t.Errorf("analyze wall %v < detect+match wall %v", a.Timing.AnalyzeWall, a.Timing.DetectMatchWall)
 	}
 	if a.Timing.Total() == 0 {
 		t.Error("Total() is zero after a full analysis")

@@ -9,7 +9,9 @@ import (
 	"time"
 
 	"verifyio/internal/conflict"
+	"verifyio/internal/hbgraph"
 	"verifyio/internal/match"
+	"verifyio/internal/obs"
 	"verifyio/internal/semantics"
 	"verifyio/internal/trace"
 )
@@ -39,6 +41,9 @@ type Options struct {
 	// GOMAXPROCS; 1 keeps the serial path. Results are independent of the
 	// worker count.
 	Workers int
+	// Obs carries telemetry sinks; the zero Ctx disables instrumentation.
+	// When a registry is attached, Report.Metrics carries its snapshot.
+	Obs obs.Ctx
 }
 
 // Race is one data race (Def. 7): a conflicting pair with no
@@ -105,11 +110,14 @@ type Report struct {
 	GraphNodes     int
 	GraphSyncEdges int
 	Timing         Timing
+	// Metrics is the telemetry registry snapshot taken when this report
+	// was built. Nil unless Options.Obs carried a registry.
+	Metrics *obs.Snapshot `json:",omitempty"`
 }
 
 // Run performs the whole pipeline (steps 2–4) on a trace for one model.
 func Run(tr *trace.Trace, opts Options) (*Report, error) {
-	a, err := AnalyzeOpts(tr, opts.Algo, AnalyzeOptions{Workers: opts.Workers})
+	a, err := AnalyzeOpts(tr, opts.Algo, AnalyzeOptions{Workers: opts.Workers, Obs: opts.Obs})
 	if err != nil {
 		return nil, err
 	}
@@ -145,14 +153,26 @@ func (a *Analysis) Verify(opts Options) (*Report, error) {
 		// Unmatched MPI calls: the synchronization order cannot be
 		// trusted, so verification is not performed (§V-D).
 		rep.Verified = false
+		rep.Metrics = opts.Obs.R.Snapshot()
 		return rep, nil
 	}
+	// Model passes run concurrently in VerifyAll, so each pass gets its own
+	// lane; per-chunk shard spans fork off it below.
+	oc, span := opts.Obs.StartLane("verify/"+opts.Model.Name, "verify",
+		obs.String("model", opts.Model.Name), obs.String("algorithm", rep.Algorithm))
+	span.SetCat("verify")
+	defer span.End()
+
 	start := time.Now()
-	v := &verifier{a: a, opts: opts, idx: buildSyncIndex(a.Conflicts, opts.Model)}
+	_, idxSpan := oc.Start("sync-index")
+	v := &verifier{a: a, opts: opts, oc: oc, idx: buildSyncIndex(a.Conflicts, opts.Model)}
+	idxSpan.End()
 	if opts.Workers > 1 && len(a.Conflicts.Groups) > 1 {
 		v.verifyGroupsParallel(opts.Workers)
 	} else {
+		_, chunkSpan := oc.Start("groups", obs.Int("groups", len(a.Conflicts.Groups)))
 		v.verifyGroups(0, len(a.Conflicts.Groups))
+		chunkSpan.End()
 	}
 	rep.RaceCount = v.raceCount
 	for _, p := range v.pairs {
@@ -168,6 +188,21 @@ func (a *Analysis) Verify(opts Options) (*Report, error) {
 		}
 		return rep.Races[i].Y.Ref.Less(rep.Races[j].Y.Ref)
 	})
+	if r := opts.Obs.R; r != nil {
+		r.Counter("verify.groups").Add(int64(len(a.Conflicts.Groups)))
+		r.Counter("verify.checks").Add(v.checks)
+		r.Counter("verify.races").Add(v.raceCount)
+		// The memo hit/miss split under concurrent queries is
+		// scheduling-dependent; Set (not Add) keeps re-snapshotting after
+		// several model passes idempotent — the gauge always holds the
+		// oracle's cumulative totals.
+		if bfs, ok := a.Oracle.(*hbgraph.BFSOracle); ok {
+			hits, misses := bfs.MemoStats()
+			r.GaugeS("hb.memo_hits", obs.Volatile).Set(hits)
+			r.GaugeS("hb.memo_misses", obs.Volatile).Set(misses)
+		}
+		rep.Metrics = r.Snapshot()
+	}
 	return rep, nil
 }
 
@@ -245,6 +280,7 @@ func lastBefore(seqs []int, s int) int {
 type verifier struct {
 	a    *Analysis
 	opts Options
+	oc   obs.Ctx
 	idx  *syncIndex
 
 	// Accumulators: merged into the Report after verification. Pairs
@@ -431,7 +467,11 @@ func (v *verifier) verifyGroupsParallel(workers int) {
 				if hi > groups {
 					hi = groups
 				}
+				_, sp := v.oc.StartLane(
+					"verify/"+v.opts.Model.Name+"/chunk-"+fmt.Sprint(c),
+					"chunk", obs.Int("chunk", c), obs.Int("groups", hi-c*chunk))
 				sh.verifyGroups(c*chunk, hi)
+				sp.End()
 			}
 		}()
 	}

@@ -37,12 +37,69 @@ import (
 	"time"
 
 	"verifyio/internal/corpus"
+	"verifyio/internal/obs"
 	"verifyio/internal/recorder"
 	"verifyio/internal/semantics"
 	"verifyio/internal/sim/posixfs"
 	"verifyio/internal/trace"
 	"verifyio/internal/verify"
 )
+
+// Telemetry collects tracing spans and runtime metrics from a verification
+// run. Attach one instance to ReadOptions and Options across the calls of a
+// run, then export: WriteChromeTrace emits a Chrome trace_event JSON
+// flamegraph (chrome://tracing, Perfetto), WriteMetrics the metric registry
+// snapshot. A nil *Telemetry disables instrumentation at near-zero cost.
+//
+// Span and metric content is deterministic: at a fixed worker count the
+// exported spans (names, attributes, track assignment, ids, nesting) and
+// every stable metric are identical across runs; only timestamps, durations
+// and volatile (scheduling-dependent) metrics vary.
+type Telemetry struct {
+	tracer   *obs.Tracer
+	registry *obs.Registry
+}
+
+// NewTelemetry returns an empty telemetry sink.
+func NewTelemetry() *Telemetry {
+	return &Telemetry{tracer: obs.NewTracer(), registry: obs.NewRegistry()}
+}
+
+// ctx returns the internal carrier (zero Ctx when t is nil).
+func (t *Telemetry) ctx() obs.Ctx {
+	if t == nil {
+		return obs.Ctx{}
+	}
+	return obs.Ctx{T: t.tracer, R: t.registry}
+}
+
+// WriteChromeTrace writes the collected spans as Chrome trace_event JSON.
+// Call after the instrumented run has finished.
+func (t *Telemetry) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		return (*obs.Tracer)(nil).WriteChromeTrace(w)
+	}
+	return t.tracer.WriteChromeTrace(w)
+}
+
+// WriteMetrics writes the metric registry snapshot as JSON, partitioned
+// into a "stable" section (byte-identical across runs at the same worker
+// count) and a "volatile" section (scheduling- and timing-dependent).
+func (t *Telemetry) WriteMetrics(w io.Writer) error {
+	if t == nil {
+		return (*obs.Registry)(nil).WriteMetrics(w)
+	}
+	return t.registry.WriteMetrics(w)
+}
+
+// Publish exposes the live metric registry as the named expvar, so a process
+// serving a debug endpoint (net/http/pprof + expvar) reports the run's
+// metrics at /debug/vars while it executes. Nil-safe.
+func (t *Telemetry) Publish(name string) {
+	if t != nil {
+		obs.PublishRegistry(name, t.registry)
+	}
+}
 
 // Rank is the traced per-process handle programs receive under the tracer:
 // it exposes the instrumented MPI and POSIX interfaces, and the simulated
@@ -98,6 +155,42 @@ func ReadTraceDir(dir string) (*Trace, error) {
 	return &Trace{t: tr}, nil
 }
 
+// ReadOptions tunes trace loading.
+type ReadOptions struct {
+	// Tolerate enables lenient loading (see ReadTraceDirTolerant).
+	Tolerate bool
+	// Telemetry instruments the load (a "read-trace" span with per-rank
+	// children, trace.* metrics). Nil disables.
+	Telemetry *Telemetry
+}
+
+// ReadTraceDirOpts loads a trace directory with explicit options; it
+// subsumes ReadTraceDir (zero options) and ReadTraceDirTolerant
+// (Tolerate: true). The Recovery is non-nil only in tolerate mode.
+func ReadTraceDirOpts(dir string, opts ReadOptions) (*Trace, *Recovery, error) {
+	tr, stats, err := trace.ReadDirWithOptions(dir, trace.DecodeOptions{
+		Tolerate: opts.Tolerate,
+		Obs:      opts.Telemetry.ctx(),
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if !opts.Tolerate {
+		return &Trace{t: tr}, nil, nil
+	}
+	rec := &Recovery{}
+	for _, rr := range stats.Ranks {
+		reason := "unknown damage"
+		if rr.Err != nil {
+			reason = rr.Err.Error()
+		}
+		rec.Ranks = append(rec.Ranks, RankRecovery{
+			Rank: rr.Rank, Salvaged: rr.Salvaged, Dropped: rr.Dropped, Reason: reason,
+		})
+	}
+	return &Trace{t: tr}, rec, nil
+}
+
 // RankRecovery describes what lenient loading did to one damaged rank.
 type RankRecovery struct {
 	// Rank is the world rank of the damaged stream.
@@ -128,21 +221,7 @@ func (r *Recovery) Clean() bool { return r == nil || len(r.Ranks) == 0 }
 // verifying an execution that stopped where the trace breaks off — partial
 // evidence, reported honestly.
 func ReadTraceDirTolerant(dir string) (*Trace, *Recovery, error) {
-	tr, stats, err := trace.ReadDirWithOptions(dir, trace.DecodeOptions{Tolerate: true})
-	if err != nil {
-		return nil, nil, err
-	}
-	rec := &Recovery{}
-	for _, rr := range stats.Ranks {
-		reason := "unknown damage"
-		if rr.Err != nil {
-			reason = rr.Err.Error()
-		}
-		rec.Ranks = append(rec.Ranks, RankRecovery{
-			Rank: rr.Rank, Salvaged: rr.Salvaged, Dropped: rr.Dropped, Reason: reason,
-		})
-	}
-	return &Trace{t: tr}, rec, nil
+	return ReadTraceDirOpts(dir, ReadOptions{Tolerate: true})
 }
 
 // TraceProgram runs prog once per rank under the Recorder⁺ tracer, against
@@ -210,6 +289,10 @@ type Options struct {
 	// GOMAXPROCS; 1 forces the fully serial path. Results are independent
 	// of the worker count.
 	Workers int
+	// Telemetry instruments the run with tracing spans and runtime metrics
+	// (see Telemetry). Nil disables instrumentation; the disabled path
+	// costs near zero.
+	Telemetry *Telemetry
 }
 
 func (o *Options) algo() (verify.Algo, error) {
@@ -223,7 +306,7 @@ func (o *Options) analyzeOptions() verify.AnalyzeOptions {
 	if o == nil {
 		return verify.AnalyzeOptions{}
 	}
-	return verify.AnalyzeOptions{Workers: o.Workers}
+	return verify.AnalyzeOptions{Workers: o.Workers, Obs: o.Telemetry.ctx()}
 }
 
 func (o *Options) verifyOptions(m semantics.Model) verify.Options {
@@ -233,6 +316,7 @@ func (o *Options) verifyOptions(m semantics.Model) verify.Options {
 		vo.MaxRaceDetails = o.MaxRaceDetails
 		vo.ContinueOnUnmatched = o.ContinueOnUnmatched
 		vo.Workers = o.Workers
+		vo.Obs = o.Telemetry.ctx()
 	}
 	return vo
 }
@@ -272,11 +356,16 @@ type Timing struct {
 	// DetectMatchWall is the wall-clock time of the combined conflict
 	// detection / MPI matching phase, which runs both steps concurrently
 	// when Options.Workers != 1. It reports overlap (wall < detect+match)
-	// and is excluded from Total.
+	// and, like every "Wall"-suffixed field, is excluded from Total.
 	DetectMatchWall time.Duration
+	// AnalyzeWall is the wall-clock time of the whole analysis front-end
+	// (steps 2–3 plus happens-before construction) — the elapsed time a
+	// caller observes. Overlaps the per-stage fields; excluded from Total.
+	AnalyzeWall time.Duration
 }
 
-// Total sums all stages.
+// Total sums the per-stage durations; wall-clock overlap fields
+// ("Wall"-suffixed) are excluded to avoid double-reporting.
 func (t Timing) Total() time.Duration {
 	return t.ReadTrace + t.DetectConflicts + t.Match + t.BuildGraph + t.VectorClock + t.Verification
 }
@@ -301,6 +390,11 @@ type Report struct {
 	GraphNodes     int
 	GraphSyncEdges int
 	Timing         Timing
+
+	// Metrics is the telemetry metrics snapshot (the WriteMetrics JSON
+	// document) taken when the report was built. Nil unless the run was
+	// instrumented via Options.Telemetry.
+	Metrics json.RawMessage `json:",omitempty"`
 
 	inner *verify.Report
 }
@@ -336,8 +430,14 @@ func wrapReport(rep *verify.Report) *Report {
 			VectorClock:     rep.Timing.VectorClock,
 			Verification:    rep.Timing.Verification,
 			DetectMatchWall: rep.Timing.DetectMatchWall,
+			AnalyzeWall:     rep.Timing.AnalyzeWall,
 		},
 		inner: rep,
+	}
+	if rep.Metrics != nil {
+		if b, err := json.Marshal(rep.Metrics); err == nil {
+			out.Metrics = b
+		}
 	}
 	for _, race := range rep.Races {
 		out.Races = append(out.Races, Race{

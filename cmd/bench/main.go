@@ -21,6 +21,11 @@
 // Every run cell also records the stable telemetry metrics of the workload
 // (conflict pairs, checks performed, par pool task counts, ...) captured
 // from one extra instrumented iteration that is excluded from the timing.
+//
+// Each trace additionally carries build-graph/vector-clock micro-cells
+// (graph_runs) measuring hbgraph.Build and skeleton clock construction in
+// isolation, plus the skeleton shape and clock-arena sizes; -check enforces
+// that the skeleton arena never exceeds the full-graph O(records·ranks) one.
 package main
 
 import (
@@ -34,6 +39,8 @@ import (
 	"time"
 
 	"verifyio/internal/corpus"
+	"verifyio/internal/hbgraph"
+	"verifyio/internal/match"
 	"verifyio/internal/obs"
 	"verifyio/internal/semantics"
 	"verifyio/internal/trace"
@@ -61,6 +68,29 @@ type traceBench struct {
 	// Speedup is ns/op at workers=1 divided by ns/op at the highest
 	// worker count (1.0 when GOMAXPROCS is 1).
 	Speedup float64 `json:"speedup"`
+
+	// Sync-skeleton shape and the happens-before micro-cells. The clock
+	// arena is O(SkeletonNodes·ranks); VCFullArenaBytes records what the
+	// pre-skeleton O(records·ranks) layout would have allocated, so the
+	// artifact carries the memory win explicitly (and -check enforces
+	// arena ≤ full-arena).
+	SkeletonNodes    int        `json:"skeleton_nodes"`
+	SkeletonLevels   int        `json:"skeleton_levels"`
+	VCArenaBytes     int64      `json:"vc_arena_bytes"`
+	VCFullArenaBytes int64      `json:"vc_full_arena_bytes"`
+	GraphRuns        []graphRun `json:"graph_runs"`
+}
+
+// graphRun is one build-graph/vector-clock micro-cell: hbgraph.Build and
+// skeleton clock construction in isolation (the end-to-end runs above
+// include them inside analyze).
+type graphRun struct {
+	Workers       int   `json:"workers"`
+	Iters         int   `json:"iters"`
+	BuildNsPerOp  int64 `json:"build_ns_per_op"`
+	VCNsPerOp     int64 `json:"vc_ns_per_op"`
+	VCAllocsPerOp int64 `json:"vc_allocs_per_op"`
+	VCBytesPerOp  int64 `json:"vc_bytes_per_op"`
 }
 
 type run struct {
@@ -175,6 +205,35 @@ func main() {
 				sc.Name, workers, r.NsPerOp, r.AllocsPerOp)
 		}
 		tb.Speedup = float64(tb.Runs[0].NsPerOp) / float64(tb.Runs[len(tb.Runs)-1].NsPerOp)
+
+		// Happens-before micro-cells: Build and VectorClocks in isolation,
+		// over the same matcher edges the end-to-end runs used.
+		mres, err := match.MatchOpts(tr, match.Options{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %s: match: %v\n", sc.Name, err)
+			os.Exit(1)
+		}
+		g, err := hbgraph.Build(tr, mres.Edges)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %s: build: %v\n", sc.Name, err)
+			os.Exit(1)
+		}
+		vc, err := g.VectorClocks()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %s: vector clocks: %v\n", sc.Name, err)
+			os.Exit(1)
+		}
+		tb.SkeletonNodes = g.SkeletonNodes()
+		tb.SkeletonLevels = g.SkeletonLevels()
+		tb.VCArenaBytes = int64(vc.ArenaBytes())
+		tb.VCFullArenaBytes = int64(4 * tr.NumRecords() * tr.NumRanks())
+		for _, workers := range workerCounts {
+			gr := benchGraph(tr, mres.Edges, workers, iters, minTime)
+			tb.GraphRuns = append(tb.GraphRuns, gr)
+			fmt.Printf("%-16s workers=%-3d %12d build-ns/op %10d vc-ns/op %8d vc-B/op (skeleton %d/%d nodes)\n",
+				sc.Name, workers, gr.BuildNsPerOp, gr.VCNsPerOp, gr.VCBytesPerOp,
+				tb.SkeletonNodes, tb.Records)
+		}
 		res.Traces = append(res.Traces, tb)
 	}
 
@@ -268,6 +327,51 @@ func benchOne(tr *trace.Trace, workers, iters int, minTime time.Duration) (run, 
 	}, lastA, races
 }
 
+// benchGraph measures hbgraph.Build and skeleton vector-clock construction
+// in isolation at one worker count. Allocation stats cover the clock pass
+// only — the cell whose O(V·P) → O(S·P) reduction the artifact tracks.
+func benchGraph(tr *trace.Trace, edges []match.Edge, workers, iters int, minTime time.Duration) graphRun {
+	var (
+		g        *hbgraph.Graph
+		err      error
+		elapsed  time.Duration
+		done     int
+		memStart runtime.MemStats
+		memEnd   runtime.MemStats
+	)
+	for done = 0; done < iters || elapsed < minTime; done++ {
+		start := time.Now()
+		g, err = hbgraph.Build(tr, edges)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: build: %v\n", err)
+			os.Exit(1)
+		}
+		elapsed += time.Since(start)
+	}
+	buildNs := elapsed.Nanoseconds() / int64(done)
+
+	runtime.GC()
+	runtime.ReadMemStats(&memStart)
+	elapsed = 0
+	for done = 0; done < iters || elapsed < minTime; done++ {
+		start := time.Now()
+		if _, err := g.VectorClocksOpts(hbgraph.VCOptions{Workers: workers}); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: vector clocks: %v\n", err)
+			os.Exit(1)
+		}
+		elapsed += time.Since(start)
+	}
+	runtime.ReadMemStats(&memEnd)
+	return graphRun{
+		Workers:       workers,
+		Iters:         done,
+		BuildNsPerOp:  buildNs,
+		VCNsPerOp:     elapsed.Nanoseconds() / int64(done),
+		VCAllocsPerOp: int64(memEnd.Mallocs-memStart.Mallocs) / int64(done),
+		VCBytesPerOp:  int64(memEnd.TotalAlloc-memStart.TotalAlloc) / int64(done),
+	}
+}
+
 // parseBenchTime accepts "Nx" (fixed iterations) or a Go duration (minimum
 // time per cell).
 func parseBenchTime(s string) (iters int, minTime time.Duration, err error) {
@@ -323,6 +427,27 @@ func checkFile(path string) error {
 			if r.Metrics.Counters["verify.checks"] < 0 || len(r.Metrics.Counters) == 0 {
 				return fmt.Errorf("trace %q workers=%d: empty metrics snapshot", tb.Name, r.Workers)
 			}
+		}
+		if len(tb.GraphRuns) == 0 {
+			return fmt.Errorf("trace %q has no graph runs", tb.Name)
+		}
+		if tb.GraphRuns[0].Workers != 1 {
+			return fmt.Errorf("trace %q: first graph run must be workers=1, got %d", tb.Name, tb.GraphRuns[0].Workers)
+		}
+		for _, r := range tb.GraphRuns {
+			if r.Iters < 1 || r.BuildNsPerOp <= 0 || r.VCNsPerOp <= 0 {
+				return fmt.Errorf("trace %q graph workers=%d: bad iteration stats", tb.Name, r.Workers)
+			}
+		}
+		if tb.SkeletonNodes < 1 || tb.SkeletonNodes > tb.Records {
+			return fmt.Errorf("trace %q: skeleton %d nodes outside [1, %d records]", tb.Name, tb.SkeletonNodes, tb.Records)
+		}
+		if tb.SkeletonLevels < 1 {
+			return fmt.Errorf("trace %q: missing skeleton levels", tb.Name)
+		}
+		if tb.VCArenaBytes <= 0 || tb.VCArenaBytes > tb.VCFullArenaBytes {
+			return fmt.Errorf("trace %q: skeleton clock arena %d bytes exceeds full-graph arena %d",
+				tb.Name, tb.VCArenaBytes, tb.VCFullArenaBytes)
 		}
 	}
 	return nil

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	obscheck -chrome FILE [-stages read-trace,detect,match,build-graph,verify] [-shards]
-//	obscheck -metrics FILE
+//	obscheck -metrics FILE [-assert-le gaugeA,gaugeB]
 //	obscheck -compare-stable FILE_A -with FILE_B
 //
 // -chrome checks a Chrome trace_event document: structural invariants (named
@@ -13,7 +13,9 @@
 // every required pipeline stage span; -shards additionally requires the
 // per-rank replay/scan shard spans a Workers>1 run emits. -metrics checks a
 // metrics snapshot (histogram bucket invariants, non-negative counters) and
-// that the stable section is non-empty. -compare-stable asserts two metrics
+// that the stable section is non-empty; -assert-le additionally enforces an
+// ordering invariant between two gauges (CI uses it to pin the sync-skeleton
+// clock arena under the full-graph one). -compare-stable asserts two metrics
 // files have byte-identical stable sections — the determinism contract for
 // runs at the same worker count.
 package main
@@ -38,9 +40,10 @@ func run() int {
 		chrome  = flag.String("chrome", "", "Chrome trace_event JSON file to validate")
 		stages  = flag.String("stages", "read-trace,detect,match,build-graph,verify", "comma-separated span names the trace must contain")
 		shards  = flag.Bool("shards", false, "require per-rank shard spans (replay, scan) in the trace")
-		metrics = flag.String("metrics", "", "metrics snapshot JSON file to validate")
-		compare = flag.String("compare-stable", "", "metrics file whose stable section must byte-match -with")
-		with    = flag.String("with", "", "second metrics file for -compare-stable")
+		metrics  = flag.String("metrics", "", "metrics snapshot JSON file to validate")
+		assertLE = flag.String("assert-le", "", "with -metrics: \"A,B\" asserts gauge A <= gauge B in the snapshot")
+		compare  = flag.String("compare-stable", "", "metrics file whose stable section must byte-match -with")
+		with     = flag.String("with", "", "second metrics file for -compare-stable")
 	)
 	flag.Parse()
 
@@ -60,6 +63,17 @@ func run() int {
 			return 1
 		}
 		fmt.Printf("%s: valid metrics snapshot\n", *metrics)
+	}
+	if *assertLE != "" {
+		ran = true
+		if *metrics == "" {
+			fmt.Fprintln(os.Stderr, "obscheck: -assert-le requires -metrics")
+			return 2
+		}
+		if err := assertGaugeLE(*metrics, *assertLE); err != nil {
+			fmt.Fprintf(os.Stderr, "obscheck: %v\n", err)
+			return 1
+		}
 	}
 	if *compare != "" || *with != "" {
 		ran = true
@@ -138,6 +152,39 @@ func checkMetrics(path string) error {
 	if len(snap.Stable.Counters)+len(snap.Stable.Gauges)+len(snap.Stable.Histograms) == 0 {
 		return fmt.Errorf("%s: stable section is empty", path)
 	}
+	return nil
+}
+
+// assertGaugeLE checks an ordering invariant between two gauges of a
+// snapshot, e.g. that the sync-skeleton clock arena never exceeds the
+// full-graph one. spec is "A,B" meaning gauge A must be <= gauge B; both
+// must exist (in either stability section).
+func assertGaugeLE(path, spec string) error {
+	names := strings.Split(spec, ",")
+	if len(names) != 2 || strings.TrimSpace(names[0]) == "" || strings.TrimSpace(names[1]) == "" {
+		return fmt.Errorf("-assert-le wants \"gaugeA,gaugeB\", got %q", spec)
+	}
+	snap, err := loadSnapshot(path)
+	if err != nil {
+		return err
+	}
+	vals := make([]int64, 2)
+	for i, name := range names {
+		name = strings.TrimSpace(name)
+		names[i] = name
+		v, ok := snap.Stable.Gauges[name]
+		if !ok {
+			v, ok = snap.Volatile.Gauges[name]
+		}
+		if !ok {
+			return fmt.Errorf("%s: gauge %q not in snapshot", path, name)
+		}
+		vals[i] = v
+	}
+	if vals[0] > vals[1] {
+		return fmt.Errorf("%s: gauge %s = %d exceeds %s = %d", path, names[0], vals[0], names[1], vals[1])
+	}
+	fmt.Printf("%s: gauge %s = %d <= %s = %d\n", path, names[0], vals[0], names[1], vals[1])
 	return nil
 }
 

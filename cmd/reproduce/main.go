@@ -234,11 +234,13 @@ func table3(w io.Writer, rowsOnce func() ([]*corpus.Row, error)) error {
 func table4(w io.Writer, vopts verify.Options, dopts trace.DecodeOptions) error {
 	names := []string{"nc4perf", "cache", "pmulti_dset"}
 	type breakdown struct {
-		name   string
-		timing verify.Timing
-		nodes  int
-		edges  int
-		pairs  int64
+		name       string
+		timing     verify.Timing
+		nodes      int
+		edges      int
+		skelNodes  int
+		skelLevels int
+		pairs      int64
 	}
 	var rows []breakdown
 	for _, name := range names {
@@ -288,6 +290,7 @@ func table4(w io.Writer, vopts verify.Options, dopts trace.DecodeOptions) error 
 		rows = append(rows, breakdown{
 			name: name, timing: t,
 			nodes: a.Graph.Nodes(), edges: a.Graph.SyncEdges(),
+			skelNodes: a.Graph.SkeletonNodes(), skelLevels: a.Graph.SkeletonLevels(),
 			pairs: a.Conflicts.Pairs,
 		})
 	}
@@ -314,6 +317,11 @@ func table4(w io.Writer, vopts verify.Options, dopts trace.DecodeOptions) error 
 	fmt.Fprintf(w, "%-32s", "graph nodes / sync edges")
 	for _, r := range rows {
 		fmt.Fprintf(w, " %16s", fmt.Sprintf("%d/%d", r.nodes, r.edges))
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-32s", "skeleton nodes / levels")
+	for _, r := range rows {
+		fmt.Fprintf(w, " %16s", fmt.Sprintf("%d/%d", r.skelNodes, r.skelLevels))
 	}
 	fmt.Fprintln(w)
 	fmt.Fprintf(w, "%-32s", "conflict pairs")

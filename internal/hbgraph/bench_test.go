@@ -1,7 +1,9 @@
 package hbgraph
 
 import (
+	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"verifyio/internal/match"
@@ -66,6 +68,55 @@ func BenchmarkOracleConstruction(b *testing.B) {
 			_ = g.Reachability()
 		}
 	})
+}
+
+// BenchmarkTopoOrder measures the full-graph topological sort; the indegree
+// pass iterates per rank so program-order successors come from the rank
+// cursor instead of a per-node binary search.
+func BenchmarkTopoOrder(b *testing.B) {
+	tr, edges := synthGraph(8, 2000, 0.1, 7)
+	g, err := Build(tr, edges)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.TopoOrder(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkVectorClocks measures skeleton clock construction on a
+// sync-sparse graph (S ≪ V — the common Recorder-trace shape) and a
+// sync-dense one, serial and at GOMAXPROCS.
+func BenchmarkVectorClocks(b *testing.B) {
+	shapes := []struct {
+		name    string
+		density float64
+	}{
+		{"sparse", 0.005},
+		{"dense", 0.5},
+	}
+	for _, sh := range shapes {
+		tr, edges := synthGraph(8, 4000, sh.density, 13)
+		g, err := Build(tr, edges)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+			b.Run(fmt.Sprintf("%s/workers=%d", sh.name, workers), func(b *testing.B) {
+				b.ReportAllocs()
+				b.ReportMetric(float64(g.SkeletonNodes()), "skelnodes")
+				for i := 0; i < b.N; i++ {
+					if _, err := g.VectorClocksOpts(VCOptions{Workers: workers}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
 }
 
 // BenchmarkOracleQueries compares per-query cost across the four algorithms

@@ -6,8 +6,7 @@
 //  1. Vector clocks: a topological sort propagates one clock entry per rank
 //     through the graph; queries are O(1) afterwards.
 //  2. Graph reachability: breadth-first search per query, with memoization.
-//  3. Transitive closure: reverse-topological bitset union; O(1) queries,
-//     O(V²/64) memory.
+//  3. Transitive closure: reverse-topological bitset union; O(1) queries.
 //  4. On-the-fly (package otf entry point below via NewOnTheFly): answers
 //     queries directly from the matched synchronization edges without
 //     building the graph.
@@ -15,11 +14,16 @@
 // Nodes are trace records, identified by (rank, seq). Program-order edges
 // are implicit: record (r, k) always precedes (r, k+1). Synchronization
 // edges come from the MPI matcher.
+//
+// The graph-based oracles do not operate on all V records: clocks and
+// bitsets only change at synchronization endpoints, so they are computed on
+// the sync skeleton (see skeleton.go) — the records that are endpoints of
+// sync edges plus per-rank first/last sentinels. Queries on arbitrary refs
+// map through the skeleton index and return exactly the full-graph answers.
 package hbgraph
 
 import (
 	"fmt"
-	"sort"
 
 	"verifyio/internal/match"
 	"verifyio/internal/trace"
@@ -27,16 +31,22 @@ import (
 
 // Graph is the happens-before graph.
 type Graph struct {
-	counts []int // records per rank
-	base   []int // node-id offset per rank (prefix sums)
-	n      int   // total nodes
+	counts []int   // records per rank
+	base   []int   // node-id offset per rank (prefix sums)
+	n      int     // total nodes
+	rankOf []int32 // rank per node id — O(1) ref(), no binary search on hot paths
 
-	// succ/pred hold only cross-rank (synchronization) adjacency; program
-	// order is implicit.
-	succ map[int32][]int32
-	pred map[int32][]int32
+	// CSR cross-rank (synchronization) adjacency over dense node ids;
+	// program order is implicit. succAdj[succOff[id]:succOff[id+1]] are the
+	// sync successors of id, in matcher edge order.
+	succOff []int32
+	succAdj []int32
+	predOff []int32
+	predAdj []int32
 
 	edgeCount int
+
+	skel skeleton // sync skeleton; built once in Build
 }
 
 // Build constructs the graph for tr with the matcher's synchronization
@@ -45,24 +55,53 @@ func Build(tr *trace.Trace, edges []match.Edge) (*Graph, error) {
 	g := &Graph{
 		counts: make([]int, tr.NumRanks()),
 		base:   make([]int, tr.NumRanks()+1),
-		succ:   make(map[int32][]int32),
-		pred:   make(map[int32][]int32),
 	}
 	for rank, recs := range tr.Ranks {
 		g.counts[rank] = len(recs)
 		g.base[rank+1] = g.base[rank] + len(recs)
 	}
 	g.n = g.base[len(g.counts)]
+	g.rankOf = make([]int32, g.n)
+	for r := range g.counts {
+		for id := g.base[r]; id < g.base[r+1]; id++ {
+			g.rankOf[id] = int32(r)
+		}
+	}
+
+	// CSR in two passes: count degrees into the offset arrays (shifted by
+	// one), prefix-sum, then fill with per-node cursors.
+	g.succOff = make([]int32, g.n+1)
+	g.predOff = make([]int32, g.n+1)
 	for _, e := range edges {
 		from, ok1 := g.id(e.From)
 		to, ok2 := g.id(e.To)
 		if !ok1 || !ok2 {
 			return nil, fmt.Errorf("hbgraph: edge %v→%v references records outside the trace", e.From, e.To)
 		}
-		g.succ[from] = append(g.succ[from], to)
-		g.pred[to] = append(g.pred[to], from)
-		g.edgeCount++
+		g.succOff[from+1]++
+		g.predOff[to+1]++
 	}
+	for i := 0; i < g.n; i++ {
+		g.succOff[i+1] += g.succOff[i]
+		g.predOff[i+1] += g.predOff[i]
+	}
+	g.succAdj = make([]int32, len(edges))
+	g.predAdj = make([]int32, len(edges))
+	scur := make([]int32, g.n)
+	pcur := make([]int32, g.n)
+	copy(scur, g.succOff[:g.n])
+	copy(pcur, g.predOff[:g.n])
+	for _, e := range edges {
+		from, _ := g.id(e.From)
+		to, _ := g.id(e.To)
+		g.succAdj[scur[from]] = to
+		scur[from]++
+		g.predAdj[pcur[to]] = from
+		pcur[to]++
+	}
+	g.edgeCount = len(edges)
+
+	g.buildSkeleton(edges)
 	return g, nil
 }
 
@@ -72,12 +111,35 @@ func (g *Graph) Nodes() int { return g.n }
 // SyncEdges returns the number of synchronization edges.
 func (g *Graph) SyncEdges() int { return g.edgeCount }
 
+// SkeletonNodes returns the size S of the sync skeleton the graph-based
+// oracles operate on (sync-edge endpoints plus per-rank sentinels).
+func (g *Graph) SkeletonNodes() int { return g.skel.n }
+
+// SkeletonLevels returns the number of topological levels in the skeleton's
+// Kahn wavefront schedule (0 for an empty or cyclic skeleton).
+func (g *Graph) SkeletonLevels() int {
+	if g.skel.cycleErr != nil {
+		return 0
+	}
+	return len(g.skel.levelOff) - 1
+}
+
+// SkeletonMaxLevelWidth returns the widest wavefront level — the available
+// parallelism of the level-synchronized vector-clock pass. It is bounded by
+// the rank count: skeleton nodes on one rank are chained by program order,
+// so each level holds at most one node per rank.
+func (g *Graph) SkeletonMaxLevelWidth() int { return g.skel.maxWidth }
+
+// inRange reports whether ref names a record of the trace. All oracles share
+// this bounds check; queries outside the trace are never hb-related.
+func (g *Graph) inRange(ref trace.Ref) bool {
+	return ref.Rank >= 0 && ref.Rank < len(g.counts) &&
+		ref.Seq >= 0 && ref.Seq < g.counts[ref.Rank]
+}
+
 // id maps a record ref to a dense node id.
 func (g *Graph) id(ref trace.Ref) (int32, bool) {
-	if ref.Rank < 0 || ref.Rank >= len(g.counts) {
-		return 0, false
-	}
-	if ref.Seq < 0 || ref.Seq >= g.counts[ref.Rank] {
+	if !g.inRange(ref) {
 		return 0, false
 	}
 	return int32(g.base[ref.Rank] + ref.Seq), true
@@ -85,29 +147,27 @@ func (g *Graph) id(ref trace.Ref) (int32, bool) {
 
 // ref maps a dense node id back to a record ref.
 func (g *Graph) ref(id int32) trace.Ref {
-	rank := sort.Search(len(g.counts), func(r int) bool { return g.base[r+1] > int(id) })
-	return trace.Ref{Rank: rank, Seq: int(id) - g.base[rank]}
+	rank := g.rankOf[id]
+	return trace.Ref{Rank: int(rank), Seq: int(id) - g.base[rank]}
 }
 
 // forEachSucc visits all successors of id: the po successor (if any) and the
 // synchronization successors.
 func (g *Graph) forEachSucc(id int32, visit func(int32)) {
-	ref := g.ref(id)
-	if ref.Seq+1 < g.counts[ref.Rank] {
+	if int(id)+1 < g.base[g.rankOf[id]+1] {
 		visit(id + 1)
 	}
-	for _, s := range g.succ[id] {
+	for _, s := range g.succAdj[g.succOff[id]:g.succOff[id+1]] {
 		visit(s)
 	}
 }
 
 // forEachPred visits all predecessors of id.
 func (g *Graph) forEachPred(id int32, visit func(int32)) {
-	ref := g.ref(id)
-	if ref.Seq > 0 {
+	if int(id) > g.base[g.rankOf[id]] {
 		visit(id - 1)
 	}
-	for _, p := range g.pred[id] {
+	for _, p := range g.predAdj[g.predOff[id]:g.predOff[id+1]] {
 		visit(p)
 	}
 }
@@ -116,9 +176,18 @@ func (g *Graph) forEachPred(id int32, visit func(int32)) {
 // has a cycle (which Def. 2 forbids; a cycle means the trace or matcher is
 // broken).
 func (g *Graph) TopoOrder() ([]int32, error) {
+	// Indegree pass hoisted per rank: program-order contributions come from
+	// the rank cursor (every node but the rank's first has po indegree 1),
+	// so no per-node rank lookup is needed, and sync contributions read the
+	// CSR arena directly.
 	indeg := make([]int32, g.n)
-	for id := int32(0); id < int32(g.n); id++ {
-		g.forEachSucc(id, func(s int32) { indeg[s]++ })
+	for r := range g.counts {
+		for id := g.base[r] + 1; id < g.base[r+1]; id++ {
+			indeg[id] = 1
+		}
+	}
+	for _, to := range g.succAdj {
+		indeg[to]++
 	}
 	// The queue doubles as the order: every node is appended exactly once,
 	// and a head cursor pops without re-slicing (queue[1:] would pin the

@@ -3,6 +3,8 @@ package hbgraph
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
+	"slices"
 	"sort"
 	"sync"
 	"testing"
@@ -127,21 +129,132 @@ func TestBuildRejectsOutOfRangeEdges(t *testing.T) {
 }
 
 func TestTransitiveClosureBudget(t *testing.T) {
-	tr := mkTrace(maxTCNodes + 1)
-	g, err := Build(tr, nil)
+	// The budget is on skeleton nodes: a sync-dense graph whose skeleton
+	// exceeds it is refused...
+	per := maxTCNodes/2 + 1
+	tr := mkTrace(per, per)
+	es := make([]match.Edge, 0, per-1)
+	for i := 0; i+1 < per; i++ {
+		es = append(es, match.Edge{From: ref(0, i), To: ref(1, i+1)})
+	}
+	g, err := Build(tr, es)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if g.SkeletonNodes() <= maxTCNodes {
+		t.Fatalf("test graph skeleton %d nodes, need > %d", g.SkeletonNodes(), maxTCNodes)
 	}
 	if _, err := g.TransitiveClosure(); err == nil {
 		t.Fatal("transitive closure ignored its memory budget")
 	}
+	// ...while a sync-sparse trace with even more records now qualifies: its
+	// skeleton is just the sentinels.
+	sparse := mkTrace(maxTCNodes + 1)
+	g2, err := Build(sparse, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g2.TransitiveClosure(); err != nil {
+		t.Fatalf("transitive closure refused a %d-record trace with a %d-node skeleton: %v",
+			maxTCNodes+1, g2.SkeletonNodes(), err)
+	}
 }
 
+// TestOracleQueriesOutsideTrace covers the shared bounds check of all four
+// algorithms: refs with out-of-range ranks or sequences (high and negative)
+// are never hb-related in either direction.
 func TestOracleQueriesOutsideTrace(t *testing.T) {
 	tr := mkTrace(2, 2)
-	for _, o := range allOracles(t, tr, nil) {
-		if o.HB(ref(0, 0), ref(7, 0)) || o.HB(ref(7, 0), ref(0, 0)) {
-			t.Errorf("%s: out-of-range refs reported hb", o.Name())
+	es := edges([4]int{0, 0, 1, 1})
+	in := ref(0, 0)
+	out := []trace.Ref{ref(7, 0), ref(-1, 0), ref(1, 5), ref(1, -2)}
+	for _, o := range allOracles(t, tr, es) {
+		for _, x := range out {
+			if o.HB(in, x) {
+				t.Errorf("%s: HB(%v, %v) true for out-of-range ref", o.Name(), in, x)
+			}
+			if o.HB(x, in) {
+				t.Errorf("%s: HB(%v, %v) true for out-of-range ref", o.Name(), x, in)
+			}
+		}
+	}
+}
+
+// TestSkeletonMapping pins the skeleton construction and the prev/next ref
+// resolution the oracles' query mapping is built on.
+func TestSkeletonMapping(t *testing.T) {
+	tr := mkTrace(6, 4)
+	es := edges([4]int{0, 2, 1, 1}, [4]int{1, 3, 0, 4})
+	g, err := Build(tr, es)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// rank 0 members: sentinels {0, 5} + endpoints {2, 4} -> ids 0..3
+	// rank 1 members: sentinels {0, 3} + endpoint {1}    -> ids 4..6
+	if g.SkeletonNodes() != 7 {
+		t.Fatalf("skeleton = %d nodes, want 7", g.SkeletonNodes())
+	}
+	prevCases := []struct {
+		ref  trace.Ref
+		want int32
+	}{
+		{ref(0, 0), 0}, {ref(0, 1), 0}, {ref(0, 2), 1}, {ref(0, 3), 1},
+		{ref(0, 4), 2}, {ref(0, 5), 3},
+		{ref(1, 0), 4}, {ref(1, 1), 5}, {ref(1, 2), 5}, {ref(1, 3), 6},
+	}
+	for _, c := range prevCases {
+		if got := g.skelPrev(c.ref); got != c.want {
+			t.Errorf("skelPrev(%v) = %d, want %d", c.ref, got, c.want)
+		}
+	}
+	nextCases := []struct {
+		ref  trace.Ref
+		want int32
+	}{
+		{ref(0, 0), 0}, {ref(0, 1), 1}, {ref(0, 2), 1}, {ref(0, 3), 2},
+		{ref(0, 5), 3},
+		{ref(1, 2), 6}, {ref(1, 3), 6},
+	}
+	for _, c := range nextCases {
+		if got := g.skelNext(c.ref); got != c.want {
+			t.Errorf("skelNext(%v) = %d, want %d", c.ref, got, c.want)
+		}
+	}
+	if lv := g.SkeletonLevels(); lv <= 0 {
+		t.Errorf("SkeletonLevels = %d, want > 0", lv)
+	}
+	if w := g.SkeletonMaxLevelWidth(); w < 1 || w > tr.NumRanks() {
+		t.Errorf("SkeletonMaxLevelWidth = %d, want within [1, %d]", w, tr.NumRanks())
+	}
+}
+
+// TestVectorClockWavefrontDeterministic asserts the level-parallel clock
+// pass produces bit-identical clocks at every worker count — max-merge is
+// order-independent within a level.
+func TestVectorClockWavefrontDeterministic(t *testing.T) {
+	// 16 ranks: level 0 holds 16 rank-first sentinels, comfortably past the
+	// parallel-width threshold, so workers > 1 genuinely exercises the
+	// concurrent path.
+	tr, es := synthGraph(16, 200, 0.2, 5)
+	g, err := Build(tr, es)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.SkeletonMaxLevelWidth() < vcMinParallelWidth {
+		t.Fatalf("max level width %d below parallel threshold %d; test graph too narrow",
+			g.SkeletonMaxLevelWidth(), vcMinParallelWidth)
+	}
+	base, err := g.VectorClocks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{1, 2, 7, runtime.GOMAXPROCS(0)} {
+		vc, err := g.VectorClocksOpts(VCOptions{Workers: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !slices.Equal(vc.clocks, base.clocks) {
+			t.Errorf("workers=%d: wavefront clocks differ from serial clocks", w)
 		}
 	}
 }
@@ -292,12 +405,17 @@ func TestDeterministicTopoOrder(t *testing.T) {
 }
 
 func TestVectorClockMemoryShape(t *testing.T) {
-	// A regression guard on the flat clock layout: one int32 per
-	// (node, rank) pair in a single node-major slice.
+	// A regression guard on the compact clock layout: one int32 per
+	// (skeleton node, rank) pair in a single node-major slice — O(S·P)
+	// memory, not O(V·P). With no sync edges the skeleton is just the
+	// per-rank first/last sentinels.
 	tr := mkTrace(5, 3)
 	g, err := Build(tr, nil)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if g.SkeletonNodes() != 4 {
+		t.Fatalf("skeleton = %d nodes, want 4 (two sentinels per rank)", g.SkeletonNodes())
 	}
 	vc, err := g.VectorClocks()
 	if err != nil {
@@ -306,13 +424,20 @@ func TestVectorClockMemoryShape(t *testing.T) {
 	if vc.nranks != 2 {
 		t.Fatalf("nranks = %d, want 2", vc.nranks)
 	}
-	if len(vc.clocks) != 8*2 {
-		t.Fatalf("clocks = %d entries, want 16 (8 nodes x 2 ranks)", len(vc.clocks))
+	if len(vc.clocks) != 4*2 {
+		t.Fatalf("clocks = %d entries, want 8 (4 skeleton nodes x 2 ranks)", len(vc.clocks))
 	}
-	// Each node knows itself: node 0 is (rank 0, seq 0), node 4 is
-	// (rank 0, seq 4).
-	if vc.clocks[0*2+0] != 0 || vc.clocks[4*2+0] != 4 {
-		t.Errorf("self entries wrong: %v %v", vc.clocks[0*2+0], vc.clocks[4*2+0])
+	if vc.ArenaBytes() != 4*len(vc.clocks) {
+		t.Fatalf("ArenaBytes = %d, want %d", vc.ArenaBytes(), 4*len(vc.clocks))
+	}
+	// Each skeleton node knows itself: id 0 is (rank 0, seq 0), id 1 is
+	// (rank 0, seq 4), id 3 is (rank 1, seq 2)...
+	if vc.clocks[0*2+0] != 0 || vc.clocks[1*2+0] != 4 || vc.clocks[3*2+1] != 2 {
+		t.Errorf("self entries wrong: %v", vc.clocks)
+	}
+	// ...and, with no sync, nothing about the other rank.
+	if vc.clocks[1*2+1] != -1 || vc.clocks[3*2+0] != -1 {
+		t.Errorf("cross-rank entries populated without sync edges: %v", vc.clocks)
 	}
 }
 

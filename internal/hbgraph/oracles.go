@@ -7,6 +7,8 @@ import (
 	"sync"
 
 	"verifyio/internal/match"
+	"verifyio/internal/obs"
+	"verifyio/internal/par"
 	"verifyio/internal/trace"
 )
 
@@ -14,46 +16,104 @@ import (
 // and TCOracle are immutable, BFSOracle guards its memo with striped locks,
 // and OTFOracle keeps per-query state in a sync.Pool. The parallel verifier
 // (internal/verify) relies on this contract.
+//
+// The three graph-based oracles compute over the sync skeleton (skeleton.go)
+// and map query refs through it, so their state is O(S·P) / O(S²) instead of
+// O(V·P) / O(V²).
 
 // ---------------------------------------------------------------------------
 // 1. Vector clocks (§IV-D1)
 
-// VCOracle answers hb queries from precomputed vector clocks: the clock entry
-// (v, r) is the highest sequence index on rank r that happens-before-or-equals
-// v. Clocks live in one flat node-major []int32 — a single allocation instead
-// of one slice per node, and adjacent nodes' clocks share cache lines.
+// VCOracle answers hb queries from precomputed skeleton vector clocks: the
+// clock entry (v, r) is the highest sequence index on rank r that
+// happens-before-or-equals skeleton node v. Clocks live in one flat
+// node-major []int32 — a single allocation instead of one slice per node,
+// and adjacent nodes' clocks share cache lines.
 type VCOracle struct {
 	g      *Graph
 	nranks int
-	clocks []int32 // len n*nranks; clocks[id*nranks+r] (-1 = nothing known)
+	clocks []int32 // len S*nranks; clocks[skelID*nranks+r] (-1 = nothing known)
 }
 
-// VectorClocks computes vector clocks by propagating along a topological
-// order — O(V·P + E·P) once, O(1) per query.
+// VCOptions configures vector-clock construction.
+type VCOptions struct {
+	// Workers bounds the wavefront parallelism; 0 means GOMAXPROCS, 1 forces
+	// the serial path. The clocks are identical at every worker count:
+	// within a level no node depends on another, and max-merge is
+	// order-independent.
+	Workers int
+	// Obs carries telemetry: pool stats for the wavefront ("par.vc-wavefront.*")
+	// and the clock-arena gauges.
+	Obs obs.Ctx
+}
+
+// vcMinParallelWidth is the level width below which the wavefront pass stays
+// on the calling goroutine: a level holds at most one node per rank, so
+// narrow levels (few ranks) never amortize the handoff.
+const vcMinParallelWidth = 8
+
+// VectorClocks computes skeleton vector clocks serially — O(S·P + E·P) once,
+// O(1) per query.
 func (g *Graph) VectorClocks() (*VCOracle, error) {
-	order, err := g.TopoOrder()
-	if err != nil {
-		return nil, err
+	return g.VectorClocksOpts(VCOptions{Workers: 1})
+}
+
+// VectorClocksOpts computes skeleton vector clocks with level-synchronized
+// (Kahn wavefront) propagation: levels are processed in order, and the nodes
+// within one level — whose predecessors all sit in earlier levels — update
+// their clocks concurrently.
+func (g *Graph) VectorClocksOpts(opts VCOptions) (*VCOracle, error) {
+	s := &g.skel
+	if s.cycleErr != nil {
+		return nil, s.cycleErr
 	}
-	nranks := len(g.counts)
-	clocks := make([]int32, g.n*nranks)
-	for i := range clocks {
-		clocks[i] = -1
+	nranks := s.nranks
+	clocks := make([]int32, s.n*nranks)
+	// One closure reused across levels (levels run strictly in sequence):
+	// step(i) fills the clock row of the i-th node of the current level.
+	var nodes []int32
+	step := func(i int) {
+		v := nodes[i]
+		c := clocks[int(v)*nranks : (int(v)+1)*nranks]
+		for r := range c {
+			c[r] = -1
+		}
+		r := s.rankOf[v]
+		if v > s.base[r] {
+			mergeClock(c, clocks[int(v-1)*nranks:int(v)*nranks])
+		}
+		for _, p := range s.predAdj[s.predOff[v]:s.predOff[v+1]] {
+			mergeClock(c, clocks[int(p)*nranks:(int(p)+1)*nranks])
+		}
+		if sq := s.seqs[v]; sq > c[r] {
+			c[r] = sq
+		}
 	}
-	for _, id := range order {
-		c := clocks[int(id)*nranks : (int(id)+1)*nranks]
-		ref := g.ref(id)
-		c[ref.Rank] = int32(ref.Seq)
-		g.forEachPred(id, func(p int32) {
-			pc := clocks[int(p)*nranks : (int(p)+1)*nranks]
-			for r, v := range pc {
-				if v > c[r] {
-					c[r] = v
-				}
+	workers := par.Resolve(opts.Workers)
+	for l := 0; l+1 < len(s.levelOff); l++ {
+		nodes = s.levelOrder[s.levelOff[l]:s.levelOff[l+1]]
+		if workers > 1 && len(nodes) >= vcMinParallelWidth {
+			par.DoObs(opts.Obs, "vc-wavefront", workers, len(nodes), step)
+		} else {
+			for i := range nodes {
+				step(i)
 			}
-		})
+		}
+	}
+	if r := opts.Obs.R; r != nil {
+		r.Gauge("hbgraph.vc_arena_bytes").Set(int64(4 * len(clocks)))
+		r.Gauge("hbgraph.vc_full_arena_bytes").Set(int64(4 * g.n * nranks))
 	}
 	return &VCOracle{g: g, nranks: nranks, clocks: clocks}, nil
+}
+
+// mergeClock folds src into dst entrywise by max.
+func mergeClock(dst, src []int32) {
+	for r, v := range src {
+		if v > dst[r] {
+			dst[r] = v
+		}
+	}
 }
 
 // HB reports whether a happens-before b.
@@ -61,15 +121,16 @@ func (o *VCOracle) HB(a, b trace.Ref) bool {
 	if res, ok := sameRankHB(a, b); ok {
 		return res
 	}
-	bid, ok := o.g.id(b)
-	if !ok {
+	if !o.g.inRange(a) || !o.g.inRange(b) {
 		return false
 	}
-	if _, ok := o.g.id(a); !ok {
-		return false
-	}
-	return o.clocks[int(bid)*o.nranks+a.Rank] >= int32(a.Seq)
+	p := o.g.skelPrev(b)
+	return o.clocks[int(p)*o.nranks+a.Rank] >= int32(a.Seq)
 }
+
+// ArenaBytes returns the size of the clock arena — 4·S·P bytes, versus the
+// 4·V·P a full-graph clock table would need.
+func (o *VCOracle) ArenaBytes() int { return 4 * len(o.clocks) }
 
 // Name identifies the algorithm.
 func (o *VCOracle) Name() string { return "vector-clock" }
@@ -85,18 +146,19 @@ const bfsMemoBudget = 32 << 20
 // contend only within their stripe.
 const bfsStripes = 16
 
-// BFSOracle answers hb queries by forward breadth-first search, memoizing
-// reachability bitsets per source node in a bounded, mutex-striped LRU.
+// BFSOracle answers hb queries by forward breadth-first search over the sync
+// skeleton, memoizing reachability bitsets per source skeleton node in a
+// bounded, mutex-striped LRU.
 type BFSOracle struct {
 	g       *Graph
-	words   int
+	words   int // bitset words per row: ceil(S/64)
 	stripes [bfsStripes]bfsStripe
 }
 
 type bfsStripe struct {
 	mu   sync.Mutex
 	max  int                     // row capacity of this stripe
-	by   map[int32]*list.Element // source node -> LRU element
+	by   map[int32]*list.Element // source skeleton node -> LRU element
 	lru  *list.List              // front = most recently used; values are *bfsRow
 	hits int64                   // memo hits, under mu
 	miss int64                   // memo misses (rows computed), under mu
@@ -115,7 +177,7 @@ func (g *Graph) Reachability() *BFSOracle {
 // reachabilityWithBudget is the constructor with an explicit memo budget in
 // bytes (tests shrink it to force eviction).
 func (g *Graph) reachabilityWithBudget(budget int) *BFSOracle {
-	o := &BFSOracle{g: g, words: (g.n + 63) / 64}
+	o := &BFSOracle{g: g, words: (g.skel.n + 63) / 64}
 	rowBytes := 8 * o.words
 	if rowBytes == 0 {
 		rowBytes = 8
@@ -132,23 +194,27 @@ func (g *Graph) reachabilityWithBudget(budget int) *BFSOracle {
 	return o
 }
 
-// HB reports whether a happens-before b.
+// HB reports whether a happens-before b. Cross-rank queries reduce to
+// skeleton reachability: a reaches b in the full graph iff next(a) reaches
+// prev(b) in the skeleton (the path enters and leaves the endpoint ranks
+// through skeleton nodes; see skeleton.go).
 func (o *BFSOracle) HB(a, b trace.Ref) bool {
 	if res, ok := sameRankHB(a, b); ok {
 		return res
 	}
-	aid, ok1 := o.g.id(a)
-	bid, ok2 := o.g.id(b)
-	if !ok1 || !ok2 {
+	if !o.g.inRange(a) || !o.g.inRange(b) {
 		return false
 	}
-	bits := o.row(aid)
-	return bits[int(bid)/64]&(1<<(uint(bid)%64)) != 0
+	src := o.g.skelNext(a)
+	dst := o.g.skelPrev(b)
+	bits := o.row(src)
+	return bits[int(dst)/64]&(1<<(uint(dst)%64)) != 0
 }
 
-// row returns the reachability bitset for source id, computing and caching it
-// on a miss. Two goroutines missing on the same source may both run the BFS;
-// the duplicate work is bounded and the cached result is identical.
+// row returns the reachability bitset for skeleton source id, computing and
+// caching it on a miss. Two goroutines missing on the same source may both
+// run the BFS; the duplicate work is bounded and the cached result is
+// identical.
 func (o *BFSOracle) row(id int32) []uint64 {
 	s := &o.stripes[int(id)%bfsStripes]
 	s.mu.Lock()
@@ -180,13 +246,13 @@ func (o *BFSOracle) row(id int32) []uint64 {
 	return bits
 }
 
-// computeRow runs the forward BFS from id into a fresh bitset.
+// computeRow runs the forward BFS from skeleton node id into a fresh bitset.
 func (o *BFSOracle) computeRow(id int32) []uint64 {
 	bits := make([]uint64, o.words)
 	queue := make([]int32, 1, 64)
 	queue[0] = id
 	for head := 0; head < len(queue); head++ {
-		o.g.forEachSucc(queue[head], func(s int32) {
+		o.g.skel.forEachSkelSucc(queue[head], func(s int32) {
 			w, m := int(s)/64, uint64(1)<<(uint(s)%64)
 			if bits[w]&m == 0 {
 				bits[w] |= m
@@ -217,37 +283,41 @@ func (o *BFSOracle) MemoStats() (hits, misses int64) {
 // ---------------------------------------------------------------------------
 // 3. Transitive closure (§IV-D3)
 
-// TCOracle answers hb queries from a full transitive-closure bitset.
+// TCOracle answers hb queries from a full skeleton transitive-closure bitset.
 type TCOracle struct {
 	g     *Graph
 	words int
-	bits  []uint64 // n * words
+	bits  []uint64 // S * words
 }
 
-// maxTCNodes bounds the transitive closure's O(V²) memory (64 MiB of
-// bitsets ≈ 23k nodes).
+// maxTCNodes bounds the transitive closure's O(S²) memory (64 MiB of
+// bitsets ≈ 23k nodes). The budget is on skeleton nodes: sync-sparse traces
+// of millions of records still qualify when their skeleton is small.
 const maxTCNodes = 1 << 15
 
-// TransitiveClosure materializes reachability bitsets in reverse topological
-// order. It refuses graphs whose closure would not fit in memory; callers
-// fall back to another oracle (the dynamic selection of §VII).
+// TransitiveClosure materializes skeleton reachability bitsets in reverse
+// topological order. It refuses graphs whose closure would not fit in
+// memory; callers fall back to another oracle (the dynamic selection of
+// §VII).
 func (g *Graph) TransitiveClosure() (*TCOracle, error) {
-	if g.n > maxTCNodes {
-		return nil, fmt.Errorf("hbgraph: transitive closure over %d nodes exceeds the %d-node budget", g.n, maxTCNodes)
+	s := &g.skel
+	if s.n > maxTCNodes {
+		return nil, fmt.Errorf("hbgraph: transitive closure over %d skeleton nodes exceeds the %d-node budget", s.n, maxTCNodes)
 	}
-	order, err := g.TopoOrder()
-	if err != nil {
-		return nil, err
+	if s.cycleErr != nil {
+		return nil, s.cycleErr
 	}
-	words := (g.n + 63) / 64
-	bits := make([]uint64, g.n*words)
+	words := (s.n + 63) / 64
+	bits := make([]uint64, s.n*words)
 	row := func(id int32) []uint64 { return bits[int(id)*words : (int(id)+1)*words] }
-	for i := len(order) - 1; i >= 0; i-- {
-		id := order[i]
+	// levelOrder is a topological order (every node's predecessors sit in
+	// earlier levels), so its reverse processes successors first.
+	for i := len(s.levelOrder) - 1; i >= 0; i-- {
+		id := s.levelOrder[i]
 		r := row(id)
-		g.forEachSucc(id, func(s int32) {
-			r[s/64] |= 1 << (uint(s) % 64)
-			for w, v := range row(s) {
+		s.forEachSkelSucc(id, func(sc int32) {
+			r[sc/64] |= 1 << (uint(sc) % 64)
+			for w, v := range row(sc) {
 				r[w] |= v
 			}
 		})
@@ -255,17 +325,18 @@ func (g *Graph) TransitiveClosure() (*TCOracle, error) {
 	return &TCOracle{g: g, words: words, bits: bits}, nil
 }
 
-// HB reports whether a happens-before b.
+// HB reports whether a happens-before b, via the same skeleton mapping as
+// BFSOracle.
 func (o *TCOracle) HB(a, b trace.Ref) bool {
 	if res, ok := sameRankHB(a, b); ok {
 		return res
 	}
-	aid, ok1 := o.g.id(a)
-	bid, ok2 := o.g.id(b)
-	if !ok1 || !ok2 {
+	if !o.g.inRange(a) || !o.g.inRange(b) {
 		return false
 	}
-	return o.bits[int(aid)*o.words+int(bid)/64]&(1<<(uint(bid)%64)) != 0
+	src := o.g.skelNext(a)
+	dst := o.g.skelPrev(b)
+	return o.bits[int(src)*o.words+int(dst)/64]&(1<<(uint(dst)%64)) != 0
 }
 
 // Name identifies the algorithm.
@@ -324,7 +395,8 @@ func (o *OTFOracle) HB(a, b trace.Ref) bool {
 	if res, ok := sameRankHB(a, b); ok {
 		return res
 	}
-	if a.Rank < 0 || a.Rank >= o.nranks || b.Rank < 0 || b.Rank >= o.nranks {
+	if a.Rank < 0 || a.Rank >= o.nranks || b.Rank < 0 || b.Rank >= o.nranks ||
+		a.Seq < 0 || a.Seq >= o.counts[a.Rank] || b.Seq < 0 || b.Seq >= o.counts[b.Rank] {
 		return false
 	}
 	// earliest[r]: smallest sequence on rank r known to be hb-after a

@@ -221,18 +221,25 @@ func AnalyzeOpts(tr *trace.Trace, algo Algo, opts AnalyzeOptions) (*Analysis, er
 	}
 	a.Graph = g
 	a.Timing.BuildGraph = time.Since(start)
-	buildSpan.AddAttr(obs.Int("nodes", g.Nodes()), obs.Int("sync_edges", g.SyncEdges()))
+	buildSpan.AddAttr(obs.Int("nodes", g.Nodes()), obs.Int("sync_edges", g.SyncEdges()),
+		obs.Int("skeleton_nodes", g.SkeletonNodes()))
 	buildSpan.End()
 	if r := oc.R; r != nil {
 		r.Gauge("hbgraph.nodes").Set(int64(g.Nodes()))
 		r.Gauge("hbgraph.sync_edges").Set(int64(g.SyncEdges()))
+		r.Gauge("hbgraph.skeleton_nodes").Set(int64(g.SkeletonNodes()))
+		r.Gauge("hbgraph.skeleton_levels").Set(int64(g.SkeletonLevels()))
+		r.Gauge("hbgraph.skeleton_max_level_width").Set(int64(g.SkeletonMaxLevelWidth()))
 	}
 
 	start = time.Now()
 	switch algo {
 	case AlgoVectorClock:
-		_, vcSpan := oc.Start("vector-clocks")
-		vc, err := g.VectorClocks()
+		_, vcSpan := oc.Start("vector-clocks",
+			obs.Int("skeleton_nodes", g.SkeletonNodes()),
+			obs.Int("levels", g.SkeletonLevels()),
+			obs.Int("max_level_width", g.SkeletonMaxLevelWidth()))
+		vc, err := g.VectorClocksOpts(hbgraph.VCOptions{Workers: opts.Workers, Obs: oc})
 		vcSpan.End()
 		if err != nil {
 			return nil, fmt.Errorf("verify: vector clocks: %w", err)

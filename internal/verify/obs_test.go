@@ -68,6 +68,8 @@ func TestPipelineSpansCoverAllStages(t *testing.T) {
 		"conflict.ops", "conflict.pairs", "conflict.groups", "conflict.group_fanout",
 		"match.edges", "match.collectives",
 		"hbgraph.nodes", "hbgraph.sync_edges",
+		"hbgraph.skeleton_nodes", "hbgraph.skeleton_levels", "hbgraph.skeleton_max_level_width",
+		"hbgraph.vc_arena_bytes", "hbgraph.vc_full_arena_bytes",
 		"verify.groups", "verify.checks", "verify.races",
 		"par.detect-replay.tasks_submitted", "par.match-scan.tasks_completed",
 	} {

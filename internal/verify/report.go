@@ -20,6 +20,9 @@ func (r *Report) Render(w io.Writer) {
 	if r.GraphNodes > 0 {
 		fmt.Fprintf(w, "hb graph:         %d nodes, %d sync edges\n", r.GraphNodes, r.GraphSyncEdges)
 	}
+	if r.SkeletonNodes > 0 {
+		fmt.Fprintf(w, "hb skeleton:      %d nodes, %d levels\n", r.SkeletonNodes, r.SkeletonLevels)
+	}
 	fmt.Fprintf(w, "conflict pairs:   %d\n", r.ConflictPairs)
 	if !r.Verified {
 		fmt.Fprintf(w, "result:           VERIFICATION ABORTED — unmatched MPI calls\n")

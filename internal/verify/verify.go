@@ -109,6 +109,12 @@ type Report struct {
 	Workers        int
 	GraphNodes     int
 	GraphSyncEdges int
+	// SkeletonNodes / SkeletonLevels describe the sync skeleton the
+	// graph-based oracles computed on: S nodes (sync-edge endpoints plus
+	// per-rank sentinels, S ≤ GraphNodes) scheduled across the given number
+	// of wavefront levels. Zero when the on-the-fly algorithm ran.
+	SkeletonNodes  int
+	SkeletonLevels int
 	Timing         Timing
 	// Metrics is the telemetry registry snapshot taken when this report
 	// was built. Nil unless Options.Obs carried a registry.
@@ -148,6 +154,8 @@ func (a *Analysis) Verify(opts Options) (*Report, error) {
 	if a.Graph != nil {
 		rep.GraphNodes = a.Graph.Nodes()
 		rep.GraphSyncEdges = a.Graph.SyncEdges()
+		rep.SkeletonNodes = a.Graph.SkeletonNodes()
+		rep.SkeletonLevels = a.Graph.SkeletonLevels()
 	}
 	if len(a.Match.Problems) > 0 && !opts.ContinueOnUnmatched {
 		// Unmatched MPI calls: the synchronization order cannot be

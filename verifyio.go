@@ -389,6 +389,12 @@ type Report struct {
 	Workers        int
 	GraphNodes     int
 	GraphSyncEdges int
+	// SkeletonNodes / SkeletonLevels describe the sync skeleton the
+	// graph-based happens-before oracles computed on (S ≤ GraphNodes nodes,
+	// scheduled across the given number of wavefront levels); zero when the
+	// on-the-fly algorithm ran.
+	SkeletonNodes  int
+	SkeletonLevels int
 	Timing         Timing
 
 	// Metrics is the telemetry metrics snapshot (the WriteMetrics JSON
@@ -422,6 +428,8 @@ func wrapReport(rep *verify.Report) *Report {
 		Workers:              rep.Workers,
 		GraphNodes:           rep.GraphNodes,
 		GraphSyncEdges:       rep.GraphSyncEdges,
+		SkeletonNodes:        rep.SkeletonNodes,
+		SkeletonLevels:       rep.SkeletonLevels,
 		Timing: Timing{
 			ReadTrace:       rep.Timing.ReadTrace,
 			DetectConflicts: rep.Timing.DetectConflicts,

@@ -44,6 +44,7 @@ import (
 	"verifyio/internal/obs"
 	"verifyio/internal/semantics"
 	"verifyio/internal/trace"
+	"verifyio/internal/vcache"
 	"verifyio/internal/verify"
 )
 
@@ -55,6 +56,37 @@ type output struct {
 	GOMAXPROCS int          `json:"gomaxprocs"`
 	BenchTime  string       `json:"benchtime"`
 	Traces     []traceBench `json:"traces"`
+	// Cache holds the incremental re-verification cells (verdict cache).
+	Cache *cacheBench `json:"cache,omitempty"`
+}
+
+// cacheBench measures the verdict cache on an append workload: verify a
+// base trace cold, re-verify it fully warm, then re-verify the same trace
+// with ~1% of operations appended — the incremental case the cache exists
+// for. Cells time the verification stage only (all four models, serial);
+// analysis is shared and excluded. -check enforces the contract: a warm run
+// never misses, and the append run costs at most 10% of cold.
+type cacheBench struct {
+	Ranks         int         `json:"ranks"`
+	BaseRecords   int         `json:"base_records"`
+	AppendRecords int         `json:"append_records"`
+	Cells         []cacheCell `json:"cells"`
+	// AppendColdRatio is verify_append1pct ns/op over verify_cold ns/op.
+	AppendColdRatio float64 `json:"append_cold_ratio"`
+}
+
+// cacheCell is one verdict-cache cell: verify_cold (empty store),
+// verify_warm (unchanged trace, sealed store), verify_append1pct (grown
+// trace against the base run's store). Hit/miss/dirty counters are summed
+// over the four model passes of one measured iteration.
+type cacheCell struct {
+	Name        string `json:"name"`
+	Iters       int    `json:"iters"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	Hits        int64  `json:"hits"`
+	Misses      int64  `json:"misses"`
+	DirtyChunks int64  `json:"dirty_chunks"`
+	RaceCount   int64  `json:"race_count"`
 }
 
 type traceBench struct {
@@ -237,6 +269,13 @@ func main() {
 		res.Traces = append(res.Traces, tb)
 	}
 
+	cb, err := benchCache(iters, minTime)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: cache: %v\n", err)
+		os.Exit(1)
+	}
+	res.Cache = cb
+
 	data, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
@@ -372,6 +411,184 @@ func benchGraph(tr *trace.Trace, edges []match.Edge, workers, iters int, minTime
 	}
 }
 
+// Cache-cell workload geometry. ops is chosen so the per-rank record count
+// shared by the base and appended traces (2 + ops + 2·⌊ops/64⌋ = 8192) is an
+// exact multiple of the digest block (trace.DigestBlock = 64): the manifest's
+// block-granular cuts then land precisely at the append point and the whole
+// base prefix is certifiable as stable. extra = 80 ≈ 1% of ops.
+const (
+	cacheRanks  = 8
+	cacheOps    = 7942
+	cacheExtra  = 80
+	cacheWindow = int64(1 << 18)
+	cacheSeed   = int64(7)
+	cacheID     = "bench/scaling-append"
+)
+
+// verdictsMatch compares what a verification pass concluded — the contract
+// the cache must preserve bit for bit.
+func verdictsMatch(a, b []*verify.Report) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("report count %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		x, y := a[i], b[i]
+		if x.Model != y.Model || x.RaceCount != y.RaceCount || x.ChecksPerformed != y.ChecksPerformed {
+			return fmt.Errorf("%s: races %d/%d, checks %d/%d",
+				x.Model, x.RaceCount, y.RaceCount, x.ChecksPerformed, y.ChecksPerformed)
+		}
+		if len(x.Races) != len(y.Races) {
+			return fmt.Errorf("%s: %d vs %d race details", x.Model, len(x.Races), len(y.Races))
+		}
+		for j := range x.Races {
+			if x.Races[j].X.Ref != y.Races[j].X.Ref || x.Races[j].Y.Ref != y.Races[j].Y.Ref {
+				return fmt.Errorf("%s: race %d (%v,%v) vs (%v,%v)", x.Model, j,
+					x.Races[j].X.Ref, x.Races[j].Y.Ref, y.Races[j].X.Ref, y.Races[j].Y.Ref)
+			}
+		}
+	}
+	return nil
+}
+
+// cachePass verifies all four models serially against one store, returning
+// the verification wall time and the pass's reports.
+func cachePass(a *verify.Analysis, store *vcache.Store) (time.Duration, []*verify.Report, error) {
+	var reps []*verify.Report
+	start := time.Now()
+	for _, m := range semantics.All() {
+		rep, err := a.Verify(verify.Options{
+			Model: m, Workers: 1, ContinueOnUnmatched: true,
+			Cache: store, CacheID: cacheID,
+		})
+		if err != nil {
+			return 0, nil, err
+		}
+		reps = append(reps, rep)
+	}
+	return time.Since(start), reps, nil
+}
+
+// cellStats folds one pass's per-model cache counters into the cell.
+func cellStats(c *cacheCell, reps []*verify.Report) {
+	c.Hits, c.Misses, c.DirtyChunks, c.RaceCount = 0, 0, 0, 0
+	for _, rep := range reps {
+		c.Hits += rep.Cache.Hits
+		c.Misses += rep.Cache.Misses
+		c.DirtyChunks += rep.Cache.DirtyChunks
+		c.RaceCount += rep.RaceCount
+	}
+}
+
+// benchCache measures the three verdict-cache cells and cross-checks, while
+// measuring, that cached verdicts are identical to cacheless ones.
+func benchCache(iters int, minTime time.Duration) (*cacheBench, error) {
+	base := corpus.ScalingTrace(cacheRanks, cacheOps, cacheWindow, cacheSeed)
+	app := corpus.ScalingTraceAppend(cacheRanks, cacheOps, cacheExtra, cacheWindow, cacheSeed)
+	analyze := func(tr *trace.Trace) (*verify.Analysis, error) {
+		return verify.AnalyzeOpts(tr, verify.AlgoVectorClock, verify.AnalyzeOptions{Workers: 1})
+	}
+	baseA, err := analyze(base)
+	if err != nil {
+		return nil, err
+	}
+	appA, err := analyze(app)
+	if err != nil {
+		return nil, err
+	}
+	// Cacheless baselines: the verdicts every cached cell must reproduce.
+	_, baseWant, err := cachePass(baseA, vcache.NewMemory())
+	if err != nil {
+		return nil, err
+	}
+	_, appWant, err := cachePass(appA, vcache.NewMemory())
+	if err != nil {
+		return nil, err
+	}
+
+	cb := &cacheBench{
+		Ranks:         cacheRanks,
+		BaseRecords:   base.NumRecords(),
+		AppendRecords: app.NumRecords(),
+	}
+
+	// verify_cold: empty store every iteration.
+	cold := cacheCell{Name: "verify_cold"}
+	var elapsed time.Duration
+	for cold.Iters = 0; cold.Iters < iters || elapsed < minTime; cold.Iters++ {
+		d, reps, err := cachePass(baseA, vcache.NewMemory())
+		if err != nil {
+			return nil, err
+		}
+		if err := verdictsMatch(reps, baseWant); err != nil {
+			return nil, fmt.Errorf("cold pass verdicts differ from cacheless: %w", err)
+		}
+		cellStats(&cold, reps)
+		elapsed += d
+	}
+	cold.NsPerOp = elapsed.Nanoseconds() / int64(cold.Iters)
+	cb.Cells = append(cb.Cells, cold)
+
+	// verify_warm: one store sealed by an unmeasured cold pass, then
+	// re-verified; every chunk must hit.
+	warmStore := vcache.NewMemory()
+	if _, _, err := cachePass(baseA, warmStore); err != nil {
+		return nil, err
+	}
+	warm := cacheCell{Name: "verify_warm"}
+	elapsed = 0
+	for warm.Iters = 0; warm.Iters < iters || elapsed < minTime; warm.Iters++ {
+		d, reps, err := cachePass(baseA, warmStore)
+		if err != nil {
+			return nil, err
+		}
+		if err := verdictsMatch(reps, baseWant); err != nil {
+			return nil, fmt.Errorf("warm pass verdicts differ from cacheless: %w", err)
+		}
+		cellStats(&warm, reps)
+		elapsed += d
+	}
+	warm.NsPerOp = elapsed.Nanoseconds() / int64(warm.Iters)
+	if warm.Misses != 0 {
+		return nil, fmt.Errorf("warm pass missed %d chunks on an unchanged trace", warm.Misses)
+	}
+	cb.Cells = append(cb.Cells, warm)
+
+	// verify_append1pct: each iteration seeds a fresh store with the base
+	// trace (unmeasured), then measures re-verifying the appended trace —
+	// the dirtiness pass promotes the stable prefix and recomputes only the
+	// chunks the append touched.
+	appc := cacheCell{Name: "verify_append1pct"}
+	elapsed = 0
+	for appc.Iters = 0; appc.Iters < iters || elapsed < minTime; appc.Iters++ {
+		store := vcache.NewMemory()
+		if _, _, err := cachePass(baseA, store); err != nil {
+			return nil, err
+		}
+		d, reps, err := cachePass(appA, store)
+		if err != nil {
+			return nil, err
+		}
+		if err := verdictsMatch(reps, appWant); err != nil {
+			return nil, fmt.Errorf("incremental append verdicts differ from cacheless: %w", err)
+		}
+		cellStats(&appc, reps)
+		elapsed += d
+	}
+	appc.NsPerOp = elapsed.Nanoseconds() / int64(appc.Iters)
+	if appc.Hits == 0 {
+		return nil, fmt.Errorf("append pass promoted no chunks — the stable prefix was not certified")
+	}
+	cb.Cells = append(cb.Cells, appc)
+
+	cb.AppendColdRatio = float64(appc.NsPerOp) / float64(cold.NsPerOp)
+	for _, c := range cb.Cells {
+		fmt.Printf("%-18s workers=1   %12d ns/op  %6d hits %6d misses %5d dirty\n",
+			c.Name, c.NsPerOp, c.Hits, c.Misses, c.DirtyChunks)
+	}
+	fmt.Printf("append/cold ratio: %.4f\n", cb.AppendColdRatio)
+	return cb, nil
+}
+
 // parseBenchTime accepts "Nx" (fixed iterations) or a Go duration (minimum
 // time per cell).
 func parseBenchTime(s string) (iters int, minTime time.Duration, err error) {
@@ -449,6 +666,46 @@ func checkFile(path string) error {
 			return fmt.Errorf("trace %q: skeleton clock arena %d bytes exceeds full-graph arena %d",
 				tb.Name, tb.VCArenaBytes, tb.VCFullArenaBytes)
 		}
+	}
+	return checkCache(res.Cache)
+}
+
+// checkCache enforces the incremental-verification contract on the cache
+// cells: all three present, a warm run never misses, a cold run never hits,
+// and re-verifying after a ~1% append costs at most 10% of a cold run.
+func checkCache(cb *cacheBench) error {
+	if cb == nil {
+		return fmt.Errorf("missing cache cells")
+	}
+	cells := map[string]cacheCell{}
+	for _, c := range cb.Cells {
+		if c.Iters < 1 || c.NsPerOp <= 0 {
+			return fmt.Errorf("cache cell %q: bad iteration stats", c.Name)
+		}
+		cells[c.Name] = c
+	}
+	for _, name := range []string{"verify_cold", "verify_warm", "verify_append1pct"} {
+		if _, ok := cells[name]; !ok {
+			return fmt.Errorf("cache cell %q missing", name)
+		}
+	}
+	cold, warm, app := cells["verify_cold"], cells["verify_warm"], cells["verify_append1pct"]
+	if cold.Hits != 0 || cold.Misses == 0 {
+		return fmt.Errorf("verify_cold: hits=%d misses=%d, want pure misses", cold.Hits, cold.Misses)
+	}
+	if warm.Misses != 0 || warm.Hits == 0 {
+		return fmt.Errorf("verify_warm: hits=%d misses=%d, want pure hits", warm.Hits, warm.Misses)
+	}
+	if app.Hits == 0 {
+		return fmt.Errorf("verify_append1pct: no promoted chunks")
+	}
+	if cold.RaceCount != warm.RaceCount {
+		return fmt.Errorf("warm races %d != cold races %d", warm.RaceCount, cold.RaceCount)
+	}
+	const maxRatio = 0.10
+	if cb.AppendColdRatio <= 0 || cb.AppendColdRatio > maxRatio {
+		return fmt.Errorf("append/cold ratio %.4f outside (0, %.2f]: a ~1%% append must re-verify ~1%% of the work",
+			cb.AppendColdRatio, maxRatio)
 	}
 	return nil
 }

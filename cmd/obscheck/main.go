@@ -14,8 +14,10 @@
 // per-rank replay/scan shard spans a Workers>1 run emits. -metrics checks a
 // metrics snapshot (histogram bucket invariants, non-negative counters) and
 // that the stable section is non-empty; -assert-le additionally enforces an
-// ordering invariant between two gauges (CI uses it to pin the sync-skeleton
-// clock arena under the full-graph one). -compare-stable asserts two metrics
+// ordering invariant between two metrics — each side a gauge/counter name or
+// an integer literal (CI pins the sync-skeleton clock arena under the
+// full-graph one, and the warm verdict-cache miss count to zero with
+// "vcache.misses,0"). -compare-stable asserts two metrics
 // files have byte-identical stable sections — the determinism contract for
 // runs at the same worker count.
 package main
@@ -26,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"verifyio/internal/obs"
@@ -37,9 +40,9 @@ func main() {
 
 func run() int {
 	var (
-		chrome  = flag.String("chrome", "", "Chrome trace_event JSON file to validate")
-		stages  = flag.String("stages", "read-trace,detect,match,build-graph,verify", "comma-separated span names the trace must contain")
-		shards  = flag.Bool("shards", false, "require per-rank shard spans (replay, scan) in the trace")
+		chrome   = flag.String("chrome", "", "Chrome trace_event JSON file to validate")
+		stages   = flag.String("stages", "read-trace,detect,match,build-graph,verify", "comma-separated span names the trace must contain")
+		shards   = flag.Bool("shards", false, "require per-rank shard spans (replay, scan) in the trace")
 		metrics  = flag.String("metrics", "", "metrics snapshot JSON file to validate")
 		assertLE = flag.String("assert-le", "", "with -metrics: \"A,B\" asserts gauge A <= gauge B in the snapshot")
 		compare  = flag.String("compare-stable", "", "metrics file whose stable section must byte-match -with")
@@ -155,10 +158,12 @@ func checkMetrics(path string) error {
 	return nil
 }
 
-// assertGaugeLE checks an ordering invariant between two gauges of a
-// snapshot, e.g. that the sync-skeleton clock arena never exceeds the
-// full-graph one. spec is "A,B" meaning gauge A must be <= gauge B; both
-// must exist (in either stability section).
+// assertGaugeLE checks an ordering invariant in a snapshot, e.g. that the
+// sync-skeleton clock arena never exceeds the full-graph one, or that a
+// warm verdict-cache run recorded zero misses. spec is "A,B" meaning metric
+// A must be <= B. Each side is a gauge or counter name (searched in both
+// stability sections, gauges first) or an integer literal — so
+// "vcache.misses,0" pins a metric to zero.
 func assertGaugeLE(path, spec string) error {
 	names := strings.Split(spec, ",")
 	if len(names) != 2 || strings.TrimSpace(names[0]) == "" || strings.TrimSpace(names[1]) == "" {
@@ -172,20 +177,37 @@ func assertGaugeLE(path, spec string) error {
 	for i, name := range names {
 		name = strings.TrimSpace(name)
 		names[i] = name
-		v, ok := snap.Stable.Gauges[name]
-		if !ok {
-			v, ok = snap.Volatile.Gauges[name]
+		if v, err := strconv.ParseInt(name, 10, 64); err == nil {
+			vals[i] = v
+			continue
 		}
+		v, ok := lookupMetric(snap, name)
 		if !ok {
-			return fmt.Errorf("%s: gauge %q not in snapshot", path, name)
+			return fmt.Errorf("%s: metric %q not in snapshot", path, name)
 		}
 		vals[i] = v
 	}
 	if vals[0] > vals[1] {
-		return fmt.Errorf("%s: gauge %s = %d exceeds %s = %d", path, names[0], vals[0], names[1], vals[1])
+		return fmt.Errorf("%s: %s = %d exceeds %s = %d", path, names[0], vals[0], names[1], vals[1])
 	}
-	fmt.Printf("%s: gauge %s = %d <= %s = %d\n", path, names[0], vals[0], names[1], vals[1])
+	fmt.Printf("%s: %s = %d <= %s = %d\n", path, names[0], vals[0], names[1], vals[1])
 	return nil
+}
+
+// lookupMetric resolves a name against the snapshot's gauges, then
+// counters, in both stability sections.
+func lookupMetric(snap *obs.Snapshot, name string) (int64, bool) {
+	for _, sec := range []*obs.Section{&snap.Stable, &snap.Volatile} {
+		if v, ok := sec.Gauges[name]; ok {
+			return v, true
+		}
+	}
+	for _, sec := range []*obs.Section{&snap.Stable, &snap.Volatile} {
+		if v, ok := sec.Counters[name]; ok {
+			return v, true
+		}
+	}
+	return 0, false
 }
 
 func compareStable(pathA, pathB string) error {

@@ -15,7 +15,7 @@
 // Usage:
 //
 //	reproduce [-out DIR] [-only table1,fig4,...] [-workers N] [-tolerate]
-//	          [-trace-out FILE] [-metrics-out FILE]
+//	          [-cache-dir DIR] [-trace-out FILE] [-metrics-out FILE]
 //	          [-cpuprofile FILE] [-memprofile FILE] [-debug-addr ADDR]
 package main
 
@@ -33,6 +33,7 @@ import (
 	"verifyio/internal/recorder"
 	"verifyio/internal/semantics"
 	"verifyio/internal/trace"
+	"verifyio/internal/vcache"
 	"verifyio/internal/verify"
 )
 
@@ -51,6 +52,7 @@ func run() int {
 		only     = flag.String("only", "", "comma-separated subset (table1,table2,table3,table4,fig3,fig4)")
 		workers  = flag.Int("workers", 0, "analysis+verification worker goroutines for steps 2–4 (0 = GOMAXPROCS, 1 = serial)")
 		tolerate = flag.Bool("tolerate", false, "read stored traces leniently, salvaging damaged rank streams")
+		cacheDir = flag.String("cache-dir", "", "persistent verdict-cache directory shared across reproduce runs (warm reruns skip unchanged verification work)")
 
 		traceOut   = flag.String("trace-out", "", "write telemetry spans as Chrome trace_event JSON to this file")
 		metricsOut = flag.String("metrics-out", "", "write the runtime metrics snapshot as JSON to this file")
@@ -82,6 +84,21 @@ func run() int {
 		}
 	}()
 	vopts := verify.Options{Workers: *workers, Obs: oc}
+	if *cacheDir != "" {
+		store, err := vcache.Open(*cacheDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "reproduce: open -cache-dir: %v\n", err)
+			return 2
+		}
+		defer func() {
+			if err := store.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "reproduce: close -cache-dir: %v\n", err)
+			}
+		}()
+		// CacheID is left empty: corpus.VerifyOpts names each test's
+		// manifest after the test, and other passes derive a content id.
+		vopts.Cache = store
+	}
 	dopts := trace.DecodeOptions{Tolerate: *tolerate, Obs: oc}
 
 	// fig4 is computed once and shared with table3/table4.

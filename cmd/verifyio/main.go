@@ -7,8 +7,14 @@
 //	verifyio -trace DIR [-model posix|commit|session|mpi-io|all]
 //	         [-algorithm auto|vector-clock|reachability|transitive-closure|on-the-fly]
 //	         [-workers N] [-no-pruning] [-max-races N] [-details] [-tolerate]
-//	         [-trace-out FILE] [-metrics-out FILE]
+//	         [-cache-dir DIR] [-trace-out FILE] [-metrics-out FILE]
 //	         [-cpuprofile FILE] [-memprofile FILE] [-debug-addr ADDR]
+//
+// -cache-dir attaches a persistent verdict cache: chunks of the verification
+// plan are memoized by content digest, so re-running over an unchanged trace
+// is served from cache (zero misses) and re-running after an append
+// re-verifies only the chunks the change dirtied. Reports carry the hit,
+// miss, and dirty-chunk counts.
 //
 // -trace-out writes the run's telemetry spans as Chrome trace_event JSON
 // (load in chrome://tracing or https://ui.perfetto.dev); -metrics-out writes
@@ -50,6 +56,7 @@ func run() int {
 		dump      = flag.Bool("dump", false, "print the trace as text and exit")
 		jsonOut   = flag.Bool("json", false, "emit the reports as JSON")
 		tolerate  = flag.Bool("tolerate", false, "salvage damaged or truncated rank streams instead of failing")
+		cacheDir  = flag.String("cache-dir", "", "persistent verdict-cache directory: re-verifying an unchanged trace is served from cache, an appended trace re-verifies only the dirtied chunks")
 
 		traceOut   = flag.String("trace-out", "", "write telemetry spans as Chrome trace_event JSON to this file")
 		metricsOut = flag.String("metrics-out", "", "write the runtime metrics snapshot as JSON to this file")
@@ -133,6 +140,22 @@ func run() int {
 		Workers:        *workers,
 		Telemetry:      tel,
 	}
+	if *cacheDir != "" {
+		cache, err := verifyio.OpenCache(*cacheDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "verifyio: open -cache-dir: %v\n", err)
+			return 2
+		}
+		defer func() {
+			if err := cache.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "verifyio: close -cache-dir: %v\n", err)
+			}
+		}()
+		opts.Cache = cache
+		// The trace directory names the manifest, so re-runs against the
+		// same (possibly grown) directory find their incremental baseline.
+		opts.CacheID = *traceDir
+	}
 
 	var reports []*verifyio.Report
 	if *model == "all" {
@@ -192,6 +215,10 @@ func run() int {
 		case !rep.ProperlySynchronized && status == 0:
 			status = 1
 		}
+	}
+	if opts.Cache != nil {
+		hits, misses, dirty := opts.Cache.Stats()
+		fmt.Printf("verdict cache: %d hits, %d misses (%d dirty chunks)\n", hits, misses, dirty)
 	}
 	return status
 }

@@ -23,6 +23,24 @@ type ScalingCase struct {
 // MPI structure to give the matcher and happens-before construction real
 // work. The same arguments always produce the identical trace.
 func ScalingTrace(nranks, ops int, window int64, seed int64) *trace.Trace {
+	return scalingTrace(nranks, ops, 0, window, seed)
+}
+
+// ScalingTraceAppend synthesizes ScalingTrace(nranks, ops, window, seed)
+// with extra additional data operations appended per rank: the incremental
+// re-verification workload. The first 2+ops+2*(ops/64) records of every
+// rank — everything up to where the base trace would close the file — are
+// byte-identical to the base trace (same rng stream, same cadence), so the
+// verdict cache's block-chain manifest can certify the common prefix as
+// stable. Appended operations land in the disjoint offset region
+// [window, 2*window): they conflict among themselves, never with the
+// prefix, keeping the prefix's conflict groups (and hence chunk digests)
+// unchanged.
+func ScalingTraceAppend(nranks, ops, extra int, window int64, seed int64) *trace.Trace {
+	return scalingTrace(nranks, ops, extra, window, seed)
+}
+
+func scalingTrace(nranks, ops, extra int, window int64, seed int64) *trace.Trace {
 	const barrierEvery = 64
 	tr := trace.New(nranks)
 	for rank := 0; rank < nranks; rank++ {
@@ -37,8 +55,12 @@ func ScalingTrace(nranks, ops int, window int64, seed int64) *trace.Trace {
 		}
 		emit(trace.LayerMPI, "MPI_Barrier", "comm-world")
 		emit(trace.LayerPOSIX, "open", "scaling.dat", "rw|creat", "3")
-		for i := 0; i < ops; i++ {
-			off := fmt.Sprint(rng.Int63n(window))
+		for i := 0; i < ops+extra; i++ {
+			o := rng.Int63n(window)
+			if i >= ops {
+				o += window // appended region: disjoint from the prefix
+			}
+			off := fmt.Sprint(o)
 			if rng.Intn(4) == 0 {
 				emit(trace.LayerPOSIX, "pread", "3", "16", off)
 			} else {

@@ -1,0 +1,53 @@
+package hbgraph
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"hash"
+)
+
+// SkeletonDigest returns a content digest of the sync skeleton: the per-rank
+// membership (which records participate in synchronization) and the
+// skeleton-level sync adjacency. Because every happens-before query the
+// verifier issues resolves through skeleton reachability plus per-rank
+// program order, this digest — together with the per-rank record counts —
+// commits to the entire HB relation: two analyses with equal skeleton
+// digests and equal rank lengths answer every HB query identically. The
+// verdict cache uses it as the sync-epoch component of its keys, which is
+// also why the digest must be a pure function of the build inputs (it is:
+// the skeleton arrays are filled in deterministic edge order).
+func (g *Graph) SkeletonDigest() [sha256.Size]byte {
+	h := sha256.New()
+	g.AppendSkeletonDigest(h)
+	var out [sha256.Size]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// AppendSkeletonDigest writes the canonical skeleton encoding into h.
+func (g *Graph) AppendSkeletonDigest(h hash.Hash) {
+	s := &g.skel
+	var b [8]byte
+	u32 := func(v int32) {
+		binary.LittleEndian.PutUint32(b[:4], uint32(v))
+		h.Write(b[:4])
+	}
+	u32(int32(s.nranks))
+	u32(int32(s.n))
+	for _, v := range s.base {
+		u32(v)
+	}
+	writeI32s(h, s.seqs)
+	writeI32s(h, s.succOff)
+	writeI32s(h, s.succAdj)
+}
+
+func writeI32s(h hash.Hash, vs []int32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], uint32(len(vs)))
+	h.Write(b[:])
+	for _, v := range vs {
+		binary.LittleEndian.PutUint32(b[:], uint32(v))
+		h.Write(b[:])
+	}
+}

@@ -1,0 +1,115 @@
+package trace
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"hash"
+)
+
+// Content digests over trace records. The incremental verification cache
+// (internal/vcache) identifies the reusable prefix of a re-recorded trace by
+// comparing chained per-block record digests: block k's digest seeds with
+// block k-1's, so two traces share a chain prefix exactly when they share
+// the corresponding record prefix. The encoding below is the canonical
+// record serialization those digests commit to; vcache.CodeVersion salts
+// every cache key with the encoding generation, so changing this encoding
+// requires bumping that constant or stale chains would alias.
+
+// DigestBlock is the number of records one chain block covers. Smaller
+// blocks localize a trace change more precisely (fewer falsely-dirty
+// records ahead of the true divergence point) at the cost of a longer
+// manifest; 64 keeps the manifest under a kilobyte per 2k records.
+const DigestBlock = 64
+
+// AppendRecordKey appends a canonical, self-delimiting binary encoding of
+// the record to buf and returns the extended slice. Rank and Seq are
+// deliberately excluded: they are positional (the chain index encodes them),
+// and excluding them keeps the encoding reusable for positional and
+// content-addressed digests alike.
+func AppendRecordKey(buf []byte, rec *Record) []byte {
+	buf = appendString(buf, rec.Func)
+	buf = append(buf, byte(rec.Layer))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(rec.Depth))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(rec.Args)))
+	for _, a := range rec.Args {
+		buf = appendString(buf, a)
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(rec.Tick))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(rec.Ret))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(rec.Chain)))
+	for _, f := range rec.Chain {
+		buf = appendString(buf, f)
+	}
+	buf = appendString(buf, rec.Site)
+	return buf
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s)))
+	return append(buf, s...)
+}
+
+// BlockChain digests one rank's records into chained blocks: block k covers
+// records [k*DigestBlock, min((k+1)*DigestBlock, n)) and its digest is
+// H(prev-block digest ‖ canonical records of block k). Equal chain prefixes
+// therefore certify byte-equal record prefixes, which is what lets the
+// verdict cache trust an old verdict for work entirely below the first
+// diverging block.
+func BlockChain(recs []Record) [][sha256.Size]byte {
+	nblocks := (len(recs) + DigestBlock - 1) / DigestBlock
+	chain := make([][sha256.Size]byte, 0, nblocks)
+	var prev [sha256.Size]byte
+	var buf []byte
+	for lo := 0; lo < len(recs); lo += DigestBlock {
+		hi := lo + DigestBlock
+		if hi > len(recs) {
+			hi = len(recs)
+		}
+		h := sha256.New()
+		h.Write(prev[:])
+		for i := lo; i < hi; i++ {
+			buf = AppendRecordKey(buf[:0], &recs[i])
+			h.Write(buf)
+		}
+		h.Sum(prev[:0])
+		chain = append(chain, prev)
+	}
+	return chain
+}
+
+// BlobDigests digests an uncompressed encoded trace per rank without
+// decoding it: each rank's digest covers the raw bytes of its record spans
+// (via Layout), so storage-side tooling can detect which ranks of an
+// archived trace changed — or deduplicate identical ones — straight from the
+// blob. The digests commit to the encoded representation, not the canonical
+// record encoding above; the two identify the same content but are not
+// interchangeable.
+func BlobDigests(data []byte) ([][sha256.Size]byte, error) {
+	spans, err := Layout(data)
+	if err != nil {
+		return nil, err
+	}
+	nranks := 0
+	for _, s := range spans {
+		if s.Name == "record" && s.Rank >= nranks {
+			nranks = s.Rank + 1
+		}
+	}
+	hs := make([]hash.Hash, nranks)
+	for i := range hs {
+		hs[i] = sha256.New()
+	}
+	// Layout emits record spans in stream order: rank-major, ascending
+	// record index — the canonical order the digest commits to.
+	for _, s := range spans {
+		if s.Name != "record" || s.Rank < 0 {
+			continue
+		}
+		hs[s.Rank].Write(data[s.Start:s.End])
+	}
+	out := make([][sha256.Size]byte, nranks)
+	for i, h := range hs {
+		h.Sum(out[i][:0])
+	}
+	return out, nil
+}

@@ -1,0 +1,144 @@
+package vcache
+
+import (
+	"crypto/sha256"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The on-disk cache is an integrity boundary: a corrupt file may cost a
+// recompute, never a panic and never a wrong verdict. The fuzz targets below
+// drive the two decode paths (verdict log replay, manifest load) with
+// arbitrary bytes and assert the degraded-but-correct contract.
+
+// FuzzLogReplay opens a store over an arbitrary verdicts.log. Whatever was
+// decoded must round-trip: every served verdict must re-serve identically
+// after the recovery truncation and a fresh append.
+func FuzzLogReplay(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(logMagic[:])
+	// A valid one-entry log as a structure-aware seed.
+	{
+		dir := f.TempDir()
+		s, err := Open(dir)
+		if err != nil {
+			f.Fatal(err)
+		}
+		s.Put(Key{Chunk: sha256.Sum256([]byte("c"))}, Verdict{Checks: 3, Races: 1, Pairs: []RefPair{{0, 1, 1, 2}}})
+		s.Close()
+		data, err := os.ReadFile(filepath.Join(dir, "verdicts.log"))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+		f.Add(data[:len(data)-3])       // torn tail
+		f.Add(append(data, 0xff, 0x00)) // trailing garbage
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "verdicts.log")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s, err := Open(dir)
+		if err != nil {
+			// Only environmental failures may error; none should arise here.
+			t.Fatalf("Open on corrupt log errored: %v", err)
+		}
+		snapshot := map[Digest]Verdict{}
+		s.mu.Lock()
+		for id, el := range s.entries {
+			snapshot[id] = el.Value.(*entry).v
+		}
+		s.mu.Unlock()
+		for _, v := range snapshot {
+			if v.Checks < 0 || v.Races < 0 || int64(len(v.Pairs)) > v.Races {
+				t.Fatalf("decoded verdict violates invariants: %+v", v)
+			}
+		}
+		// Recovery truncated to a valid prefix: append must work and
+		// nothing decoded may change on reopen.
+		extra := Key{Chunk: sha256.Sum256([]byte("post-recovery"))}
+		s.Put(extra, Verdict{Checks: 1})
+		s.Close()
+		s2, err := Open(dir)
+		if err != nil {
+			t.Fatalf("reopen after recovery errored: %v", err)
+		}
+		defer s2.Close()
+		if _, ok := s2.Get(extra); !ok {
+			t.Fatal("post-recovery append lost on reopen")
+		}
+		for id, want := range snapshot {
+			s2.mu.Lock()
+			el, ok := s2.entries[id]
+			s2.mu.Unlock()
+			if !ok {
+				t.Fatalf("recovered entry %x lost on reopen", id[:8])
+			}
+			if got := el.Value.(*entry).v; !verdictEqual(got, want) {
+				t.Fatalf("entry %x changed across reopen: %+v vs %+v", id[:8], got, want)
+			}
+		}
+	})
+}
+
+// FuzzManifestLoad loads an arbitrary manifest file; the result must be nil
+// or structurally sane, and Cuts on a sane result must never panic.
+func FuzzManifestLoad(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(manifestMagic[:])
+	{
+		dir := f.TempDir()
+		s, err := Open(dir)
+		if err != nil {
+			f.Fatal(err)
+		}
+		m := &Manifest{
+			CodeVersion: CodeVersion,
+			Epoch:       sha256.Sum256([]byte("e")),
+			Ranks: []RankManifest{
+				{Records: 130, Unlinks: 1, Blocks: []Digest{sha256.Sum256([]byte("b0")), sha256.Sum256([]byte("b1"))}},
+			},
+			Edges: []Edge{{0, 1, 0, 2}},
+		}
+		s.PutManifest("seed", m)
+		data, err := os.ReadFile(s.manifestPath("seed"))
+		if err != nil {
+			f.Fatal(err)
+		}
+		s.Close()
+		f.Add(data)
+		f.Add(data[:len(data)/2])
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "manifest-x.bin")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		m := loadManifest(path)
+		if m == nil {
+			return // rejected: the degrade-to-recompute path
+		}
+		for i := range m.Ranks {
+			if m.Ranks[i].Records < 0 || m.Ranks[i].Unlinks < 0 {
+				t.Fatalf("decoded manifest rank %d has negative counts: %+v", i, m.Ranks[i])
+			}
+		}
+		// Cuts must be total and in-bounds for arbitrary decoded content.
+		cur := make([]RankManifest, len(m.Ranks))
+		for i := range cur {
+			cur[i] = RankManifest{Records: 64, Blocks: []Digest{sha256.Sum256([]byte{byte(i)})}}
+		}
+		cuts := m.Cuts(cur, []Edge{{0, 1, 0, 2}})
+		if cuts == nil {
+			return
+		}
+		for r, c := range cuts {
+			if c < 0 || c > cur[r].Records {
+				t.Fatalf("cut %d out of range for rank %d (records %d)", c, r, cur[r].Records)
+			}
+		}
+	})
+}

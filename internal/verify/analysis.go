@@ -115,6 +115,12 @@ type Analysis struct {
 	Algorithm Algo
 	// Timing holds the stage durations accumulated so far.
 	Timing Timing
+
+	// cacheArt memoizes the verdict-cache digests (chunk plan, content
+	// digests, sync epoch, block chains): they are model independent, so
+	// the four passes of VerifyAll share one computation.
+	cacheMu  sync.Mutex
+	cacheArt *cacheArtifacts
 }
 
 // autoThresholds: with few conflicts but a huge graph, building clocks costs

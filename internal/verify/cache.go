@@ -1,0 +1,510 @@
+package verify
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"verifyio/internal/conflict"
+	"verifyio/internal/obs"
+	"verifyio/internal/trace"
+	"verifyio/internal/vcache"
+)
+
+// Incremental verification: every chunk of the plan gets a content digest,
+// and verdicts are memoized in a vcache.Store keyed by (chunk digest, model
+// digest, sync epoch, code version). The digests factor the inputs a chunk
+// verdict can depend on:
+//
+//   - chunk digest: the span's groups — contributing ops by record identity,
+//     byte extents, and file identity (conflict.AppendGroupKey);
+//   - model digest: the MSC specification plus every option that changes
+//     what a verdict contains (pruning, fast paths, detail cap);
+//   - sync epoch: everything chunk-external — per-rank trace lengths, the
+//     sync-point cohorts, and the happens-before relation via the skeleton
+//     digest (hbgraph.SkeletonDigest). The epoch is shared by the three
+//     graph-backed algorithms, so verdicts transfer between them (they are
+//     oracle-independent); the on-the-fly oracle commits to the raw edge
+//     list instead and keys a separate epoch.
+//
+// An unchanged trace re-verifies entirely from cache. A changed trace misses
+// on the new epoch and falls back to the dirtiness pass: the store's
+// manifest for the trace id maps the change onto per-rank stable-region cuts
+// (vcache.Manifest.Cuts), and any chunk whose every op lies below the cuts
+// promotes its old-epoch verdict instead of recomputing. Chunks above —
+// the dirty set — are verified and sealed as usual.
+
+// The block-chain geometry is shared between the trace digests and the
+// manifest decoder; this fails to compile if the two constants drift apart.
+var _ = [1]struct{}{}[vcache.DigestBlock-trace.DigestBlock]
+
+// CacheStats reports verdict-cache effectiveness for one verification pass.
+type CacheStats struct {
+	// Hits counts chunks resolved from the cache, including verdicts
+	// promoted across a trace change by the dirtiness pass.
+	Hits int64
+	// Misses counts chunks verified from scratch (and then sealed).
+	Misses int64
+	// DirtyChunks counts the misses charged to a trace change: chunks
+	// re-verified while an incremental manifest for this trace was
+	// available. Zero on a cold run (no manifest) and on a fully-warm run
+	// (no misses).
+	DirtyChunks int64
+}
+
+// chunkSpan is one unit of the verification plan: groups [lo, hi).
+type chunkSpan struct{ lo, hi int }
+
+// Chunk plan geometry. Chunks are sized by total run length (the quantity
+// verification cost tracks), not group count, and boundaries are content
+// defined — a group becomes a boundary when the hash of its X ref selects it
+// — so the plan is a pure function of the conflict content: identical at
+// every worker count, and self-resynchronizing after an insertion.
+const (
+	// chunkMinWeight is the minimum accumulated run length before a content
+	// boundary may cut; with chunkCutMask accepting 1 in 4 groups, expected
+	// chunk weight is chunkMinWeight plus a few groups.
+	chunkMinWeight = 128
+	// chunkMaxWeight forces a cut regardless of the boundary hash, and any
+	// single group at least this heavy is isolated into its own chunk so a
+	// dense group cannot straggle the neighbors sharing its chunk.
+	chunkMaxWeight = 4096
+	// chunkCutMask selects boundary groups: cut when hash&mask == 0.
+	chunkCutMask = 3
+)
+
+// chunkBoundary hashes the group's X record identity (FNV-1a); content
+// addressing keeps boundaries stable under trace growth elsewhere.
+func chunkBoundary(conf *conflict.Result, gi int) bool {
+	x := &conf.Ops[conf.Groups[gi].X]
+	h := uint32(2166136261)
+	mix := func(v uint32) {
+		for i := 0; i < 4; i++ {
+			h ^= v & 0xff
+			h *= 16777619
+			v >>= 8
+		}
+	}
+	mix(uint32(x.Ref.Rank))
+	mix(uint32(x.Ref.Seq))
+	return h&chunkCutMask == 0
+}
+
+// planChunks partitions the conflict groups into contiguous weight-balanced
+// chunks — the shared work unit of parallel verification and of the verdict
+// cache.
+func planChunks(conf *conflict.Result) []chunkSpan {
+	n := len(conf.Groups)
+	var plan []chunkSpan
+	lo, w := 0, 0
+	for gi := 0; gi < n; gi++ {
+		gw := len(conf.Groups[gi].Ys())
+		if gw >= chunkMaxWeight {
+			if lo < gi {
+				plan = append(plan, chunkSpan{lo, gi})
+			}
+			plan = append(plan, chunkSpan{gi, gi + 1})
+			lo, w = gi+1, 0
+			continue
+		}
+		w += gw
+		if w >= chunkMaxWeight || (w >= chunkMinWeight && chunkBoundary(conf, gi)) {
+			plan = append(plan, chunkSpan{lo, gi + 1})
+			lo, w = gi+1, 0
+		}
+	}
+	if lo < n {
+		plan = append(plan, chunkSpan{lo, n})
+	}
+	return plan
+}
+
+// cacheArtifacts are the model-independent digests of one Analysis, computed
+// once and shared by every model pass (VerifyAll runs four).
+type cacheArtifacts struct {
+	plan   []chunkSpan
+	chunks []vcache.Digest
+	epoch  vcache.Digest
+	// skel is the sync-skeleton digest; zero for the on-the-fly oracle.
+	skel         vcache.Digest
+	ranks        []vcache.RankManifest
+	edges        []vcache.Edge
+	unlinkTotals []int
+
+	refOnce sync.Once
+	refIdx  map[trace.Ref]int32
+
+	// Dirty-state memo, keyed by the (store, trace id) it was resolved
+	// against; model passes share it.
+	dirtyMu   sync.Mutex
+	dirtyFor  *vcache.Store
+	dirtyID   string
+	dirtyDone bool
+	dirty     *dirtyState
+}
+
+// dirtyState is the resolved incremental mapping against an old manifest.
+type dirtyState struct {
+	// cuts delimit the stable region (nil when none was certifiable).
+	cuts []int
+	// oldEpoch keys the verdicts sealed by the manifest's run.
+	oldEpoch vcache.Digest
+	// promote is true when the unlink guard passed and stable chunks may
+	// reuse old-epoch verdicts.
+	promote bool
+	// stable[c] reports chunk c entirely below the cuts (promote only).
+	stable []bool
+}
+
+// cacheArtifacts returns the memoized digests, computing them on first use.
+func (a *Analysis) cacheArtifacts() *cacheArtifacts {
+	a.cacheMu.Lock()
+	defer a.cacheMu.Unlock()
+	if a.cacheArt != nil {
+		return a.cacheArt
+	}
+	conf := a.Conflicts
+	art := &cacheArtifacts{plan: planChunks(conf)}
+
+	art.chunks = make([]vcache.Digest, len(art.plan))
+	var buf []byte
+	for ci, span := range art.plan {
+		h := sha256.New()
+		for gi := span.lo; gi < span.hi; gi++ {
+			buf = conf.AppendGroupKey(buf[:0], gi)
+			h.Write(buf)
+		}
+		h.Sum(art.chunks[ci][:0])
+	}
+
+	nranks := a.Trace.NumRanks()
+	art.ranks = make([]vcache.RankManifest, nranks)
+	art.unlinkTotals = make([]int, nranks)
+	for r := 0; r < nranks; r++ {
+		recs := a.Trace.Ranks[r]
+		art.unlinkTotals[r] = countUnlinks(recs, len(recs))
+		art.ranks[r] = vcache.RankManifest{
+			Records: len(recs),
+			Unlinks: art.unlinkTotals[r],
+			Blocks:  trace.BlockChain(recs),
+		}
+	}
+
+	art.edges = make([]vcache.Edge, len(a.Match.Edges))
+	for i, e := range a.Match.Edges {
+		art.edges[i] = vcache.Edge{
+			FromRank: int32(e.From.Rank), FromSeq: int32(e.From.Seq),
+			ToRank: int32(e.To.Rank), ToSeq: int32(e.To.Seq),
+		}
+	}
+
+	eh := sha256.New()
+	io.WriteString(eh, "verifyio-epoch-v1\x00")
+	writeU32(eh, uint32(nranks))
+	for r := 0; r < nranks; r++ {
+		writeU32(eh, uint32(len(a.Trace.Ranks[r])))
+	}
+	writeU32(eh, uint32(len(conf.Syncs)))
+	for i := range conf.Syncs {
+		sp := &conf.Syncs[i]
+		writeU32(eh, uint32(sp.Ref.Rank))
+		writeU32(eh, uint32(sp.Ref.Seq))
+		writeU32(eh, uint32(sp.FID))
+		writeString(eh, sp.Func)
+	}
+	if a.Graph != nil {
+		a.Graph.AppendSkeletonDigest(eh)
+		art.skel = a.Graph.SkeletonDigest()
+	} else {
+		// On-the-fly oracle: no skeleton artifact; commit to the raw edge
+		// list (the same information, differently encoded — the epochs
+		// intentionally differ so the two families never alias).
+		writeU32(eh, uint32(len(art.edges)))
+		for _, e := range art.edges {
+			writeU32(eh, uint32(e.FromRank))
+			writeU32(eh, uint32(e.FromSeq))
+			writeU32(eh, uint32(e.ToRank))
+			writeU32(eh, uint32(e.ToSeq))
+		}
+	}
+	eh.Sum(art.epoch[:0])
+
+	a.cacheArt = art
+	return art
+}
+
+func writeU32(h hash.Hash, v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	h.Write(b[:])
+}
+
+func writeString(h hash.Hash, s string) {
+	writeU32(h, uint32(len(s)))
+	io.WriteString(h, s)
+}
+
+// countUnlinks counts fid-generation bumps among records [0, limit) —
+// exactly the records conflict.Detect's replay counts (non-empty path).
+func countUnlinks(recs []trace.Record, limit int) int {
+	n := 0
+	for i := 0; i < limit && i < len(recs); i++ {
+		if recs[i].Func == "unlink" && recs[i].Arg(0) != "" {
+			n++
+		}
+	}
+	return n
+}
+
+// modelDigest commits to the consistency model and to every option that
+// changes verdict content. The HB algorithm is deliberately excluded: the
+// oracles are interchangeable (the oracle-equivalence suite pins it), so
+// verdicts transfer across them within one epoch family.
+func modelDigest(opts Options) vcache.Digest {
+	h := sha256.New()
+	io.WriteString(h, "verifyio-model-v1\x00")
+	writeU32(h, uint32(opts.Model.ID))
+	writeString(h, opts.Model.Name)
+	writeU32(h, uint32(len(opts.Model.SyncSet)))
+	for _, fn := range opts.Model.SyncSet {
+		writeString(h, fn)
+	}
+	msc := opts.Model.MSC
+	writeU32(h, uint32(len(msc.Edges)))
+	for _, e := range msc.Edges {
+		writeU32(h, uint32(e))
+	}
+	writeU32(h, uint32(len(msc.Ops)))
+	for _, c := range msc.Ops {
+		writeString(h, c.Name)
+		writeU32(h, uint32(len(c.Funcs)))
+		for _, fn := range c.Funcs {
+			writeString(h, fn)
+		}
+	}
+	flags := byte(0)
+	if opts.DisablePruning {
+		flags |= 1
+	}
+	if opts.DisableFastPaths {
+		flags |= 2
+	}
+	h.Write([]byte{flags})
+	writeU32(h, uint32(opts.MaxRaceDetails))
+	var out vcache.Digest
+	h.Sum(out[:0])
+	return out
+}
+
+// cacheSession is the per-pass view of the store: one per (model, Verify)
+// invocation, sharing the Analysis-wide artifacts.
+type cacheSession struct {
+	store *vcache.Store
+	art   *cacheArtifacts
+	a     *Analysis
+	opts  Options
+	model vcache.Digest
+	id    string
+
+	hits, misses, dirtied atomic.Int64
+}
+
+func newCacheSession(a *Analysis, opts Options, oc obs.Ctx) *cacheSession {
+	_, sp := oc.Start("vcache")
+	art := a.cacheArtifacts()
+	cs := &cacheSession{
+		store: opts.Cache,
+		art:   art,
+		a:     a,
+		opts:  opts,
+		model: modelDigest(opts),
+		id:    cacheTraceID(opts, art),
+	}
+	sp.AddAttr(obs.Int("chunks", len(art.plan)))
+	sp.End()
+	return cs
+}
+
+// cacheTraceID names the logical trace the manifest is stored under. The
+// explicit Options.CacheID wins; the fallback derives a stable identity from
+// each rank's first block digest, which survives a suffix append (the first
+// DigestBlock records don't move). The id is a performance hint only — a
+// collision can at worst fail to certify a stable region, never corrupt one:
+// promotion safety rests on the block chains themselves.
+func cacheTraceID(opts Options, art *cacheArtifacts) string {
+	if opts.CacheID != "" {
+		return opts.CacheID
+	}
+	h := sha256.New()
+	io.WriteString(h, "verifyio-traceid-v1\x00")
+	writeU32(h, uint32(len(art.ranks)))
+	for i := range art.ranks {
+		if len(art.ranks[i].Blocks) > 0 {
+			h.Write(art.ranks[i].Blocks[0][:])
+		}
+	}
+	return fmt.Sprintf("auto-%x", h.Sum(nil)[:12])
+}
+
+// refIndex resolves record identities back to op arena indices (cached
+// verdict pairs store refs, which — unlike indices — survive trace growth).
+func (art *cacheArtifacts) refIndex(a *Analysis) map[trace.Ref]int32 {
+	art.refOnce.Do(func() {
+		idx := make(map[trace.Ref]int32, len(a.Conflicts.Ops))
+		for i := range a.Conflicts.Ops {
+			idx[a.Conflicts.Ops[i].Ref] = int32(i)
+		}
+		art.refIdx = idx
+	})
+	return art.refIdx
+}
+
+// dirtyState resolves (once per store and trace id) the incremental mapping:
+// load the old manifest, compute the stable-region cuts, apply the unlink
+// guard, and precompute per-chunk stability. Nil when the store holds no
+// manifest for the id — a genuinely cold trace.
+func (art *cacheArtifacts) dirtyState(store *vcache.Store, id string, a *Analysis) *dirtyState {
+	art.dirtyMu.Lock()
+	defer art.dirtyMu.Unlock()
+	if art.dirtyDone && art.dirtyFor == store && art.dirtyID == id {
+		return art.dirty
+	}
+	art.dirtyFor, art.dirtyID, art.dirtyDone = store, id, true
+	art.dirty = nil
+	old := store.Manifest(id)
+	if old == nil {
+		return nil
+	}
+	d := &dirtyState{oldEpoch: old.Epoch}
+	art.dirty = d
+	d.cuts = old.Cuts(art.ranks, art.edges)
+	if d.cuts == nil {
+		return d // manifest present but no certifiable region: all dirty
+	}
+	below := make([]int, len(d.cuts))
+	for r, cut := range d.cuts {
+		below[r] = countUnlinks(a.Trace.Ranks[r], cut)
+	}
+	if !old.UnlinkSafe(d.cuts, below, art.unlinkTotals) {
+		// An unlink outside the stable region can shift fid generations
+		// for every later rank and silently change sync cohorts; no
+		// promotion, everything not epoch-hit is dirty.
+		return d
+	}
+	d.promote = true
+	d.stable = make([]bool, len(art.plan))
+	conf := a.Conflicts
+	opBelow := func(op *conflict.Op) bool {
+		return op.Ref.Rank < len(d.cuts) && op.Ref.Seq < d.cuts[op.Ref.Rank]
+	}
+	for ci, span := range art.plan {
+		ok := true
+	scan:
+		for gi := span.lo; gi < span.hi; gi++ {
+			g := &conf.Groups[gi]
+			if !opBelow(&conf.Ops[g.X]) {
+				ok = false
+				break
+			}
+			for _, yi := range g.Ys() {
+				if !opBelow(&conf.Ops[yi]) {
+					ok = false
+					break scan
+				}
+			}
+		}
+		d.stable[ci] = ok
+	}
+	return d
+}
+
+// tryApply resolves chunk c from the cache into sh; false means the caller
+// must verify (a miss, counted here).
+func (cs *cacheSession) tryApply(c int, sh *verifier) bool {
+	k := vcache.Key{Chunk: cs.art.chunks[c], Model: cs.model, Epoch: cs.art.epoch}
+	if v, ok := cs.store.Get(k); ok && cs.apply(v, sh) {
+		cs.hits.Add(1)
+		cs.store.CountHit()
+		return true
+	}
+	d := cs.art.dirtyState(cs.store, cs.id, cs.a)
+	if d != nil && d.promote && d.stable[c] {
+		old := vcache.Key{Chunk: cs.art.chunks[c], Model: cs.model, Epoch: d.oldEpoch}
+		if v, ok := cs.store.Get(old); ok && cs.apply(v, sh) {
+			cs.store.Put(k, v) // promote to the current epoch
+			cs.hits.Add(1)
+			cs.store.CountHit()
+			return true
+		}
+	}
+	if d != nil {
+		cs.dirtied.Add(1)
+		cs.store.CountDirty()
+	}
+	cs.misses.Add(1)
+	cs.store.CountMiss()
+	return false
+}
+
+// apply loads a cached verdict into the shard, resolving pair refs to op
+// pointers. Any inconsistency — unresolvable ref, out-of-contract counts —
+// rejects the verdict (treat as miss) rather than trusting it.
+func (cs *cacheSession) apply(v vcache.Verdict, sh *verifier) bool {
+	if v.Checks < 0 || v.Races < int64(len(v.Pairs)) || len(v.Pairs) > cs.opts.MaxRaceDetails {
+		return false
+	}
+	idx := cs.art.refIndex(cs.a)
+	ops := cs.a.Conflicts.Ops
+	var pairs []racePair
+	for _, p := range v.Pairs {
+		xi, okx := idx[trace.Ref{Rank: int(p.XRank), Seq: int(p.XSeq)}]
+		yi, oky := idx[trace.Ref{Rank: int(p.YRank), Seq: int(p.YSeq)}]
+		if !okx || !oky {
+			return false
+		}
+		pairs = append(pairs, racePair{x: &ops[xi], y: &ops[yi]})
+	}
+	sh.checks, sh.raceCount, sh.pairs = v.Checks, v.Races, pairs
+	return true
+}
+
+// seal stores the freshly computed verdict for chunk c.
+func (cs *cacheSession) seal(c int, sh *verifier) {
+	var pairs []vcache.RefPair
+	for _, p := range sh.pairs {
+		pairs = append(pairs, vcache.RefPair{
+			XRank: int32(p.x.Ref.Rank), XSeq: int32(p.x.Ref.Seq),
+			YRank: int32(p.y.Ref.Rank), YSeq: int32(p.y.Ref.Seq),
+		})
+	}
+	cs.store.Put(
+		vcache.Key{Chunk: cs.art.chunks[c], Model: cs.model, Epoch: cs.art.epoch},
+		vcache.Verdict{Checks: sh.checks, Races: sh.raceCount, Pairs: pairs},
+	)
+}
+
+// finish publishes the incremental manifest for this trace id. Idempotent
+// (the store dedups equal manifests), so the four concurrent model passes
+// of VerifyAll write it once.
+func (cs *cacheSession) finish() {
+	cs.store.PutManifest(cs.id, &vcache.Manifest{
+		CodeVersion: vcache.CodeVersion,
+		Epoch:       cs.art.epoch,
+		Skeleton:    cs.art.skel,
+		Ranks:       cs.art.ranks,
+		Edges:       cs.art.edges,
+	})
+}
+
+// stats snapshots this pass's counters for the report.
+func (cs *cacheSession) stats() *CacheStats {
+	return &CacheStats{
+		Hits:        cs.hits.Load(),
+		Misses:      cs.misses.Load(),
+		DirtyChunks: cs.dirtied.Load(),
+	}
+}

@@ -37,6 +37,10 @@ func (r *Report) Render(w io.Writer) {
 		fmt.Fprintf(w, "result:           %d DATA RACES\n", r.RaceCount)
 	}
 	fmt.Fprintf(w, "ps checks:        %d\n", r.ChecksPerformed)
+	if r.Cache != nil {
+		fmt.Fprintf(w, "verdict cache:    %d hits, %d misses (%d dirty chunks)\n",
+			r.Cache.Hits, r.Cache.Misses, r.Cache.DirtyChunks)
+	}
 	if len(r.Races) > 0 {
 		fmt.Fprintf(w, "races (%d shown):\n", len(r.Races))
 		for i, race := range r.Races {

@@ -14,6 +14,7 @@ import (
 	"verifyio/internal/obs"
 	"verifyio/internal/semantics"
 	"verifyio/internal/trace"
+	"verifyio/internal/vcache"
 )
 
 // Options controls a verification pass.
@@ -41,6 +42,14 @@ type Options struct {
 	// GOMAXPROCS; 1 keeps the serial path. Results are independent of the
 	// worker count.
 	Workers int
+	// Cache attaches a verdict store: every chunk of the verification plan
+	// is looked up by content digest before being verified and sealed into
+	// the store after. Reports gain Cache statistics. Nil disables caching.
+	Cache *vcache.Store
+	// CacheID names the logical trace for the incremental manifest the
+	// cache keeps (e.g. the trace directory path). Empty derives a stable
+	// identity from the trace content. Only meaningful with Cache set.
+	CacheID string
 	// Obs carries telemetry sinks; the zero Ctx disables instrumentation.
 	// When a registry is attached, Report.Metrics carries its snapshot.
 	Obs obs.Ctx
@@ -116,6 +125,10 @@ type Report struct {
 	SkeletonNodes  int
 	SkeletonLevels int
 	Timing         Timing
+	// Cache reports verdict-cache effectiveness for this pass. Nil unless
+	// Options.Cache was set — so cacheless reports are byte-identical to
+	// those of builds that predate the cache.
+	Cache *CacheStats `json:",omitempty"`
 	// Metrics is the telemetry registry snapshot taken when this report
 	// was built. Nil unless Options.Obs carried a registry.
 	Metrics *obs.Snapshot `json:",omitempty"`
@@ -175,12 +188,20 @@ func (a *Analysis) Verify(opts Options) (*Report, error) {
 	_, idxSpan := oc.Start("sync-index")
 	v := &verifier{a: a, opts: opts, oc: oc, idx: buildSyncIndex(a.Conflicts, opts.Model)}
 	idxSpan.End()
-	if opts.Workers > 1 && len(a.Conflicts.Groups) > 1 {
-		v.verifyGroupsParallel(opts.Workers)
+	var cs *cacheSession
+	if opts.Cache != nil {
+		cs = newCacheSession(a, opts, oc)
+	}
+	if cs != nil || (opts.Workers > 1 && len(a.Conflicts.Groups) > 1) {
+		v.verifyChunks(opts.Workers, cs)
 	} else {
 		_, chunkSpan := oc.Start("groups", obs.Int("groups", len(a.Conflicts.Groups)))
 		v.verifyGroups(0, len(a.Conflicts.Groups))
 		chunkSpan.End()
+	}
+	if cs != nil {
+		cs.finish()
+		rep.Cache = cs.stats()
 	}
 	rep.RaceCount = v.raceCount
 	for _, p := range v.pairs {
@@ -208,6 +229,16 @@ func (a *Analysis) Verify(opts Options) (*Report, error) {
 			hits, misses := bfs.MemoStats()
 			r.GaugeS("hb.memo_hits", obs.Volatile).Set(hits)
 			r.GaugeS("hb.memo_misses", obs.Volatile).Set(misses)
+		}
+		if opts.Cache != nil {
+			// Volatile: the values depend on cross-run cache state, the
+			// quantity the CI warm gate asserts on. Set (not Add) for the
+			// same idempotence reason as the memo gauges above — the store
+			// carries the cumulative totals across model passes.
+			hits, misses, dirty := opts.Cache.Stats()
+			r.GaugeS("vcache.hits", obs.Volatile).Set(hits)
+			r.GaugeS("vcache.misses", obs.Volatile).Set(misses)
+			r.GaugeS("vcache.dirty_chunks", obs.Volatile).Set(dirty)
 		}
 		rep.Metrics = r.Snapshot()
 	}
@@ -443,47 +474,58 @@ func (v *verifier) verifyRun(x *conflict.Op, ys []int32) {
 	}
 }
 
-// verifyGroupsParallel shards the conflict groups over a worker pool.
-// Workers claim contiguous chunk ranges from an atomic cursor and verify
-// each into a per-chunk verifier; the chunks are then merged in group
+// verifyChunks runs the chunk plan — the shared unit of parallel work and
+// of verdict caching. With workers > 1, workers claim chunks from an atomic
+// cursor; the per-chunk verifiers are then merged in chunk order = group
 // order, so the detailed-race prefix, the race count and the check count
-// are exactly what the serial walk produces.
-func (v *verifier) verifyGroupsParallel(workers int) {
-	groups := len(v.a.Conflicts.Groups)
-	// A few chunks per worker balances load (group cost varies with run
-	// length) without fragmenting the merge.
-	chunk := (groups + workers*chunksPerWorker - 1) / (workers * chunksPerWorker)
-	if chunk < 1 {
-		chunk = 1
+// are exactly what the serial walk produces, at every worker count and for
+// any mix of cached and recomputed chunks. A non-nil cs resolves chunks
+// from the verdict cache first and seals fresh verdicts after.
+func (v *verifier) verifyChunks(workers int, cs *cacheSession) {
+	plan := planChunks(v.a.Conflicts)
+	if cs != nil {
+		plan = cs.art.plan // identical by construction; reuse the memo
 	}
-	nchunks := (groups + chunk - 1) / chunk
+	nchunks := len(plan)
 	shards := make([]verifier, nchunks)
-	var cursor atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				c := int(cursor.Add(1)) - 1
-				if c >= nchunks {
-					return
-				}
-				sh := &shards[c]
-				sh.a, sh.opts, sh.idx = v.a, v.opts, v.idx
-				hi := (c + 1) * chunk
-				if hi > groups {
-					hi = groups
-				}
-				_, sp := v.oc.StartLane(
-					"verify/"+v.opts.Model.Name+"/chunk-"+fmt.Sprint(c),
-					"chunk", obs.Int("chunk", c), obs.Int("groups", hi-c*chunk))
-				sh.verifyGroups(c*chunk, hi)
-				sp.End()
-			}
-		}()
+	work := func(c int) {
+		sh := &shards[c]
+		sh.a, sh.opts, sh.idx = v.a, v.opts, v.idx
+		if cs != nil && cs.tryApply(c, sh) {
+			return
+		}
+		span := plan[c]
+		_, sp := v.oc.StartLane(
+			"verify/"+v.opts.Model.Name+"/chunk-"+fmt.Sprint(c),
+			"chunk", obs.Int("chunk", c), obs.Int("groups", span.hi-span.lo))
+		sh.verifyGroups(span.lo, span.hi)
+		sp.End()
+		if cs != nil {
+			cs.seal(c, sh)
+		}
 	}
-	wg.Wait()
+	if workers <= 1 || nchunks <= 1 {
+		for c := 0; c < nchunks; c++ {
+			work(c)
+		}
+	} else {
+		var cursor atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					c := int(cursor.Add(1)) - 1
+					if c >= nchunks {
+						return
+					}
+					work(c)
+				}
+			}()
+		}
+		wg.Wait()
+	}
 	// Merge in chunk order = group order: each shard capped its detail at
 	// MaxRaceDetails, which is enough because the global detail prefix
 	// draws at most that many races from any shard's own prefix.
@@ -499,10 +541,6 @@ func (v *verifier) verifyGroupsParallel(workers int) {
 		}
 	}
 }
-
-// chunksPerWorker oversubscribes the chunk count relative to the worker
-// count so slow chunks don't straggle.
-const chunksPerWorker = 4
 
 func (v *verifier) recordRace(x, y *conflict.Op) {
 	// Mirrored groups: record each unordered pair once.

@@ -30,13 +30,15 @@ func corpusTraceT(t *testing.T, name string) *trace.Trace {
 }
 
 // reportFingerprint marshals a report with its run-varying fields (wall
-// times, worker count) zeroed, leaving races, counts and ordering — the
-// quantities parallel verification must reproduce bit-for-bit.
+// times, worker count, cache effectiveness) zeroed, leaving races, counts
+// and ordering — the quantities parallel verification and the verdict cache
+// must reproduce bit-for-bit.
 func reportFingerprint(t *testing.T, rep *verify.Report) []byte {
 	t.Helper()
 	cp := *rep
 	cp.Timing = verify.Timing{}
 	cp.Workers = 0
+	cp.Cache = nil
 	b, err := json.Marshal(&cp)
 	if err != nil {
 		t.Fatal(err)

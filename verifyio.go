@@ -42,6 +42,7 @@ import (
 	"verifyio/internal/semantics"
 	"verifyio/internal/sim/posixfs"
 	"verifyio/internal/trace"
+	"verifyio/internal/vcache"
 	"verifyio/internal/verify"
 )
 
@@ -99,6 +100,63 @@ func (t *Telemetry) Publish(name string) {
 	if t != nil {
 		obs.PublishRegistry(name, t.registry)
 	}
+}
+
+// Cache is a verdict cache for incremental re-verification: chunks of the
+// verification plan are memoized by content digest, so re-verifying an
+// unchanged trace is served entirely from cache and an appended trace
+// re-verifies only the chunks the change dirtied. One Cache may back many
+// runs (and many traces — entries are content addressed). Safe for
+// concurrent use.
+type Cache struct {
+	s *vcache.Store
+}
+
+// NewMemoryCache returns a process-lifetime in-memory verdict cache.
+func NewMemoryCache() *Cache { return &Cache{s: vcache.NewMemory()} }
+
+// OpenCache opens (creating if needed) a persistent verdict cache in dir —
+// what the verifyio command's -cache-dir flag uses. A corrupt or torn cache
+// file never fails the open: damaged entries are discarded and recomputed.
+// Close flushes and releases the store.
+func OpenCache(dir string) (*Cache, error) {
+	s, err := vcache.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &Cache{s: s}, nil
+}
+
+// Close releases the cache, flushing any pending on-disk state.
+func (c *Cache) Close() error {
+	if c == nil || c.s == nil {
+		return nil
+	}
+	return c.s.Close()
+}
+
+// Stats returns the cache's cumulative chunk counters across every run it
+// backed: hits (chunks served from cache, including verdicts promoted
+// across a trace change), misses (chunks verified and sealed), and dirty
+// (misses charged to a trace change rather than a cold start).
+func (c *Cache) Stats() (hits, misses, dirty int64) {
+	if c == nil || c.s == nil {
+		return 0, 0, 0
+	}
+	return c.s.Stats()
+}
+
+// CacheStats reports verdict-cache effectiveness for one verification pass
+// (see verify.CacheStats).
+type CacheStats struct {
+	// Hits counts chunks resolved from the cache, including verdicts
+	// promoted across a trace change by the incremental dirtiness pass.
+	Hits int64
+	// Misses counts chunks verified from scratch and sealed.
+	Misses int64
+	// DirtyChunks counts misses charged to a trace change: chunks
+	// re-verified while an incremental manifest for the trace existed.
+	DirtyChunks int64
 }
 
 // Rank is the traced per-process handle programs receive under the tracer:
@@ -293,6 +351,14 @@ type Options struct {
 	// (see Telemetry). Nil disables instrumentation; the disabled path
 	// costs near zero.
 	Telemetry *Telemetry
+	// Cache attaches a verdict cache (see Cache): verification consults it
+	// per chunk before computing and seals fresh verdicts after, and the
+	// Report gains Cache statistics. Nil disables caching.
+	Cache *Cache
+	// CacheID names the logical trace for the cache's incremental manifest
+	// (e.g. the trace directory path). Empty derives a stable identity from
+	// the trace content. Only meaningful with Cache set.
+	CacheID string
 }
 
 func (o *Options) algo() (verify.Algo, error) {
@@ -317,6 +383,10 @@ func (o *Options) verifyOptions(m semantics.Model) verify.Options {
 		vo.ContinueOnUnmatched = o.ContinueOnUnmatched
 		vo.Workers = o.Workers
 		vo.Obs = o.Telemetry.ctx()
+		if o.Cache != nil {
+			vo.Cache = o.Cache.s
+			vo.CacheID = o.CacheID
+		}
 	}
 	return vo
 }
@@ -397,6 +467,10 @@ type Report struct {
 	SkeletonLevels int
 	Timing         Timing
 
+	// Cache reports verdict-cache effectiveness for this pass. Nil unless
+	// Options.Cache was set.
+	Cache *CacheStats `json:",omitempty"`
+
 	// Metrics is the telemetry metrics snapshot (the WriteMetrics JSON
 	// document) taken when the report was built. Nil unless the run was
 	// instrumented via Options.Telemetry.
@@ -441,6 +515,13 @@ func wrapReport(rep *verify.Report) *Report {
 			AnalyzeWall:     rep.Timing.AnalyzeWall,
 		},
 		inner: rep,
+	}
+	if rep.Cache != nil {
+		out.Cache = &CacheStats{
+			Hits:        rep.Cache.Hits,
+			Misses:      rep.Cache.Misses,
+			DirtyChunks: rep.Cache.DirtyChunks,
+		}
 	}
 	if rep.Metrics != nil {
 		if b, err := json.Marshal(rep.Metrics); err == nil {

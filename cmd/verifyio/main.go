@@ -7,8 +7,17 @@
 //	verifyio -trace DIR [-model posix|commit|session|mpi-io|all]
 //	         [-algorithm auto|vector-clock|reachability|transitive-closure|on-the-fly]
 //	         [-workers N] [-no-pruning] [-max-races N] [-details] [-tolerate]
+//	         [-stream] [-window BYTES]
 //	         [-cache-dir DIR] [-trace-out FILE] [-metrics-out FILE]
 //	         [-cpuprofile FILE] [-memprofile FILE] [-debug-addr ADDR]
+//
+// -stream verifies the trace while decoding it instead of loading it whole:
+// conflict detection, MPI matching and the cache digests consume each record
+// batch as it decodes, so peak memory is bounded by the decode window
+// (-window BYTES, default 4 MiB, negative = unbounded) rather than the trace
+// size. Reports are identical to the materializing path; only the Timing
+// split differs (the fused pass reports DetectMatchWall). -diagnose needs
+// the materialized trace and cannot be combined with -stream.
 //
 // -cache-dir attaches a persistent verdict cache: chunks of the verification
 // plan are memoized by content digest, so re-running over an unchanged trace
@@ -56,6 +65,8 @@ func run() int {
 		dump      = flag.Bool("dump", false, "print the trace as text and exit")
 		jsonOut   = flag.Bool("json", false, "emit the reports as JSON")
 		tolerate  = flag.Bool("tolerate", false, "salvage damaged or truncated rank streams instead of failing")
+		stream    = flag.Bool("stream", false, "verify while decoding in bounded windows instead of materializing the trace")
+		window    = flag.Int64("window", 0, "decoded-record window in bytes for -stream (0 = default 4 MiB, negative = unbounded)")
 		cacheDir  = flag.String("cache-dir", "", "persistent verdict-cache directory: re-verifying an unchanged trace is served from cache, an appended trace re-verifies only the dirtied chunks")
 
 		traceOut   = flag.String("trace-out", "", "write telemetry spans as Chrome trace_event JSON to this file")
@@ -106,31 +117,9 @@ func run() int {
 		return 0
 	}
 
-	start := time.Now()
-	tr, rec, err := verifyio.ReadTraceDirOpts(*traceDir, verifyio.ReadOptions{
-		Tolerate:  *tolerate,
-		Telemetry: tel,
-	})
-	if err == nil && !rec.Clean() {
-		for _, rr := range rec.Ranks {
-			dropped := fmt.Sprintf("%d records dropped", rr.Dropped)
-			if rr.Dropped < 0 {
-				dropped = "unknown records dropped"
-			}
-			fmt.Fprintf(os.Stderr, "verifyio: rank %d damaged: %d records salvaged, %s (%s)\n",
-				rr.Rank, rr.Salvaged, dropped, rr.Reason)
-		}
-		fmt.Fprintf(os.Stderr, "verifyio: verifying the salvaged prefix; results cover only the recovered records\n")
-	}
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "verifyio: %v\n", err)
+	if *stream && *diagnose {
+		fmt.Fprintln(os.Stderr, "verifyio: -diagnose needs the materialized trace; drop -stream")
 		return 2
-	}
-	readTime := time.Since(start)
-	fmt.Printf("trace: %s (%d ranks, %d records, read in %v)\n",
-		*traceDir, tr.NumRanks(), tr.NumRecords(), readTime.Round(time.Millisecond))
-	if prog := tr.Meta("program"); prog != "" {
-		fmt.Printf("program: %s\n", prog)
 	}
 
 	opts := &verifyio.Options{
@@ -156,18 +145,62 @@ func run() int {
 		// same (possibly grown) directory find their incremental baseline.
 		opts.CacheID = *traceDir
 	}
-
-	var reports []*verifyio.Report
-	if *model == "all" {
-		reports, err = verifyio.VerifyAll(tr, opts)
-	} else {
-		var rep *verifyio.Report
-		rep, err = verifyio.Verify(tr, verifyio.Model(*model), opts)
-		reports = []*verifyio.Report{rep}
+	ropts := verifyio.ReadOptions{
+		Tolerate:    *tolerate,
+		Telemetry:   tel,
+		WindowBytes: *window,
 	}
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "verifyio: %v\n", err)
-		return 2
+
+	var (
+		reports []*verifyio.Report
+		tr      *verifyio.Trace
+	)
+	start := time.Now()
+	if *stream {
+		var rec *verifyio.Recovery
+		if *model == "all" {
+			reports, rec, err = verifyio.VerifyAllStream(*traceDir, ropts, opts)
+		} else {
+			var rep *verifyio.Report
+			rep, rec, err = verifyio.VerifyStream(*traceDir, verifyio.Model(*model), ropts, opts)
+			reports = []*verifyio.Report{rep}
+		}
+		if err == nil {
+			warnRecovery(rec)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "verifyio: %v\n", err)
+			return 2
+		}
+		fmt.Printf("trace: %s (%d ranks, %d records, streamed+analyzed in %v)\n",
+			*traceDir, reports[0].Ranks, reports[0].Records, time.Since(start).Round(time.Millisecond))
+	} else {
+		var rec *verifyio.Recovery
+		tr, rec, err = verifyio.ReadTraceDirOpts(*traceDir, ropts)
+		if err == nil {
+			warnRecovery(rec)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "verifyio: %v\n", err)
+			return 2
+		}
+		readTime := time.Since(start)
+		fmt.Printf("trace: %s (%d ranks, %d records, read in %v)\n",
+			*traceDir, tr.NumRanks(), tr.NumRecords(), readTime.Round(time.Millisecond))
+		if prog := tr.Meta("program"); prog != "" {
+			fmt.Printf("program: %s\n", prog)
+		}
+		if *model == "all" {
+			reports, err = verifyio.VerifyAll(tr, opts)
+		} else {
+			var rep *verifyio.Report
+			rep, err = verifyio.Verify(tr, verifyio.Model(*model), opts)
+			reports = []*verifyio.Report{rep}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "verifyio: %v\n", err)
+			return 2
+		}
 	}
 
 	if *jsonOut {
@@ -221,4 +254,20 @@ func run() int {
 		fmt.Printf("verdict cache: %d hits, %d misses (%d dirty chunks)\n", hits, misses, dirty)
 	}
 	return status
+}
+
+// warnRecovery reports what lenient loading salvaged, rank by rank.
+func warnRecovery(rec *verifyio.Recovery) {
+	if rec.Clean() {
+		return
+	}
+	for _, rr := range rec.Ranks {
+		dropped := fmt.Sprintf("%d records dropped", rr.Dropped)
+		if rr.Dropped < 0 {
+			dropped = "unknown records dropped"
+		}
+		fmt.Fprintf(os.Stderr, "verifyio: rank %d damaged: %d records salvaged, %s (%s)\n",
+			rr.Rank, rr.Salvaged, dropped, rr.Reason)
+	}
+	fmt.Fprintf(os.Stderr, "verifyio: verifying the salvaged prefix; results cover only the recovered records\n")
 }

@@ -117,7 +117,13 @@ func DetectOpts(tr *trace.Trace, opts Options) (*Result, error) {
 		shards[rank] = replayRank(tr.Ranks[rank])
 		sp.End()
 	})
+	return finishShards(shards, workers, oc)
+}
 
+// finishShards is the serial tail of detection, shared by the materialized
+// and streaming front-ends: canonicalize file identities, sweep for
+// conflicting pairs, publish metrics.
+func finishShards(shards []*rankShard, workers int, oc obs.Ctx) (*Result, error) {
 	_, mergeSpan := oc.Start("merge")
 	res := mergeShards(shards)
 	mergeSpan.End()
@@ -138,6 +144,47 @@ func DetectOpts(tr *trace.Trace, opts Options) (*Result, error) {
 		}
 	}
 	return res, nil
+}
+
+// StreamDetector runs detection over records as they decode: the per-rank
+// metadata replay consumes each batch the moment it arrives (so no rank's
+// records need to stay resident), and Finish runs the serial merge and pair
+// sweep exactly as DetectOpts would. Feeding a rank its records in order —
+// in any batch partitioning, interleaved with other ranks however the
+// stream delivers them — yields the identical Result.
+type StreamDetector struct {
+	replayers []*rankReplayer
+}
+
+// NewStreamDetector prepares replay state for nranks ranks.
+func NewStreamDetector(nranks int) *StreamDetector {
+	sd := &StreamDetector{replayers: make([]*rankReplayer, nranks)}
+	for i := range sd.replayers {
+		sd.replayers[i] = newRankReplayer()
+	}
+	return sd
+}
+
+// Feed replays the next records of one rank. Records must arrive in program
+// order per rank; the batch buffer is not retained.
+func (sd *StreamDetector) Feed(rank int, recs []trace.Record) {
+	rp := sd.replayers[rank]
+	for i := range recs {
+		rp.step(&recs[i])
+	}
+}
+
+// Finish completes detection over everything fed so far.
+func (sd *StreamDetector) Finish(opts Options) (*Result, error) {
+	workers := par.Resolve(opts.Workers)
+	oc, span := opts.Obs.StartLane("detect", "detect", obs.Int("ranks", len(sd.replayers)))
+	span.SetCat("detect")
+	defer span.End()
+	shards := make([]*rankShard, len(sd.replayers))
+	for rank, rp := range sd.replayers {
+		shards[rank] = rp.sh
+	}
+	return finishShards(shards, workers, oc)
 }
 
 // localKey names a file identity as one rank sees it in isolation: the path
@@ -163,257 +210,282 @@ type rankShard struct {
 	skipped int
 }
 
+// rankReplayer holds one rank's in-progress metadata replay: the replay is
+// a pure left-to-right fold over the rank's records, so it can consume them
+// in any batch partitioning — the whole rank at once (replayRank) or batch
+// by batch as a stream decodes them (StreamDetector).
+type rankReplayer struct {
+	sh      *rankShard
+	fids    map[localKey]int
+	handles map[string]*handleState // handle arg -> state
+	eof     map[int]int64           // local fid -> EOF estimate
+}
+
+func newRankReplayer() *rankReplayer {
+	return &rankReplayer{
+		sh:      &rankShard{unlinks: make(map[string]int)},
+		fids:    make(map[localKey]int),
+		handles: make(map[string]*handleState),
+		eof:     make(map[int]int64),
+	}
+}
+
+// fidOf resolves a path to the rank-local id of its current identity.
+// During the scan sh.unlinks doubles as the unlinks-seen-so-far counter.
+func (rp *rankReplayer) fidOf(path string) int {
+	k := localKey{path: path, gen: rp.sh.unlinks[path]}
+	id, ok := rp.fids[k]
+	if !ok {
+		id = len(rp.sh.keys)
+		rp.fids[k] = id
+		rp.sh.keys = append(rp.sh.keys, k)
+	}
+	return id
+}
+
+func (rp *rankReplayer) growEOF(fid int, end int64) {
+	if end > rp.eof[fid] {
+		rp.eof[fid] = end
+	}
+}
+
+func (rp *rankReplayer) addOp(rec *trace.Record, fid int, write bool, start, n int64) {
+	if n <= 0 {
+		return
+	}
+	rp.sh.ops = append(rp.sh.ops, Op{
+		Ref: trace.Ref{Rank: rec.Rank, Seq: rec.Seq},
+		FID: fid, Write: write, Start: start, End: start + n,
+	})
+	if write {
+		rp.growEOF(fid, start+n)
+	}
+}
+
+func (rp *rankReplayer) addSync(rec *trace.Record, fid int) {
+	rp.sh.syncs = append(rp.sh.syncs, SyncPoint{
+		Ref:  trace.Ref{Rank: rec.Rank, Seq: rec.Seq},
+		Func: rec.Func, FID: fid,
+	})
+}
+
+func (rp *rankReplayer) lookup(handle string) *handleState {
+	return rp.handles[handle]
+}
+
 // replayRank replays one rank's metadata history. It touches no shared
 // state, which is what makes the replay embarrassingly parallel.
 func replayRank(recs []trace.Record) *rankShard {
-	sh := &rankShard{unlinks: make(map[string]int)}
-	fids := make(map[localKey]int)
-	// fidOf resolves a path to the rank-local id of its current identity.
-	// During the scan sh.unlinks doubles as the unlinks-seen-so-far
-	// counter.
-	fidOf := func(path string) int {
-		k := localKey{path: path, gen: sh.unlinks[path]}
-		id, ok := fids[k]
-		if !ok {
-			id = len(sh.keys)
-			fids[k] = id
-			sh.keys = append(sh.keys, k)
-		}
-		return id
+	rp := newRankReplayer()
+	for i := range recs {
+		rp.step(&recs[i])
 	}
+	return rp.sh
+}
 
-	handles := make(map[string]*handleState) // handle arg -> state
-	eof := make(map[int]int64)               // local fid -> EOF estimate
-
-	growEOF := func(fid int, end int64) {
-		if end > eof[fid] {
-			eof[fid] = end
-		}
-	}
-	addOp := func(rec *trace.Record, fid int, write bool, start, n int64) {
-		if n <= 0 {
+// step folds the next record into the replay.
+func (rp *rankReplayer) step(rec *trace.Record) {
+	sh := rp.sh
+	fidOf, addOp, addSync, lookup := rp.fidOf, rp.addOp, rp.addSync, rp.lookup
+	eof, handles := rp.eof, rp.handles
+	switch rec.Func {
+	case "open":
+		fd := rec.Arg(2)
+		if rec.Arg(0) == "" || fd == "" {
+			sh.skipped++
 			return
 		}
-		sh.ops = append(sh.ops, Op{
-			Ref: trace.Ref{Rank: rec.Rank, Seq: rec.Seq},
-			FID: fid, Write: write, Start: start, End: start + n,
-		})
-		if write {
-			growEOF(fid, start+n)
+		fid := fidOf(rec.Arg(0))
+		st := &handleState{fid: fid}
+		flags := rec.Arg(1)
+		if contains(flags, "trunc") {
+			eof[fid] = 0
 		}
-	}
-	addSync := func(rec *trace.Record, fid int) {
-		sh.syncs = append(sh.syncs, SyncPoint{
-			Ref:  trace.Ref{Rank: rec.Rank, Seq: rec.Seq},
-			Func: rec.Func, FID: fid,
-		})
-	}
-	lookup := func(handle string) *handleState {
-		return handles[handle]
-	}
-
-	for i := range recs {
-		rec := &recs[i]
-		switch rec.Func {
-		case "open":
-			fd := rec.Arg(2)
-			if rec.Arg(0) == "" || fd == "" {
-				sh.skipped++
-				continue
-			}
-			fid := fidOf(rec.Arg(0))
-			st := &handleState{fid: fid}
-			flags := rec.Arg(1)
-			if contains(flags, "trunc") {
-				eof[fid] = 0
-			}
-			if contains(flags, "append") {
-				st.pos = eof[fid]
-			}
-			handles[fd] = st
-			addSync(rec, fid)
-
-		case "fopen":
-			id := rec.Arg(2)
-			if rec.Arg(0) == "" || id == "" {
-				sh.skipped++
-				continue
-			}
-			fid := fidOf(rec.Arg(0))
-			st := &handleState{fid: fid}
-			switch rec.Arg(1) {
-			case "w", "w+":
-				eof[fid] = 0
-			case "a", "a+":
-				st.pos = eof[fid]
-			}
-			handles[id] = st
-			addSync(rec, fid)
-
-		case "close", "fclose":
-			st := lookup(rec.Arg(0))
-			if st == nil {
-				sh.skipped++
-				continue
-			}
-			addSync(rec, st.fid)
-			delete(handles, rec.Arg(0))
-
-		case "fsync", "fdatasync":
-			st := lookup(rec.Arg(0))
-			if st == nil {
-				sh.skipped++
-				continue
-			}
-			addSync(rec, st.fid)
-
-		case "read", "write":
-			st := lookup(rec.Arg(0))
-			n, ok := rec.IntArg(1)
-			if st == nil || !ok {
-				sh.skipped++
-				continue
-			}
-			addOp(rec, st.fid, rec.Func == "write", st.pos, n)
-			st.pos += n
-
-		case "pread", "pwrite":
-			st := lookup(rec.Arg(0))
-			n, okN := rec.IntArg(1)
-			off, okO := rec.IntArg(2)
-			if st == nil || !okN || !okO {
-				sh.skipped++
-				continue
-			}
-			addOp(rec, st.fid, rec.Func == "pwrite", off, n)
-
-		case "fread", "fwrite":
-			st := lookup(rec.Arg(0))
-			size, okS := rec.IntArg(1)
-			count, okC := rec.IntArg(2)
-			// A corrupt record can carry negative fields or a
-			// size*count product past int64: both would poison the
-			// interval index with nonsense ranges.
-			if st == nil || !okS || !okC || size < 0 || count < 0 ||
-				(size > 0 && count > math.MaxInt64/size) {
-				sh.skipped++
-				continue
-			}
-			// Access size = size * count (the paper's fwrite
-			// example).
-			n := size * count
-			addOp(rec, st.fid, rec.Func == "fwrite", st.pos, n)
-			st.pos += n
-
-		case "readv", "writev":
-			// [fd, iovcnt, len...] — contiguous in the file, so
-			// one range of the summed lengths at the current
-			// position.
-			st := lookup(rec.Arg(0))
-			cnt, okC := rec.IntArg(1)
-			if st == nil || !okC || cnt < 0 || cnt > int64(len(rec.Args)) {
-				sh.skipped++
-				continue
-			}
-			total := int64(0)
-			bad := false
-			for k := 0; k < int(cnt); k++ {
-				n, ok := rec.IntArg(2 + k)
-				if !ok {
-					bad = true
-					break
-				}
-				total += n
-			}
-			if bad {
-				sh.skipped++
-				continue
-			}
-			addOp(rec, st.fid, rec.Func == "writev", st.pos, total)
-			st.pos += total
-
-		case "lseek", "fseek":
-			st := lookup(rec.Arg(0))
-			if st == nil {
-				sh.skipped++
-				continue
-			}
-			// Prefer the recorded resulting position; fall back
-			// to replaying the whence rule against (FP, EOF).
-			if pos, ok := rec.IntArg(3); ok {
-				st.pos = pos
-				continue
-			}
-			off, okO := rec.IntArg(1)
-			whence, errW := recorder.ParseWhence(rec.Arg(2))
-			if !okO || errW != nil {
-				sh.skipped++
-				continue
-			}
-			switch whence {
-			case 0: // SEEK_SET
-				st.pos = off
-			case 1: // SEEK_CUR
-				st.pos += off
-			case 2: // SEEK_END
-				st.pos = eof[st.fid] + off
-			}
-
-		case "ftruncate":
-			st := lookup(rec.Arg(0))
-			size, ok := rec.IntArg(1)
-			if st == nil || !ok {
-				sh.skipped++
-				continue
-			}
-			// Truncation rewrites the affected range: shrink
-			// clobbers [size, EOF), growth zero-fills [EOF, size).
-			old := eof[st.fid]
-			lo, hi := size, old
-			if size > old {
-				lo, hi = old, size
-			}
-			addOp(rec, st.fid, true, lo, hi-lo)
-			eof[st.fid] = size
-
-		case "unlink":
-			// Bumping the generation retires the path's current
-			// identity: the next fidOf at this path resolves to a
-			// fresh key.
-			if rec.Arg(0) == "" {
-				sh.skipped++
-				continue
-			}
-			sh.unlinks[rec.Arg(0)]++
-
-		case "MPI_File_open":
-			// [comm, path, amode, fd] — the fd aliases the nested
-			// POSIX open, giving the MPI-IO sync op its file.
-			if rec.Arg(1) == "" {
-				sh.skipped++
-				continue
-			}
-			addSync(rec, fidOf(rec.Arg(1)))
-
-		case "MPI_File_close", "MPI_File_sync":
-			st := lookup(rec.Arg(0))
-			if st == nil {
-				// The nested POSIX close has already removed the
-				// handle when the MPI-IO record is emitted
-				// (records appear at call return, innermost
-				// first). Resolve through the close that just
-				// happened instead.
-				if fid, ok := lastClosedFID(sh.syncs, rec.Seq); ok {
-					addSync(rec, fid)
-					continue
-				}
-				sh.skipped++
-				continue
-			}
-			addSync(rec, st.fid)
+		if contains(flags, "append") {
+			st.pos = eof[fid]
 		}
+		handles[fd] = st
+		addSync(rec, fid)
+
+	case "fopen":
+		id := rec.Arg(2)
+		if rec.Arg(0) == "" || id == "" {
+			sh.skipped++
+			return
+		}
+		fid := fidOf(rec.Arg(0))
+		st := &handleState{fid: fid}
+		switch rec.Arg(1) {
+		case "w", "w+":
+			eof[fid] = 0
+		case "a", "a+":
+			st.pos = eof[fid]
+		}
+		handles[id] = st
+		addSync(rec, fid)
+
+	case "close", "fclose":
+		st := lookup(rec.Arg(0))
+		if st == nil {
+			sh.skipped++
+			return
+		}
+		addSync(rec, st.fid)
+		delete(handles, rec.Arg(0))
+
+	case "fsync", "fdatasync":
+		st := lookup(rec.Arg(0))
+		if st == nil {
+			sh.skipped++
+			return
+		}
+		addSync(rec, st.fid)
+
+	case "read", "write":
+		st := lookup(rec.Arg(0))
+		n, ok := rec.IntArg(1)
+		if st == nil || !ok {
+			sh.skipped++
+			return
+		}
+		addOp(rec, st.fid, rec.Func == "write", st.pos, n)
+		st.pos += n
+
+	case "pread", "pwrite":
+		st := lookup(rec.Arg(0))
+		n, okN := rec.IntArg(1)
+		off, okO := rec.IntArg(2)
+		if st == nil || !okN || !okO {
+			sh.skipped++
+			return
+		}
+		addOp(rec, st.fid, rec.Func == "pwrite", off, n)
+
+	case "fread", "fwrite":
+		st := lookup(rec.Arg(0))
+		size, okS := rec.IntArg(1)
+		count, okC := rec.IntArg(2)
+		// A corrupt record can carry negative fields or a
+		// size*count product past int64: both would poison the
+		// interval index with nonsense ranges.
+		if st == nil || !okS || !okC || size < 0 || count < 0 ||
+			(size > 0 && count > math.MaxInt64/size) {
+			sh.skipped++
+			return
+		}
+		// Access size = size * count (the paper's fwrite
+		// example).
+		n := size * count
+		addOp(rec, st.fid, rec.Func == "fwrite", st.pos, n)
+		st.pos += n
+
+	case "readv", "writev":
+		// [fd, iovcnt, len...] — contiguous in the file, so
+		// one range of the summed lengths at the current
+		// position.
+		st := lookup(rec.Arg(0))
+		cnt, okC := rec.IntArg(1)
+		if st == nil || !okC || cnt < 0 || cnt > int64(len(rec.Args)) {
+			sh.skipped++
+			return
+		}
+		total := int64(0)
+		bad := false
+		for k := 0; k < int(cnt); k++ {
+			n, ok := rec.IntArg(2 + k)
+			if !ok {
+				bad = true
+				break
+			}
+			total += n
+		}
+		if bad {
+			sh.skipped++
+			return
+		}
+		addOp(rec, st.fid, rec.Func == "writev", st.pos, total)
+		st.pos += total
+
+	case "lseek", "fseek":
+		st := lookup(rec.Arg(0))
+		if st == nil {
+			sh.skipped++
+			return
+		}
+		// Prefer the recorded resulting position; fall back
+		// to replaying the whence rule against (FP, EOF).
+		if pos, ok := rec.IntArg(3); ok {
+			st.pos = pos
+			return
+		}
+		off, okO := rec.IntArg(1)
+		whence, errW := recorder.ParseWhence(rec.Arg(2))
+		if !okO || errW != nil {
+			sh.skipped++
+			return
+		}
+		switch whence {
+		case 0: // SEEK_SET
+			st.pos = off
+		case 1: // SEEK_CUR
+			st.pos += off
+		case 2: // SEEK_END
+			st.pos = eof[st.fid] + off
+		}
+
+	case "ftruncate":
+		st := lookup(rec.Arg(0))
+		size, ok := rec.IntArg(1)
+		if st == nil || !ok {
+			sh.skipped++
+			return
+		}
+		// Truncation rewrites the affected range: shrink
+		// clobbers [size, EOF), growth zero-fills [EOF, size).
+		old := eof[st.fid]
+		lo, hi := size, old
+		if size > old {
+			lo, hi = old, size
+		}
+		addOp(rec, st.fid, true, lo, hi-lo)
+		eof[st.fid] = size
+
+	case "unlink":
+		// Bumping the generation retires the path's current
+		// identity: the next fidOf at this path resolves to a
+		// fresh key.
+		if rec.Arg(0) == "" {
+			sh.skipped++
+			return
+		}
+		sh.unlinks[rec.Arg(0)]++
+
+	case "MPI_File_open":
+		// [comm, path, amode, fd] — the fd aliases the nested
+		// POSIX open, giving the MPI-IO sync op its file.
+		if rec.Arg(1) == "" {
+			sh.skipped++
+			return
+		}
+		addSync(rec, fidOf(rec.Arg(1)))
+
+	case "MPI_File_close", "MPI_File_sync":
+		st := lookup(rec.Arg(0))
+		if st == nil {
+			// The nested POSIX close has already removed the
+			// handle when the MPI-IO record is emitted
+			// (records appear at call return, innermost
+			// first). Resolve through the close that just
+			// happened instead.
+			if fid, ok := lastClosedFID(sh.syncs, rec.Seq); ok {
+				addSync(rec, fid)
+				return
+			}
+			sh.skipped++
+			return
+		}
+		addSync(rec, st.fid)
 	}
-	return sh
 }
 
 // lastClosedFID finds the fid of the most recent close/fsync sync point on

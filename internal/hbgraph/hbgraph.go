@@ -52,13 +52,25 @@ type Graph struct {
 // Build constructs the graph for tr with the matcher's synchronization
 // edges. Edges referencing records outside the trace are rejected.
 func Build(tr *trace.Trace, edges []match.Edge) (*Graph, error) {
-	g := &Graph{
-		counts: make([]int, tr.NumRanks()),
-		base:   make([]int, tr.NumRanks()+1),
-	}
+	counts := make([]int, tr.NumRanks())
 	for rank, recs := range tr.Ranks {
-		g.counts[rank] = len(recs)
-		g.base[rank+1] = g.base[rank] + len(recs)
+		counts[rank] = len(recs)
+	}
+	return BuildCounts(counts, edges)
+}
+
+// BuildCounts constructs the graph from per-rank record counts alone — the
+// graph's node space is positional, so the record contents are never needed.
+// This is the entry point for streaming ingestion, where no materialized
+// trace exists. Edges referencing records outside the counts are rejected.
+func BuildCounts(counts []int, edges []match.Edge) (*Graph, error) {
+	g := &Graph{
+		counts: make([]int, len(counts)),
+		base:   make([]int, len(counts)+1),
+	}
+	for rank, n := range counts {
+		g.counts[rank] = n
+		g.base[rank+1] = g.base[rank] + n
 	}
 	g.n = g.base[len(g.counts)]
 	g.rankOf = make([]int32, g.n)

@@ -362,18 +362,26 @@ type OTFOracle struct {
 
 // NewOnTheFly builds the on-the-fly oracle from the matcher output alone.
 func NewOnTheFly(tr *trace.Trace, edges []match.Edge) *OTFOracle {
+	counts := make([]int, tr.NumRanks())
+	for rank, recs := range tr.Ranks {
+		counts[rank] = len(recs)
+	}
+	return NewOnTheFlyCounts(counts, edges)
+}
+
+// NewOnTheFlyCounts builds the oracle from per-rank record counts, for
+// streaming callers that never materialize the trace.
+func NewOnTheFlyCounts(counts []int, edges []match.Edge) *OTFOracle {
 	o := &OTFOracle{
-		nranks:      tr.NumRanks(),
-		counts:      make([]int, tr.NumRanks()),
-		edgesByRank: make([][]match.Edge, tr.NumRanks()),
+		nranks:      len(counts),
+		counts:      make([]int, len(counts)),
+		edgesByRank: make([][]match.Edge, len(counts)),
 	}
 	o.frontiers.New = func() any {
 		buf := make([]int, o.nranks)
 		return &buf
 	}
-	for rank, recs := range tr.Ranks {
-		o.counts[rank] = len(recs)
-	}
+	copy(o.counts, counts)
 	for _, e := range edges {
 		if e.From.Rank >= 0 && e.From.Rank < o.nranks {
 			o.edgesByRank[e.From.Rank] = append(o.edgesByRank[e.From.Rank], e)

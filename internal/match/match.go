@@ -206,19 +206,7 @@ func MatchOpts(tr *trace.Trace, opts Options) (*Result, error) {
 	oc, span := opts.Obs.StartLane("match", "match", obs.Int("ranks", len(tr.Ranks)))
 	span.SetCat("match")
 	defer span.End()
-	m := &matcher{
-		res:     &Result{},
-		members: map[string][]int{},
-		colls:   map[string]map[int][]collEntry{},
-		sends:   map[p2pKey][]sendEntry{},
-		recvs:   map[p2pKey][]recvEntry{},
-	}
-	// MPI_COMM_WORLD always exists.
-	world := make([]int, tr.NumRanks())
-	for i := range world {
-		world[i] = i
-	}
-	m.members["comm-world"] = world
+	m := newMatcher(tr.NumRanks())
 
 	// Phase 0: membership views. Registration errors are discarded here —
 	// phase 1 re-runs each rank's registrations against its own view and
@@ -244,15 +232,40 @@ func MatchOpts(tr *trace.Trace, opts Options) (*Result, error) {
 	outs := make([]*rankOut, len(tr.Ranks))
 	par.DoObs(oc, "match-scan", workers, len(tr.Ranks), func(rank int) {
 		_, sp := oc.StartLane("match/rank-"+strconv.Itoa(rank), "scan", obs.Int("rank", rank))
-		outs[rank] = scanRank(tr, rank, views[rank])
+		outs[rank] = scanRank(tr.Ranks[rank], rank, views[rank])
 		sp.End()
 	})
+	return m.mergeAndMatch(outs, oc), nil
+}
 
-	// Phase 2: merge in rank order — the append order of a serial
-	// rank-major scan (per-key send/recv buckets and per-rank collective
-	// entry lists all grow rank by rank there too).
+func newMatcher(nranks int) *matcher {
+	m := &matcher{
+		res:     &Result{},
+		members: map[string][]int{},
+		colls:   map[string]map[int][]collEntry{},
+		sends:   map[p2pKey][]sendEntry{},
+		recvs:   map[p2pKey][]recvEntry{},
+	}
+	// MPI_COMM_WORLD always exists.
+	world := make([]int, nranks)
+	for i := range world {
+		world[i] = i
+	}
+	m.members["comm-world"] = world
+	return m
+}
+
+// mergeAndMatch is the serial tail shared by the materialized and streaming
+// front-ends. Phase 2: merge the per-rank scan outputs in rank order — the
+// append order of a serial rank-major scan (per-key send/recv buckets and
+// per-rank collective entry lists all grow rank by rank there too) — then
+// run the cross-rank collective and point-to-point matching.
+func (m *matcher) mergeAndMatch(outs []*rankOut, oc obs.Ctx) *Result {
 	_, mergeSpan := oc.Start("merge")
 	for rank, out := range outs {
+		if out == nil {
+			continue
+		}
 		m.res.Problems = append(m.res.Problems, out.problems...)
 		for gid, entries := range out.colls {
 			byRank, ok := m.colls[gid]
@@ -285,7 +298,75 @@ func MatchOpts(tr *trace.Trace, opts Options) (*Result, error) {
 		r.Counter("match.collectives").Add(int64(m.res.Collectives))
 		r.Counter("match.p2p").Add(int64(m.res.P2P))
 	}
-	return m.res, nil
+	return m.res
+}
+
+// StreamMatcher runs matching over records as they decode. Ranks must
+// arrive in nondecreasing rank order (the order trace.Stream yields), each
+// rank's records in program order in any batch partitioning; this is
+// exactly the rank-major serial scan MatchOpts reproduces, so the Result is
+// identical to the materialized path's.
+//
+// The phase structure maps onto the stream: each rank scans against a
+// membership view captured when its first batch arrives (all lower ranks'
+// registrations — what phase 0 would have given it), and its own
+// registrations are replayed into the global table when the next rank
+// starts, errors discarded exactly as phase 0 discards them.
+type StreamMatcher struct {
+	global  map[string][]int
+	outs    []*rankOut
+	cur     *rankScanner
+	curRank int
+}
+
+// NewStreamMatcher prepares matching state for nranks ranks.
+func NewStreamMatcher(nranks int) *StreamMatcher {
+	world := make([]int, nranks)
+	for i := range world {
+		world[i] = i
+	}
+	return &StreamMatcher{
+		global:  map[string][]int{"comm-world": world},
+		outs:    make([]*rankOut, nranks),
+		curRank: -1,
+	}
+}
+
+// Feed scans the next records of one rank. The batch buffer is not
+// retained.
+func (sm *StreamMatcher) Feed(rank int, recs []trace.Record) {
+	if rank != sm.curRank {
+		sm.flush()
+		sm.curRank = rank
+		sm.cur = newRankScanner(rank, maps.Clone(sm.global))
+	}
+	for i := range recs {
+		sm.cur.step(&recs[i])
+	}
+}
+
+// flush finalizes the in-progress rank: emit its dangling-request problems
+// and replay its communicator registrations into the global table.
+func (sm *StreamMatcher) flush() {
+	if sm.cur == nil {
+		return
+	}
+	sm.outs[sm.curRank] = sm.cur.finish()
+	for _, reg := range sm.cur.regs {
+		_ = registerComm(sm.global, reg[0], reg[1])
+	}
+	sm.cur = nil
+}
+
+// Finish completes matching over everything fed so far.
+func (sm *StreamMatcher) Finish(opts Options) (*Result, error) {
+	sm.flush()
+	oc, span := opts.Obs.StartLane("match", "match", obs.Int("ranks", len(sm.outs)))
+	span.SetCat("match")
+	defer span.End()
+	m := newMatcher(len(sm.outs))
+	m.members = sm.global
+	return m.mergeAndMatch(sm.outs, oc), nil
 }
 
 type p2pKey struct {
@@ -339,263 +420,309 @@ func (o *rankOut) problem(kind ProblemKind, detail string, refs ...trace.Ref) {
 	o.problems = append(o.problems, Problem{Kind: kind, Detail: detail, Refs: refs})
 }
 
-// scanRank scans one rank's records against its membership view. It reads
-// tr and mutates only the view and its own output, which is what makes the
-// scan phase embarrassingly parallel.
-func scanRank(tr *trace.Trace, rank int, members map[string][]int) *rankOut {
-	recs := tr.Ranks[rank]
-	out := &rankOut{
-		colls: map[string][]collEntry{},
-		sends: map[p2pKey][]sendEntry{},
-		recvs: map[p2pKey][]recvEntry{},
+// scanRank scans one rank's records against its membership view. It mutates
+// only the view and its own output, which is what makes the scan phase
+// embarrassingly parallel.
+func scanRank(recs []trace.Record, rank int, members map[string][]int) *rankOut {
+	sc := newRankScanner(rank, members)
+	for i := range recs {
+		sc.step(&recs[i])
 	}
-	pending := map[string]*pendingReq{} // request id -> op
+	return sc.finish()
+}
 
-	addColl := func(gid string, e collEntry) int {
-		out.colls[gid] = append(out.colls[gid], e)
-		return len(out.colls[gid]) - 1
+// rankScanner is scanRank unrolled into explicit state so records can be fed
+// one batch at a time: everything the serial scan kept in loop-local closures
+// lives here, plus the forward-tracked open-file table that replaces the
+// materialized path's backward scan for MPI-IO communicator recovery.
+type rankScanner struct {
+	rank    int
+	members map[string][]int
+	out     *rankOut
+	pending map[string]*pendingReq // request id -> op
+	// regs: communicator registrations in record order, kept so a streaming
+	// caller can replay them into a shared global table (MatchOpts' phase 0
+	// does this ahead of time from the materialized trace).
+	regs [][2]string
+	// openByFd: fh -> comm of the most recent MPI_File_open that produced
+	// it; lastOpen is the comm of the most recent open of any fh. Together
+	// they answer "nearest preceding open" queries without looking back.
+	openByFd map[string]string
+	lastOpen string
+	anyOpen  bool
+}
+
+func newRankScanner(rank int, members map[string][]int) *rankScanner {
+	return &rankScanner{
+		rank:    rank,
+		members: members,
+		out: &rankOut{
+			colls: map[string][]collEntry{},
+			sends: map[p2pKey][]sendEntry{},
+			recvs: map[p2pKey][]recvEntry{},
+		},
+		pending:  map[string]*pendingReq{},
+		openByFd: map[string]string{},
+	}
+}
+
+func (sc *rankScanner) addColl(gid string, e collEntry) int {
+	sc.out.colls[gid] = append(sc.out.colls[gid], e)
+	return len(sc.out.colls[gid]) - 1
+}
+
+// complete retires a request id at the given completion record with the
+// given actual (src, tag) status.
+func (sc *rankScanner) complete(req string, at trace.Ref, src, tag int) {
+	p, ok := sc.pending[req]
+	if !ok {
+		// Completing an unknown/already-done request: tolerated
+		// (MPI_Test on an inactive request is legal).
+		return
+	}
+	delete(sc.pending, req)
+	switch {
+	case p.collGID != "":
+		sc.out.colls[p.collGID][p.collIdx].completion = at
+	case p.fn == "MPI_Isend":
+		// The send edge uses the initiation record; nothing to do
+		// at completion.
+	case p.fn == "MPI_Irecv":
+		key := p2pKey{comm: p.comm, src: src, dst: sc.rank, tag: tag}
+		sc.out.recvs[key] = append(sc.out.recvs[key], recvEntry{
+			init: p.init, completion: at, src: src, tag: tag, resolved: true,
+		})
+	}
+}
+
+// step scans one record.
+func (sc *rankScanner) step(rec *trace.Record) {
+	rank, out, members, pending := sc.rank, sc.out, sc.members, sc.pending
+	if rec.Layer != trace.LayerMPI && rec.Layer != trace.LayerMPIIO {
+		return
+	}
+	ref := trace.Ref{Rank: rank, Seq: rec.Seq}
+	malformed := func(why string) {
+		out.problem(MalformedRecord, fmt.Sprintf("%s: %s", rec.Func, why), ref)
 	}
 
-	// complete retires a request id at the given completion record with
-	// the given actual (src, tag) status.
-	complete := func(req string, at trace.Ref, src, tag int) {
-		p, ok := pending[req]
+	switch rec.Func {
+	case "MPI_Send":
+		comm, dst, tag, ok := commPeerTag(rec)
 		if !ok {
-			// Completing an unknown/already-done request: tolerated
-			// (MPI_Test on an inactive request is legal).
+			malformed("bad arguments")
 			return
 		}
-		delete(pending, req)
-		switch {
-		case p.collGID != "":
-			out.colls[p.collGID][p.collIdx].completion = at
-		case p.fn == "MPI_Isend":
-			// The send edge uses the initiation record; nothing to do
-			// at completion.
-		case p.fn == "MPI_Irecv":
-			key := p2pKey{comm: p.comm, src: src, dst: rank, tag: tag}
-			out.recvs[key] = append(out.recvs[key], recvEntry{
-				init: p.init, completion: at, src: src, tag: tag, resolved: true,
-			})
+		dstWorld, ok := worldRank(members, comm, dst)
+		if !ok {
+			malformed("unknown communicator " + comm)
+			return
 		}
-	}
+		srcComm, _ := commRank(members, comm, rank)
+		key := p2pKey{comm: comm, src: srcComm, dst: dstWorld, tag: tag}
+		out.sends[key] = append(out.sends[key], sendEntry{init: ref, tag: tag})
 
-	for i := range recs {
-		rec := &recs[i]
-		if rec.Layer != trace.LayerMPI && rec.Layer != trace.LayerMPIIO {
-			continue
+	case "MPI_Sendrecv":
+		// [comm, dst, stag, scount, src, rtag, nrecv, aSrc, aTag]
+		// — one record, two events: a send and a completed receive.
+		comm, dst, stag, ok := commPeerTag(rec)
+		aSrc, ok1 := rec.IntArg(7)
+		aTag, ok2 := rec.IntArg(8)
+		if !ok || !ok1 || !ok2 {
+			malformed("bad arguments")
+			return
 		}
-		ref := trace.Ref{Rank: rank, Seq: rec.Seq}
-		malformed := func(why string) {
-			out.problem(MalformedRecord, fmt.Sprintf("%s: %s", rec.Func, why), ref)
+		dstWorld, okD := worldRank(members, comm, dst)
+		if !okD {
+			malformed("unknown communicator " + comm)
+			return
+		}
+		srcComm, _ := commRank(members, comm, rank)
+		sKey := p2pKey{comm: comm, src: srcComm, dst: dstWorld, tag: stag}
+		out.sends[sKey] = append(out.sends[sKey], sendEntry{init: ref, tag: stag})
+		rKey := p2pKey{comm: comm, src: int(aSrc), dst: rank, tag: int(aTag)}
+		out.recvs[rKey] = append(out.recvs[rKey], recvEntry{
+			init: ref, completion: ref, src: int(aSrc), tag: int(aTag), resolved: true,
+		})
+
+	case "MPI_Isend":
+		comm, dst, tag, ok := commPeerTag(rec)
+		req := rec.Arg(4)
+		if !ok || req == "" {
+			malformed("bad arguments")
+			return
+		}
+		dstWorld, ok := worldRank(members, comm, dst)
+		if !ok {
+			malformed("unknown communicator " + comm)
+			return
+		}
+		srcComm, _ := commRank(members, comm, rank)
+		key := p2pKey{comm: comm, src: srcComm, dst: dstWorld, tag: tag}
+		out.sends[key] = append(out.sends[key], sendEntry{init: ref, tag: tag})
+		pending[req] = &pendingReq{fn: rec.Func, init: ref, comm: comm, peer: dst, tag: tag}
+
+	case "MPI_Recv":
+		// [comm, src, tag, n, actualSrc, actualTag]
+		comm := rec.Arg(0)
+		aSrc, ok1 := rec.IntArg(4)
+		aTag, ok2 := rec.IntArg(5)
+		if comm == "" || !ok1 || !ok2 {
+			malformed("bad arguments")
+			return
+		}
+		key := p2pKey{comm: comm, src: int(aSrc), dst: rank, tag: int(aTag)}
+		out.recvs[key] = append(out.recvs[key], recvEntry{
+			init: ref, completion: ref, src: int(aSrc), tag: int(aTag), resolved: true,
+		})
+
+	case "MPI_Irecv":
+		comm, src, tag, ok := commPeerTag(rec)
+		req := rec.Arg(3)
+		if !ok || req == "" {
+			malformed("bad arguments")
+			return
+		}
+		pending[req] = &pendingReq{fn: rec.Func, init: ref, comm: comm, peer: src, tag: tag}
+
+	case "MPI_Wait":
+		// [req, src, tag]
+		src, _ := rec.IntArg(1)
+		tag, _ := rec.IntArg(2)
+		sc.complete(rec.Arg(0), ref, int(src), int(tag))
+
+	case "MPI_Waitall", "MPI_Testall":
+		n, ok := rec.IntArg(0)
+		if !ok || n < 0 || n > int64(len(rec.Args)) {
+			malformed("bad count")
+			return
+		}
+		statusBase := 1 + int(n)
+		if rec.Func == "MPI_Testall" {
+			if rec.Arg(statusBase) != "1" {
+				return // flag=0: nothing completed
+			}
+			statusBase++
+		}
+		for k := 0; k < int(n); k++ {
+			src, _ := rec.IntArg(statusBase + 2*k)
+			tag, _ := rec.IntArg(statusBase + 2*k + 1)
+			sc.complete(rec.Arg(1+k), ref, int(src), int(tag))
 		}
 
-		switch rec.Func {
-		case "MPI_Send":
-			comm, dst, tag, ok := commPeerTag(rec)
-			if !ok {
-				malformed("bad arguments")
-				continue
-			}
-			dstWorld, ok := worldRank(members, comm, dst)
-			if !ok {
-				malformed("unknown communicator " + comm)
-				continue
-			}
-			srcComm, _ := commRank(members, comm, rank)
-			key := p2pKey{comm: comm, src: srcComm, dst: dstWorld, tag: tag}
-			out.sends[key] = append(out.sends[key], sendEntry{init: ref, tag: tag})
+	case "MPI_Test":
+		// [req, flag, src, tag]
+		if rec.Arg(1) != "1" {
+			return
+		}
+		src, _ := rec.IntArg(2)
+		tag, _ := rec.IntArg(3)
+		sc.complete(rec.Arg(0), ref, int(src), int(tag))
 
-		case "MPI_Sendrecv":
-			// [comm, dst, stag, scount, src, rtag, nrecv, aSrc, aTag]
-			// — one record, two events: a send and a completed receive.
-			comm, dst, stag, ok := commPeerTag(rec)
-			aSrc, ok1 := rec.IntArg(7)
-			aTag, ok2 := rec.IntArg(8)
-			if !ok || !ok1 || !ok2 {
-				malformed("bad arguments")
-				continue
-			}
-			dstWorld, okD := worldRank(members, comm, dst)
-			if !okD {
-				malformed("unknown communicator " + comm)
-				continue
-			}
-			srcComm, _ := commRank(members, comm, rank)
-			sKey := p2pKey{comm: comm, src: srcComm, dst: dstWorld, tag: stag}
-			out.sends[sKey] = append(out.sends[sKey], sendEntry{init: ref, tag: stag})
-			rKey := p2pKey{comm: comm, src: int(aSrc), dst: rank, tag: int(aTag)}
-			out.recvs[rKey] = append(out.recvs[rKey], recvEntry{
-				init: ref, completion: ref, src: int(aSrc), tag: int(aTag), resolved: true,
-			})
+	case "MPI_Waitany":
+		// [n, reqs..., idx, src, tag]
+		n, ok := rec.IntArg(0)
+		if !ok || n < 0 || n > int64(len(rec.Args)) {
+			malformed("bad count")
+			return
+		}
+		idx, okI := rec.IntArg(1 + int(n))
+		if !okI || idx < 0 || idx >= n {
+			malformed("bad completion index")
+			return
+		}
+		src, _ := rec.IntArg(1 + int(n) + 1)
+		tag, _ := rec.IntArg(1 + int(n) + 2)
+		sc.complete(rec.Arg(1+int(idx)), ref, int(src), int(tag))
 
-		case "MPI_Isend":
-			comm, dst, tag, ok := commPeerTag(rec)
-			req := rec.Arg(4)
-			if !ok || req == "" {
-				malformed("bad arguments")
-				continue
-			}
-			dstWorld, ok := worldRank(members, comm, dst)
-			if !ok {
-				malformed("unknown communicator " + comm)
-				continue
-			}
-			srcComm, _ := commRank(members, comm, rank)
-			key := p2pKey{comm: comm, src: srcComm, dst: dstWorld, tag: tag}
-			out.sends[key] = append(out.sends[key], sendEntry{init: ref, tag: tag})
-			pending[req] = &pendingReq{fn: rec.Func, init: ref, comm: comm, peer: dst, tag: tag}
-
-		case "MPI_Recv":
-			// [comm, src, tag, n, actualSrc, actualTag]
-			comm := rec.Arg(0)
-			aSrc, ok1 := rec.IntArg(4)
-			aTag, ok2 := rec.IntArg(5)
-			if comm == "" || !ok1 || !ok2 {
-				malformed("bad arguments")
-				continue
-			}
-			key := p2pKey{comm: comm, src: int(aSrc), dst: rank, tag: int(aTag)}
-			out.recvs[key] = append(out.recvs[key], recvEntry{
-				init: ref, completion: ref, src: int(aSrc), tag: int(aTag), resolved: true,
-			})
-
-		case "MPI_Irecv":
-			comm, src, tag, ok := commPeerTag(rec)
-			req := rec.Arg(3)
-			if !ok || req == "" {
-				malformed("bad arguments")
-				continue
-			}
-			pending[req] = &pendingReq{fn: rec.Func, init: ref, comm: comm, peer: src, tag: tag}
-
-		case "MPI_Wait":
-			// [req, src, tag]
-			src, _ := rec.IntArg(1)
-			tag, _ := rec.IntArg(2)
-			complete(rec.Arg(0), ref, int(src), int(tag))
-
-		case "MPI_Waitall", "MPI_Testall":
-			n, ok := rec.IntArg(0)
-			if !ok || n < 0 || n > int64(len(rec.Args)) {
-				malformed("bad count")
-				continue
-			}
-			statusBase := 1 + int(n)
-			if rec.Func == "MPI_Testall" {
-				if rec.Arg(statusBase) != "1" {
-					continue // flag=0: nothing completed
-				}
-				statusBase++
-			}
-			for k := 0; k < int(n); k++ {
-				src, _ := rec.IntArg(statusBase + 2*k)
-				tag, _ := rec.IntArg(statusBase + 2*k + 1)
-				complete(rec.Arg(1+k), ref, int(src), int(tag))
-			}
-
-		case "MPI_Test":
-			// [req, flag, src, tag]
-			if rec.Arg(1) != "1" {
-				continue
-			}
-			src, _ := rec.IntArg(2)
-			tag, _ := rec.IntArg(3)
-			complete(rec.Arg(0), ref, int(src), int(tag))
-
-		case "MPI_Waitany":
-			// [n, reqs..., idx, src, tag]
-			n, ok := rec.IntArg(0)
-			if !ok || n < 0 || n > int64(len(rec.Args)) {
-				malformed("bad count")
-				continue
-			}
-			idx, okI := rec.IntArg(1 + int(n))
+	case "MPI_Waitsome", "MPI_Testsome":
+		// [n, reqs..., outcount, indices..., (src,tag)...]
+		n, ok := rec.IntArg(0)
+		if !ok || n < 0 || n > int64(len(rec.Args)) {
+			malformed("bad count")
+			return
+		}
+		base := 1 + int(n)
+		outc, okC := rec.IntArg(base)
+		if !okC || outc < 0 || outc > n {
+			malformed("bad outcount")
+			return
+		}
+		for k := 0; k < int(outc); k++ {
+			idx, okI := rec.IntArg(base + 1 + k)
 			if !okI || idx < 0 || idx >= n {
 				malformed("bad completion index")
 				continue
 			}
-			src, _ := rec.IntArg(1 + int(n) + 1)
-			tag, _ := rec.IntArg(1 + int(n) + 2)
-			complete(rec.Arg(1+int(idx)), ref, int(src), int(tag))
-
-		case "MPI_Waitsome", "MPI_Testsome":
-			// [n, reqs..., outcount, indices..., (src,tag)...]
-			n, ok := rec.IntArg(0)
-			if !ok || n < 0 || n > int64(len(rec.Args)) {
-				malformed("bad count")
-				continue
-			}
-			base := 1 + int(n)
-			outc, okC := rec.IntArg(base)
-			if !okC || outc < 0 || outc > n {
-				malformed("bad outcount")
-				continue
-			}
-			for k := 0; k < int(outc); k++ {
-				idx, okI := rec.IntArg(base + 1 + k)
-				if !okI || idx < 0 || idx >= n {
-					malformed("bad completion index")
-					continue
-				}
-				src, _ := rec.IntArg(base + 1 + int(outc) + 2*k)
-				tag, _ := rec.IntArg(base + 1 + int(outc) + 2*k + 1)
-				complete(rec.Arg(1+int(idx)), ref, int(src), int(tag))
-			}
-
-		case "MPI_Comm_dup":
-			// [parent, new, members]
-			if err := registerComm(members, rec.Arg(1), rec.Arg(2)); err != nil {
-				malformed(err.Error())
-			}
-			addColl(rec.Arg(0), collEntry{fn: rec.Func, init: ref, completion: ref, rootArg: -1})
-
-		case "MPI_Comm_split":
-			// [parent, color, key, new, members]
-			if err := registerComm(members, rec.Arg(3), rec.Arg(4)); err != nil {
-				malformed(err.Error())
-			}
-			addColl(rec.Arg(0), collEntry{fn: rec.Func, init: ref, completion: ref, rootArg: -1})
-
-		case "MPI_Ibarrier", "MPI_Iallreduce":
-			// [comm, (op,) req]
-			comm := rec.Arg(0)
-			req := rec.Arg(len(rec.Args) - 1)
-			if comm == "" || req == "" {
-				malformed("bad arguments")
-				continue
-			}
-			idx := addColl(comm, collEntry{fn: rec.Func, init: ref, completion: ref, rootArg: -1})
-			pending[req] = &pendingReq{fn: rec.Func, init: ref, comm: comm, collGID: comm, collIdx: idx}
-
-		default:
-			if _, isColl := collectiveClass(rec.Func); !isColl {
-				continue
-			}
-			root := -1
-			if scatterLike[rec.Func] || gatherLike[rec.Func] {
-				if v, ok := rec.IntArg(1); ok {
-					root = int(v)
-				}
-			}
-			comm := rec.Arg(0)
-			if rec.Func == "MPI_File_close" || rec.Func == "MPI_File_sync" ||
-				rec.Func == "MPI_File_set_view" || rec.Func == "MPI_File_set_size" ||
-				strings.HasPrefix(rec.Func, "MPI_File_read") || strings.HasPrefix(rec.Func, "MPI_File_write") {
-				// MPI-IO collectives carry an fh, not a comm; they
-				// are matched on the communicator of the enclosing
-				// open — recovered per rank below.
-				comm = ""
-			}
-			if rec.Func == "MPI_File_open" {
-				comm = rec.Arg(0)
-			}
-			addColl(fileComm(tr, rank, rec, comm), collEntry{fn: rec.Func, init: ref, completion: ref, rootArg: root})
+			src, _ := rec.IntArg(base + 1 + int(outc) + 2*k)
+			tag, _ := rec.IntArg(base + 1 + int(outc) + 2*k + 1)
+			sc.complete(rec.Arg(1+int(idx)), ref, int(src), int(tag))
 		}
-	}
 
+	case "MPI_Comm_dup":
+		// [parent, new, members]
+		sc.regs = append(sc.regs, [2]string{rec.Arg(1), rec.Arg(2)})
+		if err := registerComm(members, rec.Arg(1), rec.Arg(2)); err != nil {
+			malformed(err.Error())
+		}
+		sc.addColl(rec.Arg(0), collEntry{fn: rec.Func, init: ref, completion: ref, rootArg: -1})
+
+	case "MPI_Comm_split":
+		// [parent, color, key, new, members]
+		sc.regs = append(sc.regs, [2]string{rec.Arg(3), rec.Arg(4)})
+		if err := registerComm(members, rec.Arg(3), rec.Arg(4)); err != nil {
+			malformed(err.Error())
+		}
+		sc.addColl(rec.Arg(0), collEntry{fn: rec.Func, init: ref, completion: ref, rootArg: -1})
+
+	case "MPI_Ibarrier", "MPI_Iallreduce":
+		// [comm, (op,) req]
+		comm := rec.Arg(0)
+		req := rec.Arg(len(rec.Args) - 1)
+		if comm == "" || req == "" {
+			malformed("bad arguments")
+			return
+		}
+		idx := sc.addColl(comm, collEntry{fn: rec.Func, init: ref, completion: ref, rootArg: -1})
+		pending[req] = &pendingReq{fn: rec.Func, init: ref, comm: comm, collGID: comm, collIdx: idx}
+
+	default:
+		if _, isColl := collectiveClass(rec.Func); !isColl {
+			return
+		}
+		root := -1
+		if scatterLike[rec.Func] || gatherLike[rec.Func] {
+			if v, ok := rec.IntArg(1); ok {
+				root = int(v)
+			}
+		}
+		comm := rec.Arg(0)
+		if rec.Func == "MPI_File_close" || rec.Func == "MPI_File_sync" ||
+			rec.Func == "MPI_File_set_view" || rec.Func == "MPI_File_set_size" ||
+			strings.HasPrefix(rec.Func, "MPI_File_read") || strings.HasPrefix(rec.Func, "MPI_File_write") {
+			// MPI-IO collectives carry an fh, not a comm; they are
+			// matched on the communicator of the enclosing open —
+			// recovered from the open-file table.
+			comm = ""
+		}
+		if rec.Func == "MPI_File_open" {
+			comm = rec.Arg(0)
+			// Record the open before resolving, so an open with an
+			// empty comm resolves through itself like the backward
+			// scan did.
+			sc.openByFd[rec.Arg(3)] = rec.Arg(0)
+			sc.lastOpen = rec.Arg(0)
+			sc.anyOpen = true
+		}
+		sc.addColl(sc.fileComm(rec, comm), collEntry{fn: rec.Func, init: ref, completion: ref, rootArg: root})
+	}
+}
+
+// finish reports dangling requests and returns the rank's scan output.
+func (sc *rankScanner) finish() *rankOut {
 	// Dangling requests are reported in initiation order: map iteration
 	// order must not leak into the problem list.
+	pending := sc.pending
 	dangling := make([]string, 0, len(pending))
 	for req := range pending {
 		dangling = append(dangling, req)
@@ -608,35 +735,29 @@ func scanRank(tr *trace.Trace, rank int, members map[string][]int) *rankOut {
 	})
 	for _, req := range dangling {
 		p := pending[req]
-		out.problem(DanglingRequest,
+		sc.out.problem(DanglingRequest,
 			fmt.Sprintf("%s request %s never completed by MPI_Wait*/MPI_Test*", p.fn, req), p.init)
 	}
-	return out
+	return sc.out
 }
 
 // fileComm resolves the communicator for MPI-IO collective records: the comm
-// of the most recent MPI_File_open on this rank. (A single open file per
-// rank at a time covers this simulation's programs; files opened on
-// different comms interleaved would need an fh→comm table, which the traces
-// also contain via the open records.)
-func fileComm(tr *trace.Trace, rank int, rec *trace.Record, explicit string) string {
+// of the most recent MPI_File_open on this rank. The open-file table is the
+// forward-tracked equivalent of scanning backwards for the nearest preceding
+// open — the most recent open with this fh is exactly the nearest preceding
+// one. (A single open file per rank at a time covers this simulation's
+// programs; the fh→comm table also handles interleaved opens on different
+// communicators.)
+func (sc *rankScanner) fileComm(rec *trace.Record, explicit string) string {
 	if explicit != "" {
 		return explicit
 	}
-	fd := rec.Arg(0)
-	recs := tr.Ranks[rank]
-	for i := rec.Seq; i >= 0; i-- {
-		r := &recs[i]
-		if r.Func == "MPI_File_open" && r.Arg(3) == fd {
-			return r.Arg(0)
-		}
+	if comm, ok := sc.openByFd[rec.Arg(0)]; ok {
+		return comm
 	}
 	// Fall back to the last open of any fd.
-	for i := rec.Seq; i >= 0; i-- {
-		r := &recs[i]
-		if r.Func == "MPI_File_open" {
-			return r.Arg(0)
-		}
+	if sc.anyOpen {
+		return sc.lastOpen
 	}
 	return "comm-world"
 }

@@ -1,0 +1,140 @@
+package match
+
+import (
+	"reflect"
+	"testing"
+
+	"verifyio/internal/recorder"
+	"verifyio/internal/trace"
+)
+
+// streamFeed runs tr through a StreamMatcher, feeding each rank's records in
+// batches of the given size (the stream's rank-major order).
+func streamFeed(t *testing.T, tr *trace.Trace, batch int) *Result {
+	t.Helper()
+	sm := NewStreamMatcher(tr.NumRanks())
+	for rank := range tr.Ranks {
+		recs := tr.Ranks[rank]
+		for lo := 0; lo < len(recs); lo += batch {
+			hi := lo + batch
+			if hi > len(recs) {
+				hi = len(recs)
+			}
+			sm.Feed(rank, recs[lo:hi])
+		}
+	}
+	res, err := sm.Finish(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// streamTestTraces covers every scanner state machine the streaming path
+// must carry across batch boundaries: pending requests, communicator
+// registrations visible to later ranks, the open-file table for MPI-IO
+// communicator recovery, and problem reporting.
+func streamTestTraces(t *testing.T) map[string]*trace.Trace {
+	t.Helper()
+	traces := map[string]*trace.Trace{}
+
+	traces["comm-split-file-io"] = runTraced(t, 4, func(r *recorder.Rank) error {
+		c := r.Proc().CommWorld()
+		sub, err := r.CommSplit(c, r.Rank()%2, r.Rank())
+		if err != nil {
+			return err
+		}
+		if err := r.Barrier(sub); err != nil {
+			return err
+		}
+		if err := r.Record(trace.LayerMPIIO, "MPI_File_open", func() []string {
+			return []string{sub.GID(), "f", "rw", "3"}
+		}, func() error { return nil }); err != nil {
+			return err
+		}
+		return r.Record(trace.LayerMPIIO, "MPI_File_close", func() []string {
+			return []string{"3"}
+		}, func() error { return nil })
+	})
+
+	traces["p2p-nonblocking"] = runTraced(t, 2, func(r *recorder.Rank) error {
+		c := r.Proc().CommWorld()
+		if r.Rank() == 0 {
+			return r.Send(c, 1, 7, []byte("data"))
+		}
+		req, err := r.Irecv(c, 0, 7)
+		if err != nil {
+			return err
+		}
+		_, err = r.Wait(req)
+		return err
+	})
+
+	// Hand-built: dangling request + malformed record + unmatched p2p +
+	// file collective with no preceding open on one rank.
+	mixed := trace.New(2)
+	mixed.Append(trace.Record{Rank: 0, Func: "MPI_Irecv", Layer: trace.LayerMPI,
+		Args: []string{"comm-world", "1", "3", "req-0.0"}, Tick: 1, Ret: 2})
+	mixed.Append(trace.Record{Rank: 0, Func: "MPI_Send", Layer: trace.LayerMPI,
+		Args: []string{"comm-world", "notanint", "1", "4"}, Tick: 3, Ret: 4})
+	mixed.Append(trace.Record{Rank: 0, Func: "MPI_File_write_all", Layer: trace.LayerMPIIO,
+		Args: []string{"3", "8"}, Tick: 5, Ret: 6})
+	mixed.Append(trace.Record{Rank: 1, Func: "MPI_File_open", Layer: trace.LayerMPIIO,
+		Args: []string{"comm-world", "f", "rw", "3"}, Tick: 1, Ret: 2})
+	mixed.Append(trace.Record{Rank: 1, Func: "MPI_File_write_all", Layer: trace.LayerMPIIO,
+		Args: []string{"3", "8"}, Tick: 3, Ret: 4})
+	traces["mixed-problems"] = mixed
+
+	return traces
+}
+
+// TestStreamMatcherMatchesMatch pins the streaming matcher to the
+// materialized matcher's output for every batch partitioning: feeding one
+// record at a time must give the same Result as handing Match the whole
+// trace.
+func TestStreamMatcherMatchesMatch(t *testing.T) {
+	for name, tr := range streamTestTraces(t) {
+		t.Run(name, func(t *testing.T) {
+			want := mustMatch(t, tr)
+			max := 0
+			for _, recs := range tr.Ranks {
+				if len(recs) > max {
+					max = len(recs)
+				}
+			}
+			for _, batch := range []int{1, 3, max + 1} {
+				got := streamFeed(t, tr, batch)
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("batch=%d: streaming result differs from Match\ngot:  %+v\nwant: %+v",
+						batch, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestStreamMatcherSkippedEmptyRank pins that a rank the stream never feeds
+// (no records) matches the materialized scan of an empty rank — the
+// missing-collective report must still name it.
+func TestStreamMatcherSkippedEmptyRank(t *testing.T) {
+	tr := trace.New(3)
+	for _, rank := range []int{0, 2} {
+		tr.Append(trace.Record{Rank: rank, Func: "MPI_Barrier", Layer: trace.LayerMPI,
+			Args: []string{"comm-world"}, Tick: 1, Ret: 2})
+	}
+	want := mustMatch(t, tr)
+	sm := NewStreamMatcher(3)
+	for _, rank := range []int{0, 2} {
+		sm.Feed(rank, tr.Ranks[rank])
+	}
+	got, err := sm.Finish(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("streaming result differs from Match\ngot:  %+v\nwant: %+v", got, want)
+	}
+	if len(problems(got, MissingCollective)) == 0 {
+		t.Fatal("empty rank did not surface a missing collective")
+	}
+}

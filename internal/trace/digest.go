@@ -77,6 +77,56 @@ func BlockChain(recs []Record) [][sha256.Size]byte {
 	return chain
 }
 
+// ChainBuilder computes BlockChain incrementally, one record batch at a
+// time, so the cache path can digest a streamed trace in the pass that feeds
+// analysis instead of re-materializing the rank to hand BlockChain a slice.
+// Feeding it a rank's records in order — in any batch partitioning — yields
+// exactly BlockChain of the concatenation. The zero value is ready to use.
+type ChainBuilder struct {
+	chain [][sha256.Size]byte
+	prev  [sha256.Size]byte
+	h     hash.Hash // open block; nil exactly when at a block boundary
+	n     int       // records in the open block
+	count int
+	buf   []byte
+}
+
+// Add feeds the next records of the rank into the chain.
+func (b *ChainBuilder) Add(recs []Record) {
+	for i := range recs {
+		if b.h == nil {
+			b.h = sha256.New()
+			b.h.Write(b.prev[:])
+		}
+		b.buf = AppendRecordKey(b.buf[:0], &recs[i])
+		b.h.Write(b.buf)
+		b.n++
+		b.count++
+		if b.n == DigestBlock {
+			b.h.Sum(b.prev[:0])
+			b.chain = append(b.chain, b.prev)
+			b.h, b.n = nil, 0
+		}
+	}
+}
+
+// Records returns how many records have been added.
+func (b *ChainBuilder) Records() int { return b.count }
+
+// Chain returns the block chain of everything added so far, sealing a
+// partial final block without disturbing the builder: Add may continue
+// afterwards (a later Chain call re-seals the then-current partial block).
+func (b *ChainBuilder) Chain() [][sha256.Size]byte {
+	out := make([][sha256.Size]byte, len(b.chain), len(b.chain)+1)
+	copy(out, b.chain)
+	if b.n > 0 {
+		var d [sha256.Size]byte
+		b.h.Sum(d[:0]) // Sum appends without consuming the running state
+		out = append(out, d)
+	}
+	return out
+}
+
 // BlobDigests digests an uncompressed encoded trace per rank without
 // decoding it: each rank's digest covers the raw bytes of its record spans
 // (via Layout), so storage-side tooling can detect which ranks of an

@@ -10,8 +10,6 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
-
-	"verifyio/internal/obs"
 )
 
 // Binary trace format.
@@ -271,228 +269,152 @@ func (d *decoder) span(name string, rank, index int, start int64) {
 	}
 }
 
-// decodeStream is the shared implementation behind DecodeWithOptions and
-// Layout: header, optional decompression, payload, end-of-stream checks.
-func decodeStream(r io.Reader, opts DecodeOptions, wantSpans bool) (*Trace, *DecodeStats, []Span, error) {
+// openPayload checks the 6-byte header and sets up decompression. The
+// returned reader yields the raw payload; fr is non-nil when the payload is
+// flate-compressed (the caller owns closing it).
+func openPayload(r io.Reader) (io.Reader, io.ReadCloser, error) {
 	hdrErr := func(kind ErrKind, cause error) error {
 		return &DecodeError{Kind: kind, Section: "header", Rank: -1, Record: -1, Err: cause}
 	}
 	var hdr [6]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, nil, nil, hdrErr(Truncated, fmt.Errorf("reading header: %w", err))
+		return nil, nil, hdrErr(Truncated, fmt.Errorf("reading header: %w", err))
 	}
 	if string(hdr[:4]) != magic {
-		return nil, nil, nil, hdrErr(Corrupt, errors.New("bad magic, not a VerifyIO trace"))
+		return nil, nil, hdrErr(Corrupt, errors.New("bad magic, not a VerifyIO trace"))
 	}
 	if hdr[4] != formatVer {
-		return nil, nil, nil, hdrErr(Corrupt, fmt.Errorf("unsupported format version %d", hdr[4]))
+		return nil, nil, hdrErr(Corrupt, fmt.Errorf("unsupported format version %d", hdr[4]))
 	}
 	var payload io.Reader = r
 	var fr io.ReadCloser
 	if hdr[5]&flagCompress != 0 {
 		fr = flate.NewReader(r)
-		defer fr.Close()
 		payload = fr
 	}
+	return payload, fr, nil
+}
+
+func newDecoder(payload io.Reader, lim Limits, wantSpans bool) *decoder {
 	d := &decoder{
 		br:     bufio.NewReader(payload),
-		lim:    opts.Limits.withDefaults(),
+		lim:    lim.withDefaults(),
 		rank:   -1,
 		record: -1,
 		spans:  wantSpans,
 	}
 	d.budget = d.lim.MaxPayload
+	return d
+}
+
+// checkTrailer verifies a fully decoded strict stream ends cleanly: a
+// payload that keeps going is corrupt, and a compressed stream must carry
+// its final-block terminator (a DEFLATE payload chopped after the last
+// record would otherwise pass unnoticed — the classic killed-job artifact).
+// Tolerate mode never calls this: the decoded prefix is the trace.
+func (d *decoder) checkTrailer(fr io.ReadCloser) error {
+	d.section, d.rank, d.record = "trailer", -1, -1
+	if _, err := d.br.ReadByte(); err == nil {
+		return d.fail(Corrupt, errors.New("trailing data after trace payload"))
+	} else if err != io.EOF {
+		return d.fail(classifyIO(err), fmt.Errorf("stream end: %w", err))
+	}
+	if fr != nil {
+		if err := fr.Close(); err != nil {
+			return d.fail(classifyIO(err), fmt.Errorf("closing compressed payload: %w", err))
+		}
+	}
+	return nil
+}
+
+// decodeStream is the shared implementation behind DecodeWithOptions and
+// Layout: header, optional decompression, payload, end-of-stream checks.
+func decodeStream(r io.Reader, opts DecodeOptions, wantSpans bool) (*Trace, *DecodeStats, []Span, error) {
+	payload, fr, err := openPayload(r)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if fr != nil {
+		defer fr.Close()
+	}
+	d := newDecoder(payload, opts.Limits, wantSpans)
 	t, stats, err := d.decodeTrace(opts.Tolerate)
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	// A fully decoded strict stream must also end cleanly: a payload that
-	// keeps going is corrupt, and a compressed stream must carry its
-	// final-block terminator (a DEFLATE payload chopped after the last
-	// record would otherwise pass unnoticed — the classic killed-job
-	// artifact). Tolerate mode accepts both: the decoded prefix is the
-	// trace.
 	if !opts.Tolerate {
-		d.section, d.rank, d.record = "trailer", -1, -1
-		if _, err := d.br.ReadByte(); err == nil {
-			return nil, nil, nil, d.fail(Corrupt, errors.New("trailing data after trace payload"))
-		} else if err != io.EOF {
-			return nil, nil, nil, d.fail(classifyIO(err), fmt.Errorf("stream end: %w", err))
-		}
-		if fr != nil {
-			if err := fr.Close(); err != nil {
-				return nil, nil, nil, d.fail(classifyIO(err), fmt.Errorf("closing compressed payload: %w", err))
-			}
+		if err := d.checkTrailer(fr); err != nil {
+			return nil, nil, nil, err
 		}
 	}
 	return t, stats, d.marks, nil
 }
 
-func (d *decoder) decodeTrace(tolerate bool) (*Trace, *DecodeStats, error) {
-	stats := &DecodeStats{}
-
+// decodeMetaSection decodes the metadata section — the first payload
+// section, shared by the materializing decoders, the streaming path, and
+// the directory prescan (which wants only this section's few bytes).
+func (d *decoder) decodeMetaSection() (map[string]string, error) {
 	d.section = "meta"
 	sectionStart := d.off
 	nmeta, err := d.uvarint()
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	if nmeta > uint64(d.lim.MaxMeta) {
-		return nil, nil, d.fail(LimitExceeded, fmt.Errorf("metadata pair count %d exceeds limit %d", nmeta, d.lim.MaxMeta))
+		return nil, d.fail(LimitExceeded, fmt.Errorf("metadata pair count %d exceeds limit %d", nmeta, d.lim.MaxMeta))
 	}
 	d.span("meta-count", -1, -1, sectionStart)
 	meta := make(map[string]string, capHint(nmeta, 1<<10))
 	for i := uint64(0); i < nmeta; i++ {
 		k, err := d.str()
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		v, err := d.str()
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		if err := d.charge(2 * sliceEntryOverhead); err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		meta[k] = v
 	}
 	d.span("meta", -1, -1, sectionStart)
+	return meta, nil
+}
 
-	d.section = "string-table"
-	sectionStart = d.off
-	nstrs, err := d.uvarint()
+// decodeTrace materializes the whole payload by draining a payloadStream
+// (stream.go) with an unbounded window: one batch per rank, each buffer
+// owned outright by the resulting Trace. The streaming API shares the same
+// core, so the two ingestion modes cannot drift apart.
+func (d *decoder) decodeTrace(tolerate bool) (*Trace, *DecodeStats, error) {
+	ps, err := newPayloadStream(d, tolerate)
 	if err != nil {
 		return nil, nil, err
 	}
-	if nstrs > uint64(d.lim.MaxStrings) {
-		return nil, nil, d.fail(LimitExceeded, fmt.Errorf("string table size %d exceeds limit %d", nstrs, d.lim.MaxStrings))
-	}
-	d.span("string-count", -1, -1, sectionStart)
-	strs := make([]string, 0, capHint(nstrs, d.hintMax(stringOverhead, 1<<16)))
-	for i := uint64(0); i < nstrs; i++ {
-		s, err := d.str()
+	t := New(ps.nranks)
+	t.Meta = ps.meta
+	for {
+		b, err := ps.nextBatch(nil, 0)
+		if err == io.EOF {
+			break
+		}
 		if err != nil {
 			return nil, nil, err
 		}
-		strs = append(strs, s)
-	}
-	d.span("string-table", -1, -1, sectionStart)
-	str := func(i uint64) (string, error) {
-		if i >= uint64(len(strs)) {
-			return "", d.fail(Corrupt, fmt.Errorf("string index %d out of table (%d entries)", i, len(strs)))
-		}
-		return strs[i], nil
-	}
-
-	d.section = "records"
-	sectionStart = d.off
-	nranks, err := d.uvarint()
-	if err != nil {
-		return nil, nil, err
-	}
-	if nranks > uint64(d.lim.MaxRanks) {
-		return nil, nil, d.fail(LimitExceeded, fmt.Errorf("rank count %d exceeds limit %d", nranks, d.lim.MaxRanks))
-	}
-	if err := d.charge(int64(nranks) * rankOverhead); err != nil {
-		return nil, nil, err
-	}
-	d.span("nranks", -1, -1, sectionStart)
-	t := New(int(nranks))
-	t.Meta = meta
-
-	// damaged marks ranks that already carry a stats entry, so the final
-	// invariant trim does not double-report them.
-	var damaged map[int]bool
-	if tolerate {
-		damaged = make(map[int]bool)
-	}
-	// markLost records that every rank from `from` on is gone with its
-	// record count unknown (the stream is unsyncable past the cut).
-	markLost := func(from int, err error) {
-		for r := from; r < int(nranks); r++ {
-			stats.Ranks = append(stats.Ranks, RankRecovery{Rank: r, Salvaged: 0, Dropped: -1, Err: err})
-			damaged[r] = true
-		}
-	}
-
-rankLoop:
-	for rank := 0; rank < int(nranks); rank++ {
-		d.rank, d.record = rank, -1
-		countStart := d.off
-		nrec, err := d.uvarint()
-		if err == nil && nrec > uint64(d.lim.MaxRecords) {
-			err = d.fail(LimitExceeded, fmt.Errorf("record count %d exceeds limit %d", nrec, d.lim.MaxRecords))
-		}
-		if err != nil {
-			if tolerate {
-				markLost(rank, err)
-				break rankLoop
-			}
-			return nil, nil, err
-		}
-		d.span("rank-count", rank, -1, countStart)
-		recs := make([]Record, 0, capHint(nrec, d.hintMax(recordOverhead, 1<<14)))
-		lastRet := int64(0)
-		for i := 0; i < int(nrec); i++ {
-			d.record = i
-			recStart := d.off
-			rec, err := d.decodeRecord(str, rank, i, &lastRet)
-			if err != nil {
-				if tolerate {
-					keep := validRecordPrefix(recs)
-					if keep > 0 {
-						t.Ranks[rank] = recs[:keep:keep]
-					}
-					stats.Ranks = append(stats.Ranks, RankRecovery{
-						Rank: rank, Salvaged: keep, Dropped: int(nrec) - keep, Err: err,
-					})
-					damaged[rank] = true
-					markLost(rank+1, err)
-					break rankLoop
-				}
-				return nil, nil, err
-			}
-			recs = append(recs, rec)
-			d.span("record", rank, i, recStart)
-		}
-		d.record = -1
-		if len(recs) > 0 {
-			t.Ranks[rank] = recs
-		}
-	}
-	d.rank, d.record = -1, -1
-
-	if !tolerate {
-		d.section = "validate"
-		if err := t.Validate(); err != nil {
-			return nil, nil, d.fail(Corrupt, err)
-		}
-		return t, stats, nil
-	}
-	// A damaged stream can decode into records that still violate the
-	// trace invariants (a bit flip that survives varint decoding); trim
-	// every intact rank to its longest valid prefix so the salvaged trace
-	// always validates.
-	for rank, rs := range t.Ranks {
-		if damaged[rank] {
+		if len(b.recs) == 0 {
 			continue
 		}
-		if keep := validRecordPrefix(rs); keep < len(rs) {
-			verr := &DecodeError{
-				Kind: Corrupt, Section: "validate",
-				Rank: rank, Record: keep, Offset: d.off,
-				Err: errors.New("record violates trace invariants"),
-			}
-			t.Ranks[rank] = nil
-			if keep > 0 {
-				t.Ranks[rank] = rs[:keep:keep]
-			}
-			stats.Ranks = append(stats.Ranks, RankRecovery{
-				Rank: rank, Salvaged: keep, Dropped: len(rs) - keep, Err: verr,
-			})
+		if existing := t.Ranks[b.rank]; len(existing) > 0 {
+			t.Ranks[b.rank] = append(existing, b.recs...)
+		} else {
+			t.Ranks[b.rank] = b.recs
 		}
 	}
-	sort.Slice(stats.Ranks, func(i, j int) bool { return stats.Ranks[i].Rank < stats.Ranks[j].Rank })
+	stats, err := ps.finish()
+	if err != nil {
+		return nil, nil, err
+	}
 	return t, stats, nil
 }
 
@@ -657,125 +579,38 @@ func ReadDir(dir string) (*Trace, error) {
 // tolerate mode, rank files that are damaged mid-stream contribute their
 // salvaged prefix, and files that are missing or unreadable leave an empty
 // rank stream; both are reported per rank in the stats.
+//
+// It is a thin wrapper over OpenStream (stream.go) with windowing disabled:
+// each rank arrives as one batch whose buffer the Trace keeps outright, so
+// materializing pays no copy over the old direct decoder — only the peak
+// memory the streaming API exists to avoid.
 func ReadDirWithOptions(dir string, opts DecodeOptions) (*Trace, *DecodeStats, error) {
-	oc, span := opts.Obs.Start("read-trace", obs.String("dir", dir))
-	span.SetCat("decode")
-	defer span.End()
-
-	entries, err := os.ReadDir(dir)
+	s, err := OpenStream(dir, StreamOptions{DecodeOptions: opts, WindowBytes: WindowUnbounded})
 	if err != nil {
 		return nil, nil, err
 	}
-	byRank := make(map[int]*Trace)
-	failed := make(map[int]error) // tolerate mode: files that salvaged nothing
-	stats := &DecodeStats{}
-	nranks, maxRank := -1, -1
-	for _, e := range entries {
-		var rank int
-		if _, err := fmt.Sscanf(e.Name(), "rank-%d.viot", &rank); err != nil {
-			continue
+	defer s.Close()
+	t := New(s.NumRanks())
+	for {
+		b, err := s.Next()
+		if err == io.EOF {
+			break
 		}
-		if rank > maxRank {
-			maxRank = rank
-		}
-		f, err := os.Open(filepath.Join(dir, e.Name()))
 		if err != nil {
 			return nil, nil, err
 		}
-		_, rankSpan := oc.Start("read-rank", obs.Int("rank", rank))
-		sub, fstats, err := DecodeWithOptions(f, opts)
-		rankSpan.End()
-		f.Close()
-		if err != nil {
-			// The file holds a single-rank stream whose in-file rank is
-			// 0; report the world rank the file name declares.
-			if de, ok := AsDecodeError(err); ok && de.Rank == 0 {
-				de.Rank = rank
-			}
-			if !opts.Tolerate {
-				return nil, nil, fmt.Errorf("trace: %s: %w", e.Name(), err)
-			}
-			failed[rank] = err
-			continue
-		}
-		if n := sub.Meta["verifyio.nranks"]; n != "" {
-			fmt.Sscanf(n, "%d", &nranks)
-		}
-		// The file's salvage stats are for its single in-file rank 0;
-		// remap them to the world rank the file name declares.
-		for _, rr := range fstats.Ranks {
-			rr.Rank = rank
-			if de, ok := AsDecodeError(rr.Err); ok && de.Rank == 0 {
-				de.Rank = rank
-			}
-			stats.Ranks = append(stats.Ranks, rr)
-		}
-		byRank[rank] = sub
-	}
-	if len(byRank) == 0 && len(failed) == 0 {
-		return nil, nil, fmt.Errorf("trace: no rank files in %s", dir)
-	}
-	if nranks < 0 || (opts.Tolerate && maxRank+1 > nranks) {
-		nranks = maxRank + 1
-	}
-	// The rank count came from file names and metadata — input, not
-	// ground truth. Bound it like any other decoded count.
-	if lim := opts.Limits.withDefaults(); nranks > lim.MaxRanks {
-		if !opts.Tolerate {
-			return nil, nil, &DecodeError{
-				Kind: LimitExceeded, Section: "directory", Rank: -1, Record: -1,
-				Err: fmt.Errorf("rank count %d exceeds limit %d", nranks, lim.MaxRanks),
-			}
-		}
-		nranks = lim.MaxRanks
-	}
-	if !opts.Tolerate && len(byRank) != nranks {
-		return nil, nil, fmt.Errorf("trace: directory holds %d rank files, metadata says %d ranks", len(byRank), nranks)
-	}
-	t := New(nranks)
-	for rank := 0; rank < nranks; rank++ {
-		sub, ok := byRank[rank]
-		if !ok {
-			if !opts.Tolerate {
-				return nil, nil, fmt.Errorf("trace: missing rank file for rank %d", rank)
-			}
-			err := failed[rank]
-			if err == nil {
-				err = &DecodeError{
-					Kind: Truncated, Section: "directory",
-					Rank: rank, Record: -1,
-					Err: errors.New("missing rank file"),
-				}
-			}
-			stats.Ranks = append(stats.Ranks, RankRecovery{Rank: rank, Salvaged: 0, Dropped: -1, Err: err})
-			continue
-		}
-		if len(sub.Ranks) > 0 {
-			t.Ranks[rank] = renumber(sub.Ranks[0], rank)
-		}
-		if rank == 0 {
-			for k, v := range sub.Meta {
-				switch k {
-				case "verifyio.rank", "verifyio.nranks":
-				default:
-					t.Meta[k] = v
-				}
-			}
+		// Keep the batch (no Release): the buffer becomes the rank's
+		// record slice.
+		if existing := t.Ranks[b.Rank]; len(existing) > 0 {
+			t.Ranks[b.Rank] = append(existing, b.Recs...)
+		} else {
+			t.Ranks[b.Rank] = b.Recs
 		}
 	}
-	sort.Slice(stats.Ranks, func(i, j int) bool { return stats.Ranks[i].Rank < stats.Ranks[j].Rank })
-	if r := opts.Obs.R; r != nil {
-		decoded := 0
-		for _, rs := range t.Ranks {
-			decoded += len(rs)
-		}
-		r.Counter("trace.records_decoded").Add(int64(decoded))
-		r.Counter("trace.ranks_salvaged").Add(int64(len(stats.Ranks)))
-		r.Counter("trace.records_salvaged").Add(int64(stats.Salvaged()))
-		dropped, _ := stats.Dropped()
-		r.Counter("trace.records_dropped").Add(int64(dropped))
+	for k, v := range s.Meta() {
+		t.Meta[k] = v
 	}
-	return t, stats, nil
+	return t, s.Stats(), nil
 }
 
 func renumber(rs []Record, rank int) []Record {

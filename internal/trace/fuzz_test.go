@@ -3,8 +3,10 @@ package trace
 import (
 	"bytes"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 )
 
@@ -82,6 +84,78 @@ func FuzzDecode(f *testing.F) {
 			}
 		} else if verr := ttr.Validate(); verr != nil {
 			t.Fatalf("tolerant decode returned invalid trace: %v", verr)
+		}
+	})
+}
+
+// FuzzStreamDecode drives the windowed streaming decoder with arbitrary
+// bytes and holds it to the materializing decoder's answer: both must agree
+// on success vs failure, and on success the concatenated batches must equal
+// the materialized ranks — in strict and tolerate mode alike. The streaming
+// path shares the record-decoding core with DecodeWithOptions, so this is
+// the fuzz-strength version of the corpus equivalence tests.
+func FuzzStreamDecode(f *testing.F) {
+	for _, compress := range []bool{false, true} {
+		var buf bytes.Buffer
+		if err := Encode(&buf, fuzzSeedTrace(), EncodeOptions{Compress: compress}); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+		f.Add(buf.Bytes()[:buf.Len()*2/3]) // truncated mid-records
+	}
+	f.Add([]byte("VIOT\x01\x00"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, tolerate := range []bool{false, true} {
+			opts := DecodeOptions{Tolerate: tolerate, Limits: fuzzLimits()}
+			want, wantStats, wantErr := DecodeWithOptions(bytes.NewReader(data), opts)
+
+			ranks := [][]Record{}
+			var gotErr error
+			s, err := NewStream(bytes.NewReader(data), StreamOptions{DecodeOptions: opts, WindowBytes: 256})
+			if err != nil {
+				gotErr = err
+			} else {
+				ranks = make([][]Record, s.NumRanks())
+				for {
+					b, err := s.Next()
+					if err == io.EOF {
+						break
+					}
+					if err != nil {
+						gotErr = err
+						break
+					}
+					tmp := make([]Record, len(b.Recs))
+					copy(tmp, b.Recs)
+					ranks[b.Rank] = append(ranks[b.Rank], tmp...)
+					b.Release()
+				}
+				s.Close()
+			}
+			if (gotErr == nil) != (wantErr == nil) {
+				t.Fatalf("tolerate=%v: stream err %v, decode err %v", tolerate, gotErr, wantErr)
+			}
+			if gotErr != nil {
+				if _, ok := AsDecodeError(gotErr); !ok {
+					t.Fatalf("tolerate=%v: unclassified stream error: %v", tolerate, gotErr)
+				}
+				continue
+			}
+			for rank := range want.Ranks {
+				w := want.Ranks[rank]
+				g := ranks[rank]
+				if len(g) != len(w) {
+					t.Fatalf("tolerate=%v rank %d: stream %d records, decode %d", tolerate, rank, len(g), len(w))
+				}
+				for i := range w {
+					if !reflect.DeepEqual(g[i], w[i]) {
+						t.Fatalf("tolerate=%v rank %d record %d differs", tolerate, rank, i)
+					}
+				}
+			}
+			if s.Stats().Salvaged() != wantStats.Salvaged() || s.Stats().Clean() != wantStats.Clean() {
+				t.Fatalf("tolerate=%v: stream stats %+v, decode stats %+v", tolerate, s.Stats(), wantStats)
+			}
 		}
 	})
 }

@@ -1,0 +1,304 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"verifyio/internal/obs"
+)
+
+// streamTestTrace builds a deterministic multi-rank trace big enough that a
+// small window splits every rank into many batches.
+func streamTestTrace(t *testing.T, nranks, nrecs int) *Trace {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	tr := New(nranks)
+	tr.Meta["program"] = "stream-test"
+	tr.Meta["fs.mode"] = "posix"
+	for rank := 0; rank < nranks; rank++ {
+		tick := int64(0)
+		for i := 0; i < nrecs; i++ {
+			tick += int64(1 + rng.Intn(3))
+			rec := Record{
+				Rank: rank, Func: "pwrite", Layer: LayerPOSIX,
+				Args: []string{"3", fmt.Sprint(8 * i), "8"},
+				Tick: tick, Ret: tick + 1,
+				Site: fmt.Sprintf("site%d", i%17),
+			}
+			if i%5 == 0 {
+				rec.Func = "MPI_File_write_at"
+				rec.Layer = LayerMPIIO
+			}
+			tick++
+			tr.Append(rec)
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("stream test trace invalid: %v", err)
+	}
+	return tr
+}
+
+// drainStream collects every batch into a materialized per-rank view,
+// releasing each batch after copying it out (the bounded-memory discipline).
+func drainStream(t *testing.T, s *Stream) ([][]Record, int) {
+	t.Helper()
+	ranks := make([][]Record, s.NumRanks())
+	batches := 0
+	for {
+		b, err := s.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		batches++
+		if b.Start != len(ranks[b.Rank]) {
+			t.Fatalf("rank %d batch starts at %d, have %d records", b.Rank, b.Start, len(ranks[b.Rank]))
+		}
+		ranks[b.Rank] = append(ranks[b.Rank], b.Recs...)
+		b.Release()
+	}
+	return ranks, batches
+}
+
+func TestStreamMatchesDecode(t *testing.T) {
+	tr := streamTestTrace(t, 3, 400)
+	for _, compress := range []bool{false, true} {
+		t.Run(fmt.Sprintf("compress=%v", compress), func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := Encode(&buf, tr, EncodeOptions{Compress: compress}); err != nil {
+				t.Fatal(err)
+			}
+			want, _, err := DecodeWithOptions(bytes.NewReader(buf.Bytes()), DecodeOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := NewStream(bytes.NewReader(buf.Bytes()), StreamOptions{WindowBytes: 1 << 12})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			if s.NumRanks() != len(want.Ranks) {
+				t.Fatalf("NumRanks = %d, want %d", s.NumRanks(), len(want.Ranks))
+			}
+			ranks, batches := drainStream(t, s)
+			if batches <= len(want.Ranks) {
+				t.Fatalf("window produced only %d batches for %d ranks — not windowing", batches, len(want.Ranks))
+			}
+			for rank := range want.Ranks {
+				if !reflect.DeepEqual(ranks[rank], want.Ranks[rank]) {
+					t.Fatalf("rank %d records differ between stream and decode", rank)
+				}
+			}
+			if !reflect.DeepEqual(s.Meta(), want.Meta) {
+				t.Fatalf("Meta = %v, want %v", s.Meta(), want.Meta)
+			}
+			if !s.Stats().Clean() {
+				t.Fatalf("clean stream salvaged: %+v", s.Stats())
+			}
+		})
+	}
+}
+
+func TestOpenStreamMatchesReadDir(t *testing.T) {
+	tr := streamTestTrace(t, 4, 300)
+	dir := t.TempDir()
+	if err := WriteDir(dir, tr, DefaultEncodeOptions()); err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := ReadDirWithOptions(dir, DecodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := OpenStream(dir, StreamOptions{WindowBytes: 1 << 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ranks, batches := drainStream(t, s)
+	if batches <= len(want.Ranks) {
+		t.Fatalf("window produced only %d batches for %d ranks — not windowing", batches, len(want.Ranks))
+	}
+	for rank := range want.Ranks {
+		if !reflect.DeepEqual(ranks[rank], want.Ranks[rank]) {
+			t.Fatalf("rank %d records differ between stream and ReadDir", rank)
+		}
+		if s.Counts()[rank] != len(want.Ranks[rank]) {
+			t.Fatalf("Counts()[%d] = %d, want %d", rank, s.Counts()[rank], len(want.Ranks[rank]))
+		}
+	}
+	if !reflect.DeepEqual(s.Meta(), want.Meta) {
+		t.Fatalf("Meta = %v, want %v", s.Meta(), want.Meta)
+	}
+}
+
+// TestStreamWindowBound is the memory contract: with every batch released
+// before the next Next, peak resident cost never exceeds the window plus one
+// record's worth of overshoot (a batch closes at the first record that
+// reaches the window).
+func TestStreamWindowBound(t *testing.T) {
+	tr := streamTestTrace(t, 4, 1000)
+	dir := t.TempDir()
+	if err := WriteDir(dir, tr, DefaultEncodeOptions()); err != nil {
+		t.Fatal(err)
+	}
+	const window = 1 << 12
+	reg := obs.NewRegistry()
+	s, err := OpenStream(dir, StreamOptions{
+		DecodeOptions: DecodeOptions{Obs: obs.Ctx{R: reg}},
+		WindowBytes:   window,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	drainStream(t, s)
+	const slack = 1 << 10 // one record far exceeds this; strings live in the table
+	if peak := s.PeakResidentBytes(); peak <= 0 || peak > window+slack {
+		t.Fatalf("peak resident %d outside (0, %d]", peak, window+slack)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Stable.Gauges["decode.window_bytes"]; got != window {
+		t.Fatalf("decode.window_bytes = %d, want %d", got, window)
+	}
+	if got := snap.Stable.Gauges["decode.peak_resident_bytes"]; got != s.PeakResidentBytes() {
+		t.Fatalf("decode.peak_resident_bytes = %d, want %d", got, s.PeakResidentBytes())
+	}
+
+	// The materializing wrapper keeps every batch: its peak is the whole
+	// decode cost, and must dwarf the windowed peak on this trace.
+	whole, _, err := ReadDirWithOptions(dir, DecodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if whole.NumRecords() == 0 {
+		t.Fatal("empty materialized trace")
+	}
+	sw, err := OpenStream(dir, StreamOptions{WindowBytes: WindowUnbounded})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sw.Close()
+	for {
+		b, err := sw.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = b // retained: materializing profile
+	}
+	if sw.PeakResidentBytes() < 10*s.PeakResidentBytes() {
+		t.Fatalf("unbounded peak %d not >> windowed peak %d", sw.PeakResidentBytes(), s.PeakResidentBytes())
+	}
+}
+
+// TestStreamTolerateSalvage pins that the streaming path salvages exactly
+// what the materializing tolerate path does, stats included.
+func TestStreamTolerateSalvage(t *testing.T) {
+	tr := streamTestTrace(t, 3, 200)
+	dir := t.TempDir()
+	if err := WriteDir(dir, tr, EncodeOptions{Compress: false}); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate rank 1 mid-records.
+	path := filepath.Join(dir, "rank-1.viot")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)*3/4], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	want, wantStats, err := ReadDirWithOptions(dir, DecodeOptions{Tolerate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := OpenStream(dir, StreamOptions{
+		DecodeOptions: DecodeOptions{Tolerate: true},
+		WindowBytes:   1 << 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ranks, _ := drainStream(t, s)
+	for rank := range want.Ranks {
+		if !reflect.DeepEqual(ranks[rank], want.Ranks[rank]) {
+			t.Fatalf("rank %d salvage differs: stream %d records, ReadDir %d",
+				rank, len(ranks[rank]), len(want.Ranks[rank]))
+		}
+	}
+	got := s.Stats()
+	if len(got.Ranks) != len(wantStats.Ranks) {
+		t.Fatalf("stats: stream %+v, ReadDir %+v", got, wantStats)
+	}
+	for i, rr := range got.Ranks {
+		wr := wantStats.Ranks[i]
+		if rr.Rank != wr.Rank || rr.Salvaged != wr.Salvaged || rr.Dropped != wr.Dropped {
+			t.Fatalf("stats[%d] = %+v, want %+v", i, rr, wr)
+		}
+		if (rr.Err == nil) != (wr.Err == nil) || (rr.Err != nil && rr.Err.Error() != wr.Err.Error()) {
+			t.Fatalf("stats[%d] error = %v, want %v", i, rr.Err, wr.Err)
+		}
+	}
+}
+
+func TestStreamStrictErrorsMatchReadDir(t *testing.T) {
+	tr := streamTestTrace(t, 2, 50)
+	dir := t.TempDir()
+	if err := WriteDir(dir, tr, EncodeOptions{Compress: false}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, "rank-1.viot")); err != nil {
+		t.Fatal(err)
+	}
+	_, _, wantErr := ReadDirWithOptions(dir, DecodeOptions{})
+	if wantErr == nil {
+		t.Fatal("ReadDir accepted a missing rank file")
+	}
+	if _, err := OpenStream(dir, StreamOptions{}); err == nil || err.Error() != wantErr.Error() {
+		t.Fatalf("OpenStream error = %v, want %v", err, wantErr)
+	}
+}
+
+func TestChainBuilderMatchesBlockChain(t *testing.T) {
+	tr := streamTestTrace(t, 1, 3*DigestBlock+17)
+	recs := tr.Ranks[0]
+	for _, n := range []int{0, 1, DigestBlock - 1, DigestBlock, DigestBlock + 1, 2*DigestBlock + 5, len(recs)} {
+		want := BlockChain(recs[:n])
+		for _, step := range []int{1, 7, DigestBlock, n + 1} {
+			var b ChainBuilder
+			for lo := 0; lo < n; lo += step {
+				hi := lo + step
+				if hi > n {
+					hi = n
+				}
+				b.Add(recs[lo:hi])
+			}
+			if got := b.Chain(); !reflect.DeepEqual(got, want) {
+				t.Fatalf("n=%d step=%d: ChainBuilder diverges from BlockChain", n, step)
+			}
+			if b.Records() != n {
+				t.Fatalf("n=%d step=%d: Records() = %d", n, step, b.Records())
+			}
+		}
+	}
+	// Chain must be re-callable mid-stream without corrupting later blocks.
+	var b ChainBuilder
+	b.Add(recs[:DigestBlock/2])
+	_ = b.Chain()
+	b.Add(recs[DigestBlock/2:])
+	if !reflect.DeepEqual(b.Chain(), BlockChain(recs)) {
+		t.Fatal("mid-stream Chain() corrupted the builder")
+	}
+}

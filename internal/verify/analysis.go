@@ -11,6 +11,7 @@ package verify
 
 import (
 	"fmt"
+	"io"
 	"sync"
 	"time"
 
@@ -105,6 +106,9 @@ func (t Timing) Total() time.Duration {
 
 // Analysis is the model-independent part of a verification run.
 type Analysis struct {
+	// Trace is the materialized trace. Nil for analyses produced by
+	// AnalyzeStream, which consume records as they decode and keep only
+	// the derived state below.
 	Trace     *trace.Trace
 	Conflicts *conflict.Result
 	Match     *match.Result
@@ -116,11 +120,129 @@ type Analysis struct {
 	// Timing holds the stage durations accumulated so far.
 	Timing Timing
 
+	// counts are the per-rank record counts — the positional facts reports
+	// and cache manifests need; always valid even when Trace is nil.
+	counts []int
+	// salvage is the decode salvage state of the ingested trace (nil or
+	// clean for an intact trace). A salvaged analysis runs on partial
+	// evidence: the verdict cache salts its epoch with the salvage extents
+	// and publishes no incremental manifest (see cache.go).
+	salvage *trace.DecodeStats
+	// Streaming-only state (Trace == nil): the trace directory and decode
+	// options for re-fetching race-detail records, the per-rank block
+	// chains and unlink positions digested during the single pass (what
+	// cacheArtifacts reads instead of the records).
+	streamDir  string
+	streamOpts trace.DecodeOptions
+	chains     [][][32]byte
+	unlinkSeqs [][]int32
+
+	// raceRecs memoizes records re-decoded for race details on streaming
+	// analyses; model passes share it.
+	raceMu   sync.Mutex
+	raceRecs map[trace.Ref]trace.Record
+
 	// cacheArt memoizes the verdict-cache digests (chunk plan, content
 	// digests, sync epoch, block chains): they are model independent, so
 	// the four passes of VerifyAll share one computation.
 	cacheMu  sync.Mutex
 	cacheArt *cacheArtifacts
+}
+
+// NumRanks returns the number of ranks analyzed.
+func (a *Analysis) NumRanks() int { return len(a.counts) }
+
+// NumRecords returns the total number of records analyzed.
+func (a *Analysis) NumRecords() int {
+	n := 0
+	for _, c := range a.counts {
+		n += c
+	}
+	return n
+}
+
+// Salvage returns the decode salvage state attached to this analysis; nil
+// when none was recorded.
+func (a *Analysis) Salvage() *trace.DecodeStats { return a.salvage }
+
+// SetSalvage attaches the decode salvage state of the trace this analysis
+// was built from. Callers that loaded a trace leniently (tolerate mode)
+// should pass the decode stats through so the verdict cache can tell a
+// salvaged trace from its repaired original; AnalyzeStream does this
+// automatically.
+func (a *Analysis) SetSalvage(stats *trace.DecodeStats) { a.salvage = stats }
+
+// salvaged reports whether the analyzed trace lost records to decoding
+// damage — the analysis ran on partial evidence.
+func (a *Analysis) salvaged() bool {
+	return a.salvage != nil && !a.salvage.Clean()
+}
+
+// record resolves one record for race-detail materialization. Streaming
+// analyses serve it from the prefetched memo (see prefetchRecords); the
+// ref must have been prefetched.
+func (a *Analysis) record(ref trace.Ref) *trace.Record {
+	if a.Trace != nil {
+		return a.Trace.Record(ref)
+	}
+	a.raceMu.Lock()
+	rec, ok := a.raceRecs[ref]
+	a.raceMu.Unlock()
+	if !ok {
+		// Contract violation (prefetchRecords not called); fail soft with
+		// an empty record rather than panicking inside report assembly.
+		return &trace.Record{Rank: ref.Rank, Seq: ref.Seq}
+	}
+	return &rec
+}
+
+// prefetchRecords re-decodes the given records from the stream source into
+// the race-detail memo. No-op for materialized analyses. The set is bounded
+// by MaxRaceDetails, so the re-decode is a single cheap windowed pass.
+func (a *Analysis) prefetchRecords(refs []trace.Ref) error {
+	if a.Trace != nil || len(refs) == 0 {
+		return nil
+	}
+	a.raceMu.Lock()
+	defer a.raceMu.Unlock()
+	need := make(map[trace.Ref]bool)
+	for _, ref := range refs {
+		if _, ok := a.raceRecs[ref]; !ok {
+			need[ref] = true
+		}
+	}
+	if len(need) == 0 {
+		return nil
+	}
+	s, err := trace.OpenStream(a.streamDir, trace.StreamOptions{DecodeOptions: a.streamOpts})
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	if a.raceRecs == nil {
+		a.raceRecs = make(map[trace.Ref]trace.Record, len(need))
+	}
+	for len(need) > 0 {
+		b, err := s.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		for i := range b.Recs {
+			ref := trace.Ref{Rank: b.Rank, Seq: b.Start + i}
+			if need[ref] {
+				a.raceRecs[ref] = b.Recs[i]
+				delete(need, ref)
+			}
+		}
+		b.Release()
+	}
+	if len(need) > 0 {
+		return fmt.Errorf("verify: %d race records missing from re-decoded trace %s", len(need), a.streamDir)
+	}
+	return nil
 }
 
 // autoThresholds: with few conflicts but a huge graph, building clocks costs
@@ -153,7 +275,10 @@ func Analyze(tr *trace.Trace, algo Algo) (*Analysis, error) {
 // happens-before oracle.
 func AnalyzeOpts(tr *trace.Trace, algo Algo, opts AnalyzeOptions) (*Analysis, error) {
 	workers := par.Resolve(opts.Workers)
-	a := &Analysis{Trace: tr}
+	a := &Analysis{Trace: tr, counts: make([]int, tr.NumRanks())}
+	for rank, recs := range tr.Ranks {
+		a.counts[rank] = len(recs)
+	}
 	oc, span := opts.Obs.Start("analyze", obs.Int("workers", workers))
 	span.SetCat("analyze")
 	defer span.End()
@@ -201,10 +326,20 @@ func AnalyzeOpts(tr *trace.Trace, algo Algo, opts AnalyzeOptions) (*Analysis, er
 	}
 	a.Conflicts = conf
 	a.Match = mres
+	if err := a.buildOracle(algo, opts.Workers, oc); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
 
+// buildOracle runs auto algorithm selection and happens-before construction
+// for an analysis whose Conflicts, Match and counts are already set — the
+// shared tail of AnalyzeOpts and AnalyzeStream. Only positional facts (the
+// per-rank counts) are consumed, never the records.
+func (a *Analysis) buildOracle(algo Algo, workers int, oc obs.Ctx) error {
 	start := time.Now()
 	if algo == AlgoAuto {
-		if conf.Pairs < autoFewConflicts && tr.NumRecords() > autoBigGraph {
+		if a.Conflicts.Pairs < autoFewConflicts && a.NumRecords() > autoBigGraph {
 			algo = AlgoOnTheFly
 		} else {
 			algo = AlgoVectorClock
@@ -214,16 +349,16 @@ func AnalyzeOpts(tr *trace.Trace, algo Algo, opts AnalyzeOptions) (*Analysis, er
 
 	_, buildSpan := oc.Start("build-graph", obs.String("algorithm", algo.String()))
 	if algo == AlgoOnTheFly {
-		a.Oracle = hbgraph.NewOnTheFly(tr, mres.Edges)
+		a.Oracle = hbgraph.NewOnTheFlyCounts(a.counts, a.Match.Edges)
 		a.Timing.BuildGraph = time.Since(start)
 		buildSpan.End()
-		return a, nil
+		return nil
 	}
 
-	g, err := hbgraph.Build(tr, mres.Edges)
+	g, err := hbgraph.BuildCounts(a.counts, a.Match.Edges)
 	if err != nil {
 		buildSpan.End()
-		return nil, fmt.Errorf("verify: happens-before graph: %w", err)
+		return fmt.Errorf("verify: happens-before graph: %w", err)
 	}
 	a.Graph = g
 	a.Timing.BuildGraph = time.Since(start)
@@ -245,10 +380,10 @@ func AnalyzeOpts(tr *trace.Trace, algo Algo, opts AnalyzeOptions) (*Analysis, er
 			obs.Int("skeleton_nodes", g.SkeletonNodes()),
 			obs.Int("levels", g.SkeletonLevels()),
 			obs.Int("max_level_width", g.SkeletonMaxLevelWidth()))
-		vc, err := g.VectorClocksOpts(hbgraph.VCOptions{Workers: opts.Workers, Obs: oc})
+		vc, err := g.VectorClocksOpts(hbgraph.VCOptions{Workers: workers, Obs: oc})
 		vcSpan.End()
 		if err != nil {
-			return nil, fmt.Errorf("verify: vector clocks: %w", err)
+			return fmt.Errorf("verify: vector clocks: %w", err)
 		}
 		a.Oracle = vc
 		a.Timing.VectorClock = time.Since(start)
@@ -265,7 +400,7 @@ func AnalyzeOpts(tr *trace.Trace, algo Algo, opts AnalyzeOptions) (*Analysis, er
 			a.Oracle = tc
 		}
 	default:
-		return nil, fmt.Errorf("verify: unsupported algorithm %v", algo)
+		return fmt.Errorf("verify: unsupported algorithm %v", algo)
 	}
-	return a, nil
+	return nil
 }

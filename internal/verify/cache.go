@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"hash"
 	"io"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -181,16 +182,28 @@ func (a *Analysis) cacheArtifacts() *cacheArtifacts {
 		h.Sum(art.chunks[ci][:0])
 	}
 
-	nranks := a.Trace.NumRanks()
+	nranks := a.NumRanks()
 	art.ranks = make([]vcache.RankManifest, nranks)
 	art.unlinkTotals = make([]int, nranks)
 	for r := 0; r < nranks; r++ {
-		recs := a.Trace.Ranks[r]
-		art.unlinkTotals[r] = countUnlinks(recs, len(recs))
-		art.ranks[r] = vcache.RankManifest{
-			Records: len(recs),
-			Unlinks: art.unlinkTotals[r],
-			Blocks:  trace.BlockChain(recs),
+		if a.Trace != nil {
+			recs := a.Trace.Ranks[r]
+			art.unlinkTotals[r] = countUnlinks(recs, len(recs))
+			art.ranks[r] = vcache.RankManifest{
+				Records: len(recs),
+				Unlinks: art.unlinkTotals[r],
+				Blocks:  trace.BlockChain(recs),
+			}
+		} else {
+			// Streaming analysis: the block chains and unlink positions
+			// were digested in the ingestion pass (ChainBuilder) — the
+			// records themselves are gone.
+			art.unlinkTotals[r] = len(a.unlinkSeqs[r])
+			art.ranks[r] = vcache.RankManifest{
+				Records: a.counts[r],
+				Unlinks: art.unlinkTotals[r],
+				Blocks:  a.chains[r],
+			}
 		}
 	}
 
@@ -206,7 +219,20 @@ func (a *Analysis) cacheArtifacts() *cacheArtifacts {
 	io.WriteString(eh, "verifyio-epoch-v1\x00")
 	writeU32(eh, uint32(nranks))
 	for r := 0; r < nranks; r++ {
-		writeU32(eh, uint32(len(a.Trace.Ranks[r])))
+		writeU32(eh, uint32(art.ranks[r].Records))
+	}
+	if a.salvaged() {
+		// A salvaged trace is partial evidence: its verdicts must never
+		// alias those of the intact (or repaired) trace, even when the
+		// per-rank lengths and sync cohorts happen to coincide. Salt the
+		// epoch with the exact salvage extents.
+		io.WriteString(eh, "salvaged\x00")
+		writeU32(eh, uint32(len(a.salvage.Ranks)))
+		for _, rr := range a.salvage.Ranks {
+			writeU32(eh, uint32(rr.Rank))
+			writeU32(eh, uint32(rr.Salvaged))
+			writeU32(eh, uint32(int32(rr.Dropped)))
+		}
 	}
 	writeU32(eh, uint32(len(conf.Syncs)))
 	for i := range conf.Syncs {
@@ -387,7 +413,14 @@ func (art *cacheArtifacts) dirtyState(store *vcache.Store, id string, a *Analysi
 	}
 	below := make([]int, len(d.cuts))
 	for r, cut := range d.cuts {
-		below[r] = countUnlinks(a.Trace.Ranks[r], cut)
+		if a.Trace != nil {
+			below[r] = countUnlinks(a.Trace.Ranks[r], cut)
+		} else {
+			// Streaming analysis: count recorded unlink positions below
+			// the cut (the per-rank lists are in ascending seq order).
+			seqs := a.unlinkSeqs[r]
+			below[r] = sort.Search(len(seqs), func(i int) bool { return seqs[i] >= int32(cut) })
+		}
 	}
 	if !old.UnlinkSafe(d.cuts, below, art.unlinkTotals) {
 		// An unlink outside the stable region can shift fid generations
@@ -430,6 +463,15 @@ func (cs *cacheSession) tryApply(c int, sh *verifier) bool {
 		cs.hits.Add(1)
 		cs.store.CountHit()
 		return true
+	}
+	if cs.a.salvaged() {
+		// Partial evidence: old-manifest verdicts were computed against
+		// the intact trace's synchronization state and must not be
+		// promoted into the salvaged epoch (nor vice versa — a salvaged
+		// run publishes no manifest, see finish).
+		cs.misses.Add(1)
+		cs.store.CountMiss()
+		return false
 	}
 	d := cs.art.dirtyState(cs.store, cs.id, cs.a)
 	if d != nil && d.promote && d.stable[c] {
@@ -489,8 +531,14 @@ func (cs *cacheSession) seal(c int, sh *verifier) {
 
 // finish publishes the incremental manifest for this trace id. Idempotent
 // (the store dedups equal manifests), so the four concurrent model passes
-// of VerifyAll write it once.
+// of VerifyAll write it once. A salvaged run publishes nothing: its chains
+// describe the damaged prefix, and a later run on the repaired trace would
+// otherwise certify that prefix as stable and promote verdicts sealed
+// against the truncated synchronization state.
 func (cs *cacheSession) finish() {
+	if cs.a.salvaged() {
+		return
+	}
 	cs.store.PutManifest(cs.id, &vcache.Manifest{
 		CodeVersion: vcache.CodeVersion,
 		Epoch:       cs.art.epoch,

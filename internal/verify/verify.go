@@ -157,8 +157,8 @@ func (a *Analysis) Verify(opts Options) (*Report, error) {
 	rep := &Report{
 		Model:         opts.Model.Name,
 		Algorithm:     a.Algorithm.String(),
-		Ranks:         a.Trace.NumRanks(),
-		Records:       a.Trace.NumRecords(),
+		Ranks:         a.NumRanks(),
+		Records:       a.NumRecords(),
 		ConflictPairs: a.Conflicts.Pairs,
 		Problems:      a.Match.Problems,
 		Workers:       opts.Workers,
@@ -204,6 +204,17 @@ func (a *Analysis) Verify(opts Options) (*Report, error) {
 		rep.Cache = cs.stats()
 	}
 	rep.RaceCount = v.raceCount
+	if a.Trace == nil && len(v.pairs) > 0 {
+		// Streaming analysis: re-decode exactly the raced records (the set
+		// is capped at MaxRaceDetails) before materializing their chains.
+		refs := make([]trace.Ref, 0, 2*len(v.pairs))
+		for _, p := range v.pairs {
+			refs = append(refs, p.x.Ref, p.y.Ref)
+		}
+		if err := a.prefetchRecords(refs); err != nil {
+			return nil, fmt.Errorf("verify: race details: %w", err)
+		}
+	}
 	for _, p := range v.pairs {
 		rep.Races = append(rep.Races, v.makeRace(p))
 	}
@@ -557,8 +568,8 @@ func (v *verifier) recordRace(x, y *conflict.Op) {
 // makeRace materializes the reported detail (paths, call chains) for one
 // raced pair.
 func (v *verifier) makeRace(p racePair) Race {
-	rx := v.a.Trace.Record(p.x.Ref)
-	ry := v.a.Trace.Record(p.y.Ref)
+	rx := v.a.record(p.x.Ref)
+	ry := v.a.record(p.y.Ref)
 	return Race{
 		X: *p.x, Y: *p.y,
 		File:   v.a.Conflicts.PathOf(p.x.FID),

@@ -1,0 +1,125 @@
+package verifyio
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"verifyio/internal/corpus"
+	"verifyio/internal/trace"
+)
+
+// cacheTotals sums one pass's per-model cache counters.
+func cacheTotals(t *testing.T, reps []*Report) (hits, misses int64) {
+	t.Helper()
+	for _, rep := range reps {
+		if rep.Cache == nil {
+			t.Fatal("report carries no cache stats; was Options.Cache set?")
+		}
+		hits += rep.Cache.Hits
+		misses += rep.Cache.Misses
+	}
+	return hits, misses
+}
+
+// TestSalvagedVerdictsNeverServeRepairedTrace is the regression gate for the
+// verdict-cache identity of salvaged traces: verdicts sealed while verifying
+// a damaged trace's salvaged prefix must never be replayed once the trace is
+// repaired (the prefix's records are the same bytes, but the synchronization
+// state they were verified under was truncated), and an intact trace's
+// sealed verdicts must never leak back into a later salvaged run.
+func TestSalvagedVerdictsNeverServeRepairedTrace(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "trace")
+	if err := trace.WriteDir(dir, corpus.ScalingTrace(4, 500, 1<<12, 3), trace.DefaultEncodeOptions()); err != nil {
+		t.Fatal(err)
+	}
+	victim := filepath.Join(dir, "rank-2.viot")
+	orig, err := os.ReadFile(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	damage := func(keep int) {
+		if err := os.WriteFile(victim, orig[:keep], 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	repair := func() {
+		if err := os.WriteFile(victim, orig, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	verifyAll := func(opts *Options) ([]*Report, *Recovery) {
+		tr, rec, err := ReadTraceDirOpts(dir, ReadOptions{Tolerate: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		reps, err := VerifyAll(tr, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return reps, rec
+	}
+
+	cache := NewMemoryCache()
+	opts := &Options{ContinueOnUnmatched: true, Cache: cache, CacheID: dir}
+
+	// Pass 1: damaged trace, cold cache — pure misses, sealed under the
+	// salvage-salted epoch.
+	damage(len(orig) / 2)
+	_, rec := verifyAll(opts)
+	if rec.Clean() {
+		t.Fatal("truncated rank file loaded clean; the test damaged nothing")
+	}
+
+	// Pass 2: the identical damage re-verified. The same salvaged content is
+	// legitimately cacheable — the salt keys the salvage state, it does not
+	// disable caching for damaged traces.
+	reps, _ := verifyAll(opts)
+	hits, misses := cacheTotals(t, reps)
+	if misses != 0 || hits == 0 {
+		t.Errorf("identically-damaged rerun: %d hits, %d misses; want pure hits", hits, misses)
+	}
+
+	// Pass 3: repaired trace against the same store. Nothing the salvaged
+	// passes sealed may be served — a single hit here is a stale verdict
+	// computed against truncated synchronization state.
+	repair()
+	reps, rec = verifyAll(opts)
+	if !rec.Clean() {
+		t.Fatalf("repaired trace still reports damage: %+v", rec.Ranks)
+	}
+	hits, misses = cacheTotals(t, reps)
+	if hits != 0 {
+		t.Errorf("repaired run served %d chunks sealed by the salvaged runs", hits)
+	}
+	if misses == 0 {
+		t.Error("repaired run verified nothing; the workload has no cacheable chunks")
+	}
+
+	// Pass 4: repaired trace again — the cache must work normally now
+	// (pure hits), proving the salvaged passes neither poisoned the store
+	// nor left a bogus incremental manifest behind.
+	reps, _ = verifyAll(opts)
+	hits, misses = cacheTotals(t, reps)
+	if misses != 0 {
+		t.Errorf("warm repaired run missed %d chunks", misses)
+	}
+	if hits == 0 {
+		t.Error("warm repaired run hit nothing")
+	}
+
+	// Pass 5: damage the trace at a different cut that salvages a longer
+	// prefix (a half cut dies in the string table and salvages nothing; a
+	// two-thirds cut recovers real records). Its salvage state matches
+	// neither the intact runs nor the first damage, so nothing may be served
+	// in this direction either.
+	damage(len(orig) * 2 / 3)
+	reps, rec = verifyAll(opts)
+	if rec.Clean() {
+		t.Fatal("re-truncated rank file loaded clean")
+	}
+	hits, _ = cacheTotals(t, reps)
+	if hits != 0 {
+		t.Errorf("differently-salvaged run served %d previously sealed chunks", hits)
+	}
+}

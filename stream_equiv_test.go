@@ -1,0 +1,145 @@
+package verifyio
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"verifyio/internal/corpus"
+	"verifyio/internal/semantics"
+	"verifyio/internal/trace"
+	"verifyio/internal/verify"
+)
+
+// streamEquivWindow is deliberately tiny so every corpus trace splits into
+// many batches — the equivalence below must hold regardless of where the
+// window boundaries land.
+const streamEquivWindow = int64(1 << 12)
+
+func verifyAllReports(t *testing.T, a *verify.Analysis, workers int) []*verify.Report {
+	t.Helper()
+	reps, err := a.VerifyAll(semantics.All(), verify.Options{Workers: workers, ContinueOnUnmatched: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reps
+}
+
+// TestStreamEquivalenceCorpus is the tentpole's correctness gate: for every
+// corpus test, verifying off the bounded-memory stream must produce
+// byte-identical reports (races, counts, problems, ordering — everything but
+// wall times) to verifying the materialized trace, across all four models,
+// serial and parallel workers, and with tolerate on and off.
+func TestStreamEquivalenceCorpus(t *testing.T) {
+	workerCounts := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		workerCounts = append(workerCounts, n)
+	}
+	for _, name := range corpus.Names() {
+		tr := corpusTraceT(t, name)
+		dir := filepath.Join(t.TempDir(), "trace")
+		if err := trace.WriteDir(dir, tr, trace.DefaultEncodeOptions()); err != nil {
+			t.Fatal(err)
+		}
+		for _, tolerate := range []bool{false, true} {
+			dopts := trace.DecodeOptions{Tolerate: tolerate}
+			mt, _, err := trace.ReadDirWithOptions(dir, dopts)
+			if err != nil {
+				t.Fatalf("%s: read: %v", name, err)
+			}
+			for _, workers := range workerCounts {
+				ma, err := verify.AnalyzeOpts(mt, verify.AlgoAuto, verify.AnalyzeOptions{Workers: workers})
+				if err != nil {
+					t.Fatalf("%s: analyze: %v", name, err)
+				}
+				sa, err := verify.AnalyzeStream(dir, verify.AlgoAuto, verify.StreamAnalyzeOptions{
+					AnalyzeOptions: verify.AnalyzeOptions{Workers: workers},
+					Decode:         dopts,
+					WindowBytes:    streamEquivWindow,
+				})
+				if err != nil {
+					t.Fatalf("%s: analyze stream: %v", name, err)
+				}
+				want := verifyAllReports(t, ma, workers)
+				got := verifyAllReports(t, sa, workers)
+				if len(want) != len(got) {
+					t.Fatalf("%s: %d materialized reports, %d streamed", name, len(want), len(got))
+				}
+				for i := range want {
+					w := reportFingerprint(t, want[i])
+					g := reportFingerprint(t, got[i])
+					if !bytes.Equal(w, g) {
+						t.Errorf("%s model=%s workers=%d tolerate=%v: streamed report differs\nmaterialized: %s\nstreamed:     %s",
+							name, want[i].Model, workers, tolerate, w, g)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestVerifyAllStreamPublicAPI checks the public streaming entry points
+// against their materializing twins, including the wrapped report fields the
+// CLI prints (Ranks/Records) and single-model VerifyStream.
+func TestVerifyAllStreamPublicAPI(t *testing.T) {
+	fingerprint := func(rep *Report) []byte {
+		cp := *rep
+		cp.Timing = Timing{}
+		cp.Workers = 0
+		cp.Cache = nil
+		cp.Metrics = nil
+		b, err := json.Marshal(&cp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	for _, name := range []string{"flexible", "pmulti_dset"} {
+		tr := corpusTraceT(t, name)
+		dir := filepath.Join(t.TempDir(), "trace")
+		if err := trace.WriteDir(dir, tr, trace.DefaultEncodeOptions()); err != nil {
+			t.Fatal(err)
+		}
+		mt, _, err := ReadTraceDirOpts(dir, ReadOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := &Options{ContinueOnUnmatched: true}
+		want, err := VerifyAll(mt, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, rec, err := VerifyAllStream(dir, ReadOptions{WindowBytes: streamEquivWindow}, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec != nil {
+			t.Errorf("%s: non-nil Recovery without Tolerate", name)
+		}
+		if len(want) != len(got) {
+			t.Fatalf("%s: %d vs %d reports", name, len(want), len(got))
+		}
+		for i := range want {
+			if got[i].Ranks != tr.NumRanks() || got[i].Records != tr.NumRecords() {
+				t.Errorf("%s: streamed report says %d ranks / %d records, trace has %d / %d",
+					name, got[i].Ranks, got[i].Records, tr.NumRanks(), tr.NumRecords())
+			}
+			if w, g := fingerprint(want[i]), fingerprint(got[i]); !bytes.Equal(w, g) {
+				t.Errorf("%s model=%s: public streamed report differs\nmaterialized: %s\nstreamed:     %s",
+					name, want[i].Model, w, g)
+			}
+		}
+		one, rec, err := VerifyStream(dir, POSIX, ReadOptions{Tolerate: true, WindowBytes: streamEquivWindow}, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec == nil || !rec.Clean() {
+			t.Errorf("%s: tolerate on an intact trace should return a clean non-nil Recovery, got %+v", name, rec)
+		}
+		if w, g := fingerprint(want[0]), fingerprint(one); !bytes.Equal(w, g) {
+			t.Errorf("%s: VerifyStream(POSIX) differs from VerifyAll's POSIX report", name)
+		}
+	}
+}

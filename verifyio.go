@@ -186,6 +186,10 @@ func (m Model) resolve() (semantics.Model, error) {
 // Trace is a collected execution trace.
 type Trace struct {
 	t *trace.Trace
+	// salvage records what lenient loading did to damaged ranks (nil for an
+	// intact load); verification folds it into verdict-cache identity so a
+	// salvaged trace can never serve stale verdicts to its repaired form.
+	salvage *trace.DecodeStats
 }
 
 // NumRanks returns the number of MPI ranks in the trace.
@@ -220,6 +224,11 @@ type ReadOptions struct {
 	// Telemetry instruments the load (a "read-trace" span with per-rank
 	// children, trace.* metrics). Nil disables.
 	Telemetry *Telemetry
+	// WindowBytes bounds the decoded records resident at once on the
+	// streaming entry points (VerifyStream, VerifyAllStream): 0 means the
+	// default window (trace.DefaultWindowBytes), negative means unbounded.
+	// Materializing loads ignore it — they hold the whole trace by design.
+	WindowBytes int64
 }
 
 // ReadTraceDirOpts loads a trace directory with explicit options; it
@@ -236,7 +245,16 @@ func ReadTraceDirOpts(dir string, opts ReadOptions) (*Trace, *Recovery, error) {
 	if !opts.Tolerate {
 		return &Trace{t: tr}, nil, nil
 	}
+	return &Trace{t: tr, salvage: stats}, recoveryFromStats(stats), nil
+}
+
+// recoveryFromStats converts internal decode salvage stats to the public
+// Recovery form (non-nil, possibly with an empty Ranks slice).
+func recoveryFromStats(stats *trace.DecodeStats) *Recovery {
 	rec := &Recovery{}
+	if stats == nil {
+		return rec
+	}
 	for _, rr := range stats.Ranks {
 		reason := "unknown damage"
 		if rr.Err != nil {
@@ -246,7 +264,7 @@ func ReadTraceDirOpts(dir string, opts ReadOptions) (*Trace, *Recovery, error) {
 			Rank: rr.Rank, Salvaged: rr.Salvaged, Dropped: rr.Dropped, Reason: reason,
 		})
 	}
-	return &Trace{t: tr}, rec, nil
+	return rec
 }
 
 // RankRecovery describes what lenient loading did to one damaged rank.
@@ -455,6 +473,11 @@ type Report struct {
 	// ProperlySynchronized reports a race-free verified execution.
 	ProperlySynchronized bool
 
+	// Ranks / Records describe the analyzed trace (streaming runs carry them
+	// even though no Trace value exists).
+	Ranks   int
+	Records int
+
 	// Workers is the worker count the verification stage ran with.
 	Workers        int
 	GraphNodes     int
@@ -499,6 +522,8 @@ func wrapReport(rep *verify.Report) *Report {
 		RaceCount:            rep.RaceCount,
 		Verified:             rep.Verified,
 		ProperlySynchronized: rep.ProperlySynchronized,
+		Ranks:                rep.Ranks,
+		Records:              rep.Records,
 		Workers:              rep.Workers,
 		GraphNodes:           rep.GraphNodes,
 		GraphSyncEdges:       rep.GraphSyncEdges,
@@ -582,11 +607,7 @@ func Diagnose(t *Trace, model Model, opts *Options) (*Report, []Diagnosis, error
 	if err != nil {
 		return nil, nil, err
 	}
-	algo, err := opts.algo()
-	if err != nil {
-		return nil, nil, err
-	}
-	a, err := verify.AnalyzeOpts(t.t, algo, opts.analyzeOptions())
+	a, err := analyzeTrace(t, opts)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -620,21 +641,32 @@ func (r *Report) raceFor(race verify.Race) Race {
 	}
 }
 
+// analyzeTrace builds the shared analysis front-end for a materialized
+// trace, carrying its salvage state into verdict-cache identity.
+func analyzeTrace(t *Trace, opts *Options) (*verify.Analysis, error) {
+	algo, err := opts.algo()
+	if err != nil {
+		return nil, err
+	}
+	a, err := verify.AnalyzeOpts(t.t, algo, opts.analyzeOptions())
+	if err != nil {
+		return nil, err
+	}
+	a.SetSalvage(t.salvage)
+	return a, nil
+}
+
 // Verify runs steps 2–4 of the workflow on a trace for one model.
 func Verify(t *Trace, model Model, opts *Options) (*Report, error) {
 	m, err := model.resolve()
 	if err != nil {
 		return nil, err
 	}
-	algo, err := opts.algo()
+	a, err := analyzeTrace(t, opts)
 	if err != nil {
 		return nil, err
 	}
-	rep, err := verify.Run(t.t, func() verify.Options {
-		vo := opts.verifyOptions(m)
-		vo.Algo = algo
-		return vo
-	}())
+	rep, err := a.Verify(opts.verifyOptions(m))
 	if err != nil {
 		return nil, err
 	}
@@ -646,11 +678,7 @@ func Verify(t *Trace, model Model, opts *Options) (*Report, error) {
 // Options.Workers != 1 the four model passes run concurrently over the
 // shared analysis.
 func VerifyAll(t *Trace, opts *Options) ([]*Report, error) {
-	algo, err := opts.algo()
-	if err != nil {
-		return nil, err
-	}
-	a, err := verify.AnalyzeOpts(t.t, algo, opts.analyzeOptions())
+	a, err := analyzeTrace(t, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -663,4 +691,72 @@ func VerifyAll(t *Trace, opts *Options) ([]*Report, error) {
 		out[i] = wrapReport(rep)
 	}
 	return out, nil
+}
+
+// analyzeStreamDir builds the analysis front-end directly off the on-disk
+// trace stream (see verify.AnalyzeStream), never materializing the trace.
+func analyzeStreamDir(dir string, read ReadOptions, opts *Options) (*verify.Analysis, *Recovery, error) {
+	algo, err := opts.algo()
+	if err != nil {
+		return nil, nil, err
+	}
+	a, err := verify.AnalyzeStream(dir, algo, verify.StreamAnalyzeOptions{
+		AnalyzeOptions: opts.analyzeOptions(),
+		Decode: trace.DecodeOptions{
+			Tolerate: read.Tolerate,
+			Obs:      read.Telemetry.ctx(),
+		},
+		WindowBytes: read.WindowBytes,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if !read.Tolerate {
+		return a, nil, nil
+	}
+	return a, recoveryFromStats(a.Salvage()), nil
+}
+
+// VerifyStream verifies the trace directory against one model while
+// decoding it, holding at most ReadOptions.WindowBytes of decoded records at
+// a time instead of the whole trace (conflict detection, MPI matching and
+// the cache digests consume each record batch as it decodes). The report is
+// identical to ReadTraceDirOpts + Verify on the same directory, except for
+// the Timing split: the fused pass reports its wall time as DetectMatchWall,
+// with DetectConflicts and Match covering only each stage's cross-rank
+// finish phase and ReadTrace staying zero. The Recovery is non-nil only in
+// tolerate mode.
+func VerifyStream(dir string, model Model, read ReadOptions, opts *Options) (*Report, *Recovery, error) {
+	m, err := model.resolve()
+	if err != nil {
+		return nil, nil, err
+	}
+	a, rec, err := analyzeStreamDir(dir, read, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep, err := a.Verify(opts.verifyOptions(m))
+	if err != nil {
+		return nil, nil, err
+	}
+	return wrapReport(rep), rec, nil
+}
+
+// VerifyAllStream is VerifyStream across all four models, sharing the
+// single fused decode/detect/match pass and the happens-before construction
+// between them exactly as VerifyAll shares a materialized analysis.
+func VerifyAllStream(dir string, read ReadOptions, opts *Options) ([]*Report, *Recovery, error) {
+	a, rec, err := analyzeStreamDir(dir, read, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	reps, err := a.VerifyAll(semantics.All(), opts.verifyOptions(semantics.Model{}))
+	if err != nil {
+		return nil, nil, fmt.Errorf("verifyio: %w", err)
+	}
+	out := make([]*Report, len(reps))
+	for i, rep := range reps {
+		out[i] = wrapReport(rep)
+	}
+	return out, rec, nil
 }

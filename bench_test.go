@@ -420,7 +420,7 @@ func BenchmarkVerifyAllParallel(b *testing.B) {
 	}
 }
 
-// BenchmarkHBAlgorithms compares the four happens-before algorithms of
+// BenchmarkHBAlgorithms compares the five happens-before algorithms of
 // §IV-D on one mid-size trace — the data behind the paper's future-work
 // dynamic algorithm selection.
 func BenchmarkHBAlgorithms(b *testing.B) {
@@ -429,6 +429,7 @@ func BenchmarkHBAlgorithms(b *testing.B) {
 	for _, algo := range []verify.Algo{
 		verify.AlgoVectorClock, verify.AlgoReachability,
 		verify.AlgoTransitiveClosure, verify.AlgoOnTheFly,
+		verify.AlgoSegment,
 	} {
 		b.Run(algo.String(), func(b *testing.B) {
 			var races int64 = -1

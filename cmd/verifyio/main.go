@@ -5,7 +5,7 @@
 // Usage:
 //
 //	verifyio -trace DIR [-model posix|commit|session|mpi-io|all]
-//	         [-algorithm auto|vector-clock|reachability|transitive-closure|on-the-fly]
+//	         [-algorithm auto|vector-clock|reachability|transitive-closure|on-the-fly|segment]
 //	         [-workers N] [-no-pruning] [-max-races N] [-details] [-tolerate]
 //	         [-stream] [-window BYTES]
 //	         [-cache-dir DIR] [-trace-out FILE] [-metrics-out FILE]

@@ -202,7 +202,7 @@ func TestNamedFindingsDetail(t *testing.T) {
 	})
 }
 
-// TestAlgorithmsAgreeOnRepresentativeTests cross-validates the four
+// TestAlgorithmsAgreeOnRepresentativeTests cross-validates the five
 // happens-before algorithms on representative corpus executions (the paper
 // runs at least two per experiment; property tests in internal/hbgraph
 // cover random graphs).
@@ -211,6 +211,7 @@ func TestAlgorithmsAgreeOnRepresentativeTests(t *testing.T) {
 	algos := []verify.Algo{
 		verify.AlgoVectorClock, verify.AlgoReachability,
 		verify.AlgoTransitiveClosure, verify.AlgoOnTheFly,
+		verify.AlgoSegment,
 	}
 	for _, name := range names {
 		tc, err := ByName(name)

@@ -128,8 +128,9 @@ const (
 
 // TestOracleEquivalenceCorpus is the corpus-wide cross-validation of the
 // sync-skeleton rework: on every corpus trace, skeleton vector clocks
-// (serial and wavefront-parallel), BFS reachability, transitive closure, and
-// the on-the-fly oracle must answer exactly like full-graph vector clocks —
+// (serial and wavefront-parallel), BFS reachability, transitive closure,
+// segment reachability (serial and wavefront-parallel), and the on-the-fly
+// oracle must answer exactly like full-graph vector clocks —
 // exhaustively on small traces, on 10k sampled queries on large ones. It
 // also asserts the skeleton clock arena never exceeds the full-graph arena,
 // via the gauges the analysis pipeline exports.
@@ -167,6 +168,15 @@ func TestOracleEquivalenceCorpus(t *testing.T) {
 				oracles = append(oracles, tcO)
 			} else {
 				t.Logf("transitive closure skipped: %v", err)
+			}
+			if segO, err := g.SegReachability(hbgraph.SegOptions{}); err == nil {
+				oracles = append(oracles, segO)
+			} else {
+				t.Logf("segment reachability skipped: %v", err)
+			}
+			segPar, err := g.SegReachability(hbgraph.SegOptions{Workers: runtime.GOMAXPROCS(0)})
+			if err == nil {
+				oracles = append(oracles, segPar)
 			}
 
 			check := func(a, b trace.Ref) {

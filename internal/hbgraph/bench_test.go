@@ -119,7 +119,7 @@ func BenchmarkVectorClocks(b *testing.B) {
 	}
 }
 
-// BenchmarkOracleQueries compares per-query cost across the four algorithms
+// BenchmarkOracleQueries compares per-query cost across the five algorithms
 // on the same graph and query set.
 func BenchmarkOracleQueries(b *testing.B) {
 	tr, edges := synthGraph(8, 1000, 0.1, 11)
@@ -135,7 +135,11 @@ func BenchmarkOracleQueries(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	oracles := []Oracle{vc, g.Reachability(), tc, NewOnTheFly(tr, edges)}
+	seg, err := g.SegReachability(SegOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	oracles := []Oracle{vc, g.Reachability(), tc, seg, NewOnTheFly(tr, edges)}
 	rng := rand.New(rand.NewSource(3))
 	queries := make([][2]trace.Ref, 512)
 	for i := range queries {

@@ -36,7 +36,7 @@ func edges(pairs ...[4]int) []match.Edge {
 	return out
 }
 
-// allOracles builds the three graph-based oracles plus the on-the-fly one.
+// allOracles builds the four graph-based oracles plus the on-the-fly one.
 func allOracles(t *testing.T, tr *trace.Trace, es []match.Edge) []Oracle {
 	t.Helper()
 	g, err := Build(tr, es)
@@ -51,7 +51,11 @@ func allOracles(t *testing.T, tr *trace.Trace, es []match.Edge) []Oracle {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return []Oracle{vc, g.Reachability(), tc, NewOnTheFly(tr, es)}
+	seg, err := g.SegReachability(SegOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []Oracle{vc, g.Reachability(), tc, seg, NewOnTheFly(tr, es)}
 }
 
 func TestProgramOrderIsHB(t *testing.T) {
@@ -160,7 +164,45 @@ func TestTransitiveClosureBudget(t *testing.T) {
 	}
 }
 
-// TestOracleQueriesOutsideTrace covers the shared bounds check of all four
+// TestSegReachabilityBudget probes the byte-budget boundary exactly: a budget
+// of the matrix's own size builds, one byte less refuses, and a negative
+// budget disables the cap entirely.
+func TestSegReachabilityBudget(t *testing.T) {
+	tr := mkTrace(4, 4)
+	es := edges([4]int{0, 0, 1, 1}, [4]int{1, 2, 0, 3})
+	g, err := Build(tr, es)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.SkeletonNodes()
+	size := n * ((n + 63) / 64) * 8
+	seg, err := g.SegReachability(SegOptions{ByteBudget: size})
+	if err != nil {
+		t.Fatalf("budget %d refused a %d-byte matrix: %v", size, size, err)
+	}
+	if seg.ArenaBytes() != size {
+		t.Errorf("arena = %d bytes, want %d", seg.ArenaBytes(), size)
+	}
+	if _, err := g.SegReachability(SegOptions{ByteBudget: size - 1}); err == nil {
+		t.Fatal("segment reachability ignored its byte budget")
+	}
+	if _, err := g.SegReachability(SegOptions{ByteBudget: -1}); err != nil {
+		t.Fatalf("negative budget must disable the cap: %v", err)
+	}
+	// The matrix is worker-count independent: rows within a level are
+	// disjoint and OR is order-free.
+	par4, err := g.SegReachability(SegOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seg.bits {
+		if seg.bits[i] != par4.bits[i] {
+			t.Fatalf("word %d differs between serial and parallel builds", i)
+		}
+	}
+}
+
+// TestOracleQueriesOutsideTrace covers the shared bounds check of all five
 // algorithms: refs with out-of-range ranks or sequences (high and negative)
 // are never hb-related in either direction.
 func TestOracleQueriesOutsideTrace(t *testing.T) {
@@ -300,7 +342,7 @@ func (b *bruteOracle) HB(x, y trace.Ref) bool {
 }
 
 // TestPropertyAllAlgorithmsAgree is the §IV-D cross-validation: on random
-// acyclic executions, all four oracles and the brute-force reference answer
+// acyclic executions, all five oracles and the brute-force reference answer
 // every query identically.
 func TestPropertyAllAlgorithmsAgree(t *testing.T) {
 	f := func(seed int64) bool {
@@ -354,7 +396,11 @@ func TestPropertyAllAlgorithmsAgree(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		oracles := []Oracle{vc, g.Reachability(), tc, NewOnTheFly(tr, es)}
+		seg, err := g.SegReachability(SegOptions{})
+		if err != nil {
+			return false
+		}
+		oracles := []Oracle{vc, g.Reachability(), tc, seg, NewOnTheFly(tr, es)}
 		brute := newBrute(tr, es)
 		for i := 0; i < len(nodes); i++ {
 			for j := 0; j < len(nodes); j++ {

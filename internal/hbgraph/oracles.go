@@ -135,6 +135,16 @@ func (o *VCOracle) ArenaBytes() int { return 4 * len(o.clocks) }
 // Name identifies the algorithm.
 func (o *VCOracle) Name() string { return "vector-clock" }
 
+// SegGraph returns the graph whose skeleton coordinates ProbeSeg accepts.
+func (o *VCOracle) SegGraph() *Graph { return o.g }
+
+// ProbeSeg answers a pre-resolved cross-rank query in one clock compare:
+// the skeleton clock of prev(b) already folds in every path into b's
+// segment, so next(a) is not needed.
+func (o *VCOracle) ProbeSeg(aRank, aSeq, aNext, bPrev int32) bool {
+	return o.clocks[int(bPrev)*o.nranks+int(aRank)] >= aSeq
+}
+
 // ---------------------------------------------------------------------------
 // 2. Graph reachability (§IV-D2)
 
@@ -266,6 +276,16 @@ func (o *BFSOracle) computeRow(id int32) []uint64 {
 // Name identifies the algorithm.
 func (o *BFSOracle) Name() string { return "reachability" }
 
+// SegGraph returns the graph whose skeleton coordinates ProbeSeg accepts.
+func (o *BFSOracle) SegGraph() *Graph { return o.g }
+
+// ProbeSeg answers a pre-resolved cross-rank query from the memoized row of
+// next(a) — O(1) on a memo hit, one skeleton BFS on a miss.
+func (o *BFSOracle) ProbeSeg(aRank, aSeq, aNext, bPrev int32) bool {
+	bits := o.row(aNext)
+	return bits[int(bPrev)/64]&(1<<(uint(bPrev)%64)) != 0
+}
+
 // MemoStats sums the memo hit/miss counts across stripes. The split is
 // scheduling-dependent under concurrent queries (two goroutines can both
 // miss on one source), so consumers record it as a volatile metric.
@@ -341,6 +361,14 @@ func (o *TCOracle) HB(a, b trace.Ref) bool {
 
 // Name identifies the algorithm.
 func (o *TCOracle) Name() string { return "transitive-closure" }
+
+// SegGraph returns the graph whose skeleton coordinates ProbeSeg accepts.
+func (o *TCOracle) SegGraph() *Graph { return o.g }
+
+// ProbeSeg answers a pre-resolved cross-rank query in one bit probe.
+func (o *TCOracle) ProbeSeg(aRank, aSeq, aNext, bPrev int32) bool {
+	return o.bits[int(aNext)*o.words+int(bPrev)/64]&(1<<(uint(bPrev)%64)) != 0
+}
 
 // ---------------------------------------------------------------------------
 // 4. On-the-fly (§IV-D4)

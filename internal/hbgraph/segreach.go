@@ -1,0 +1,174 @@
+package hbgraph
+
+import (
+	"fmt"
+
+	"verifyio/internal/obs"
+	"verifyio/internal/par"
+	"verifyio/internal/trace"
+)
+
+// Segment-reachability oracle: the dense S×S transitive closure of the sync
+// skeleton, probed in O(1). Every record belongs to a program-order segment
+// delimited by two skeleton nodes (its prev/next fringe, see skeleton.go),
+// and a cross-rank HB query is exactly one bit of the segment×segment
+// reachability matrix: HB(a, b) ⇔ bit(next(a), prev(b)). On sync-sparse
+// traces S ≪ V, so the whole matrix is a few kilobytes — cheap enough to
+// precompute once and share across every model pass and verification chunk.
+//
+// Unlike TCOracle (bounded by a node count), SegReachability is bounded by
+// an explicit byte budget and its rows are filled level-parallel: the
+// reverse wavefront processes one topological level at a time, and within a
+// level no node's row depends on another's (every skeleton edge goes to a
+// strictly later level), so the rows fill concurrently via internal/par.
+
+// DefaultSegReachBudget bounds the S²-bit reachability matrix (64 MiB ≈ 23k
+// skeleton nodes). Callers over budget fall back to the vector-clock oracle,
+// mirroring the transitive-closure node budget.
+const DefaultSegReachBudget = 64 << 20
+
+// segMinParallelWidth is the level width below which the wavefront stays on
+// the calling goroutine (a level holds at most one node per rank, so narrow
+// levels never amortize the handoff) — same threshold as the vector-clock
+// wavefront.
+const segMinParallelWidth = 8
+
+// SegOptions configures segment-reachability construction.
+type SegOptions struct {
+	// Workers bounds the wavefront parallelism; 0 means GOMAXPROCS, 1 forces
+	// the serial path. The matrix is identical at every worker count: rows
+	// within a level are independent, and bitwise OR is order-independent.
+	Workers int
+	// ByteBudget caps the closure matrix; 0 means DefaultSegReachBudget,
+	// negative disables the cap. Construction fails (and the caller falls
+	// back to another oracle) when S²/8 bytes exceed the budget.
+	ByteBudget int
+	// Obs carries telemetry: pool stats for the wavefront
+	// ("par.seg-wavefront.*") and the hbgraph.segreach_bytes gauge.
+	Obs obs.Ctx
+}
+
+// SegOracle answers hb queries from the precomputed segment×segment
+// reachability matrix — one AND and one compare per cross-rank query.
+type SegOracle struct {
+	g     *Graph
+	words int
+	bits  []uint64 // S * words
+}
+
+// SegReachability materializes the skeleton's segment-reachability matrix.
+// It refuses graphs whose matrix would exceed the byte budget; callers fall
+// back to another oracle (the dynamic selection of §VII).
+func (g *Graph) SegReachability(opts SegOptions) (*SegOracle, error) {
+	s := &g.skel
+	if s.cycleErr != nil {
+		return nil, s.cycleErr
+	}
+	budget := opts.ByteBudget
+	if budget == 0 {
+		budget = DefaultSegReachBudget
+	}
+	words := (s.n + 63) / 64
+	size := s.n * words * 8
+	if budget > 0 && size > budget {
+		return nil, fmt.Errorf("hbgraph: segment reachability over %d skeleton nodes needs %d bytes, over the %d-byte budget",
+			s.n, size, budget)
+	}
+	bits := make([]uint64, s.n*words)
+	// Reverse level-synchronized wavefront: levelOrder is a topological order
+	// (every successor — po and sync — sits in a strictly later level), so
+	// walking levels back to front guarantees every successor row is final,
+	// and the rows within one level share no data. One closure is reused
+	// across levels; levels run strictly in sequence.
+	var nodes []int32
+	step := func(i int) {
+		id := nodes[i]
+		row := bits[int(id)*words : (int(id)+1)*words]
+		s.forEachSkelSucc(id, func(sc int32) {
+			row[sc/64] |= 1 << (uint(sc) % 64)
+			for w, v := range bits[int(sc)*words : (int(sc)+1)*words] {
+				row[w] |= v
+			}
+		})
+	}
+	workers := par.Resolve(opts.Workers)
+	for l := len(s.levelOff) - 2; l >= 0; l-- {
+		nodes = s.levelOrder[s.levelOff[l]:s.levelOff[l+1]]
+		if workers > 1 && len(nodes) >= segMinParallelWidth {
+			par.DoObs(opts.Obs, "seg-wavefront", workers, len(nodes), step)
+		} else {
+			for i := range nodes {
+				step(i)
+			}
+		}
+	}
+	if r := opts.Obs.R; r != nil {
+		r.Gauge("hbgraph.segreach_bytes").Set(int64(8 * len(bits)))
+	}
+	return &SegOracle{g: g, words: words, bits: bits}, nil
+}
+
+// HB reports whether a happens-before b, via the same skeleton mapping as
+// the other graph-based oracles.
+func (o *SegOracle) HB(a, b trace.Ref) bool {
+	if res, ok := sameRankHB(a, b); ok {
+		return res
+	}
+	if !o.g.inRange(a) || !o.g.inRange(b) {
+		return false
+	}
+	src := o.g.skelNext(a)
+	dst := o.g.skelPrev(b)
+	return o.bits[int(src)*o.words+int(dst)/64]&(1<<(uint(dst)%64)) != 0
+}
+
+// Name identifies the algorithm.
+func (o *SegOracle) Name() string { return "segment" }
+
+// ArenaBytes returns the size of the reachability matrix — S²/8 bytes.
+func (o *SegOracle) ArenaBytes() int { return 8 * len(o.bits) }
+
+// SegGraph returns the graph whose skeleton coordinates ProbeSeg accepts.
+func (o *SegOracle) SegGraph() *Graph { return o.g }
+
+// ProbeSeg answers a pre-resolved cross-rank query in one bit probe.
+func (o *SegOracle) ProbeSeg(aRank, aSeq, aNext, bPrev int32) bool {
+	return o.bits[int(aNext)*o.words+int(bPrev)/64]&(1<<(uint(bPrev)%64)) != 0
+}
+
+// SegProber is the resolved-query fast path implemented by the graph-based
+// oracles: the caller maps each query operand to its skeleton fringe once
+// (SegCoords) and probes with the precomputed coordinates, skipping the
+// per-query bounds check and prev/next resolution of Oracle.HB.
+//
+// The contract mirrors the skeleton query mapping: ProbeSeg answers
+// HB(a, b) for a.Rank ≠ b.Rank, where aNext = next(a) and bPrev = prev(b)
+// were resolved by SegGraph().SegCoords on in-range refs. Same-rank queries
+// must be answered by program order before probing.
+type SegProber interface {
+	SegGraph() *Graph
+	ProbeSeg(aRank, aSeq, aNext, bPrev int32) bool
+}
+
+// SegCoords resolves ref onto the skeleton fringe: prev is the last skeleton
+// node at-or-before ref on its rank, next the first at-or-after. ok is false
+// for refs outside the trace, which are never hb-related.
+func (g *Graph) SegCoords(ref trace.Ref) (prev, next int32, ok bool) {
+	if !g.inRange(ref) {
+		return 0, 0, false
+	}
+	prev = g.skelPrev(ref)
+	next = prev
+	if int(g.skel.seqs[prev]) != ref.Seq {
+		next = prev + 1
+	}
+	return prev, next, true
+}
+
+// Compile-time check: every graph-based oracle offers the resolved probe.
+var (
+	_ SegProber = (*VCOracle)(nil)
+	_ SegProber = (*BFSOracle)(nil)
+	_ SegProber = (*TCOracle)(nil)
+	_ SegProber = (*SegOracle)(nil)
+)

@@ -36,6 +36,10 @@ const (
 	AlgoReachability
 	AlgoTransitiveClosure
 	AlgoOnTheFly
+	// AlgoSegment precomputes the dense segment×segment reachability matrix
+	// of the sync skeleton — O(1) bit-probe queries; falls back to vector
+	// clocks when the matrix exceeds its byte budget.
+	AlgoSegment
 )
 
 var algoNames = map[Algo]string{
@@ -44,6 +48,7 @@ var algoNames = map[Algo]string{
 	AlgoReachability:      "reachability",
 	AlgoTransitiveClosure: "transitive-closure",
 	AlgoOnTheFly:          "on-the-fly",
+	AlgoSegment:           "segment",
 }
 
 func (a Algo) String() string {
@@ -60,7 +65,7 @@ func AlgoByName(name string) (Algo, error) {
 			return a, nil
 		}
 	}
-	return 0, fmt.Errorf("verify: unknown algorithm %q (have auto, vector-clock, reachability, transitive-closure, on-the-fly)", name)
+	return 0, fmt.Errorf("verify: unknown algorithm %q (have auto, vector-clock, reachability, transitive-closure, on-the-fly, segment)", name)
 }
 
 // Timing is the per-stage breakdown Table IV reports.
@@ -147,6 +152,16 @@ type Analysis struct {
 	// the four passes of VerifyAll share one computation.
 	cacheMu  sync.Mutex
 	cacheArt *cacheArtifacts
+
+	// plan memoizes the resolved query plan (per-op skeleton coordinates
+	// and the segment prober); model independent, shared by every pass.
+	planMu sync.Mutex
+	plan   *opPlan
+
+	// idxMemo memoizes sync indexes across VerifyAll model passes, keyed by
+	// the model's sync-op specification (syncSpecKey).
+	idxMu   sync.Mutex
+	idxMemo map[string]*syncIndex
 }
 
 // NumRanks returns the number of ranks analyzed.
@@ -342,7 +357,10 @@ func (a *Analysis) buildOracle(algo Algo, workers int, oc obs.Ctx) error {
 		if a.Conflicts.Pairs < autoFewConflicts && a.NumRecords() > autoBigGraph {
 			algo = AlgoOnTheFly
 		} else {
-			algo = AlgoVectorClock
+			// Graph-backed default: the segment-reachability matrix gives
+			// O(1) bit-probe queries; buildOracle degrades to vector clocks
+			// if the matrix exceeds its byte budget.
+			algo = AlgoSegment
 		}
 	}
 	a.Algorithm = algo
@@ -374,8 +392,7 @@ func (a *Analysis) buildOracle(algo Algo, workers int, oc obs.Ctx) error {
 	}
 
 	start = time.Now()
-	switch algo {
-	case AlgoVectorClock:
+	buildVC := func() error {
 		_, vcSpan := oc.Start("vector-clocks",
 			obs.Int("skeleton_nodes", g.SkeletonNodes()),
 			obs.Int("levels", g.SkeletonLevels()),
@@ -387,6 +404,11 @@ func (a *Analysis) buildOracle(algo Algo, workers int, oc obs.Ctx) error {
 		}
 		a.Oracle = vc
 		a.Timing.VectorClock = time.Since(start)
+		return nil
+	}
+	switch algo {
+	case AlgoVectorClock:
+		return buildVC()
 	case AlgoReachability:
 		a.Oracle = g.Reachability()
 	case AlgoTransitiveClosure:
@@ -399,6 +421,21 @@ func (a *Analysis) buildOracle(algo Algo, workers int, oc obs.Ctx) error {
 		} else {
 			a.Oracle = tc
 		}
+	case AlgoSegment:
+		_, segSpan := oc.Start("seg-reach",
+			obs.Int("skeleton_nodes", g.SkeletonNodes()),
+			obs.Int("levels", g.SkeletonLevels()))
+		seg, err := g.SegReachability(hbgraph.SegOptions{Workers: workers, Obs: oc})
+		segSpan.End()
+		if err != nil {
+			// Matrix over its byte budget (or skeleton not orderable):
+			// degrade to vector clocks rather than failing the run —
+			// mirroring the transitive-closure fallback above. A cyclic
+			// skeleton still fails, in the clock pass.
+			a.Algorithm = AlgoVectorClock
+			return buildVC()
+		}
+		a.Oracle = seg
 	default:
 		return fmt.Errorf("verify: unsupported algorithm %v", algo)
 	}

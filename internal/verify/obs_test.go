@@ -71,6 +71,7 @@ func TestPipelineSpansCoverAllStages(t *testing.T) {
 		"hbgraph.skeleton_nodes", "hbgraph.skeleton_levels", "hbgraph.skeleton_max_level_width",
 		"hbgraph.vc_arena_bytes", "hbgraph.vc_full_arena_bytes",
 		"verify.groups", "verify.checks", "verify.races",
+		"verify.hb_queries", "verify.hb_fast_hits", "verify.hb_fallbacks",
 		"par.detect-replay.tasks_submitted", "par.match-scan.tasks_completed",
 	} {
 		if !names[n] {

@@ -63,11 +63,11 @@ func reportJSON(t *testing.T, rep *Report) []byte {
 }
 
 // TestParallelVerifyDeterministic asserts that Workers=8 produces a
-// byte-identical report to Workers=1 across all four models and all four
+// byte-identical report to Workers=1 across all four models and all five
 // algorithms.
 func TestParallelVerifyDeterministic(t *testing.T) {
 	tr := runTraced(t, 4, racyProgram)
-	for _, algo := range []Algo{AlgoVectorClock, AlgoReachability, AlgoTransitiveClosure, AlgoOnTheFly} {
+	for _, algo := range []Algo{AlgoVectorClock, AlgoReachability, AlgoTransitiveClosure, AlgoOnTheFly, AlgoSegment} {
 		a, err := Analyze(tr, algo)
 		if err != nil {
 			t.Fatal(err)
@@ -185,17 +185,21 @@ func TestSyncIndexSortGuard(t *testing.T) {
 			{Ref: trace.Ref{Rank: 1, Seq: 4}, Func: "fsync", FID: 0},
 		},
 	}
-	idx := buildSyncIndex(res, semantics.CommitModel())
+	idx := buildSyncIndex(res, semantics.CommitModel(), &opPlan{})
 	for c := range idx.perRank {
 		for fid, byRank := range idx.perRank[c] {
-			for rank, seqs := range byRank {
-				if !sort.IntsAreSorted(seqs) {
-					t.Errorf("class %d file %d rank %d: seqs %v not sorted", c, fid, rank, seqs)
+			for rank, cands := range byRank {
+				sorted := sort.SliceIsSorted(cands, func(i, j int) bool {
+					return cands[i].seq < cands[j].seq
+				})
+				if !sorted {
+					t.Errorf("class %d file %d rank %d: candidates %v not sorted", c, fid, rank, cands)
 				}
 			}
 		}
 	}
-	if got := idx.perRank[0][0][0]; len(got) != 3 || got[0] != 2 || got[2] != 9 {
+	got := idx.perRank[0][0][0]
+	if len(got) != 3 || got[0].seq != 2 || got[1].seq != 5 || got[2].seq != 9 {
 		t.Errorf("rank 0 seqs = %v, want [2 5 9]", got)
 	}
 }

@@ -1,0 +1,190 @@
+package verify
+
+import (
+	"slices"
+	"sort"
+	"strings"
+
+	"verifyio/internal/conflict"
+	"verifyio/internal/hbgraph"
+	"verifyio/internal/semantics"
+	"verifyio/internal/trace"
+)
+
+// Resolved query plan: the verification hot path asks the oracle about the
+// same operands over and over — every conflict op, every sync candidate on
+// the conflicting file. Resolving an operand means bounds-checking its ref
+// and mapping it onto the skeleton fringe (prev/next); doing that per query
+// is pure overhead, so the plan does it once per run. A resolved cross-rank
+// query is then a single SegProber probe (one clock compare or one bit
+// load), and same-rank queries are a sequence compare.
+//
+// The op plan is model independent and shared by every model pass of
+// VerifyAll (and every warm/dirty vcache chunk); the sync index is keyed by
+// the model's sync-op specification, so models sharing the same spec share
+// one index.
+
+// resolvedRef is a pre-resolved query operand: a record's identity plus its
+// skeleton fringe coordinates. next < 0 marks an unresolved operand (no
+// segment prober, or a ref outside the graph) — queries on it take the
+// general Oracle.HB path.
+type resolvedRef struct {
+	rank, seq  int32
+	prev, next int32
+}
+
+// opPlan carries the resolved conflict-op operands and the segment prober
+// for one analysis.
+type opPlan struct {
+	// prober is the oracle's O(1) resolved-probe interface; nil when the
+	// oracle does not expose one (on-the-fly).
+	prober hbgraph.SegProber
+	// g is the prober's graph, used to resolve operands; nil iff prober is.
+	g *hbgraph.Graph
+	// res holds one resolved operand per op, aligned with Conflicts.Ops.
+	res []resolvedRef
+}
+
+// resolve maps one ref onto the plan's coordinate space.
+func (p *opPlan) resolve(ref trace.Ref) resolvedRef {
+	rr := resolvedRef{rank: int32(ref.Rank), seq: int32(ref.Seq), next: -1}
+	if p.g != nil {
+		if prev, next, ok := p.g.SegCoords(ref); ok {
+			rr.prev, rr.next = prev, next
+		}
+	}
+	return rr
+}
+
+// queryPlan returns the memoized resolved op plan, computing it on first
+// use. Model passes running concurrently in VerifyAll share one plan.
+func (a *Analysis) queryPlan() *opPlan {
+	a.planMu.Lock()
+	defer a.planMu.Unlock()
+	if a.plan != nil {
+		return a.plan
+	}
+	p := &opPlan{}
+	if sp, ok := a.Oracle.(hbgraph.SegProber); ok {
+		p.prober, p.g = sp, sp.SegGraph()
+	}
+	ops := a.Conflicts.Ops
+	p.res = make([]resolvedRef, len(ops))
+	for i := range ops {
+		p.res[i] = p.resolve(ops[i].Ref)
+	}
+	a.plan = p
+	return p
+}
+
+// syncIndex organizes the trace's synchronization points for MSC lookup,
+// pre-resolved into the plan's coordinate space: for each MSC op class, a
+// per-file candidate list and per (file, rank) seq-sorted lists.
+type syncIndex struct {
+	// perFile[class][fid] = candidates in (rank, seq) order.
+	perFile []map[int][]resolvedRef
+	// perRank[class][fid][rank] = candidates in ascending seq order.
+	perRank []map[int]map[int][]resolvedRef
+	// ranks[class][fid] = the ranks present in perRank, ascending — the
+	// deterministic iteration order for per-rank witness searches.
+	ranks []map[int][]int
+}
+
+func buildSyncIndex(conf *conflict.Result, model semantics.Model, plan *opPlan) *syncIndex {
+	k := model.MSC.K()
+	idx := &syncIndex{
+		perFile: make([]map[int][]resolvedRef, k),
+		perRank: make([]map[int]map[int][]resolvedRef, k),
+	}
+	for c := 0; c < k; c++ {
+		idx.perFile[c] = make(map[int][]resolvedRef)
+		idx.perRank[c] = make(map[int]map[int][]resolvedRef)
+	}
+	for _, sp := range conf.Syncs {
+		for c := 0; c < k; c++ {
+			if !model.MSC.Ops[c].Contains(sp.Func) {
+				continue
+			}
+			rr := plan.resolve(sp.Ref)
+			idx.perFile[c][sp.FID] = append(idx.perFile[c][sp.FID], rr)
+			byRank, ok := idx.perRank[c][sp.FID]
+			if !ok {
+				byRank = make(map[int][]resolvedRef)
+				idx.perRank[c][sp.FID] = byRank
+			}
+			byRank[sp.Ref.Rank] = append(byRank[sp.Ref.Rank], rr)
+		}
+	}
+	// conflict.Result.Syncs is produced rank-major in seq order, so the
+	// per-rank lists are already sorted; the guard keeps the invariant
+	// cheap to hold and safe if a future producer violates it.
+	bySeq := func(a, b resolvedRef) int { return int(a.seq) - int(b.seq) }
+	idx.ranks = make([]map[int][]int, k)
+	for c := 0; c < k; c++ {
+		idx.ranks[c] = make(map[int][]int)
+		for fid, byRank := range idx.perRank[c] {
+			ranks := make([]int, 0, len(byRank))
+			for rank, cands := range byRank {
+				if !slices.IsSortedFunc(cands, bySeq) {
+					slices.SortFunc(cands, bySeq)
+				}
+				ranks = append(ranks, rank)
+			}
+			sort.Ints(ranks)
+			idx.ranks[c][fid] = ranks
+		}
+	}
+	return idx
+}
+
+// syncSpecKey canonicalizes the part of a model the sync index depends on:
+// the ordered MSC op classes and their function sets. Models with equal keys
+// index the same candidates.
+func syncSpecKey(msc semantics.MSC) string {
+	var b strings.Builder
+	for _, c := range msc.Ops {
+		for _, fn := range c.Funcs {
+			b.WriteString(fn)
+			b.WriteByte(',')
+		}
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// syncIndexFor returns the sync index for the model, memoized across the
+// VerifyAll model passes by the model's sync-op specification.
+func (a *Analysis) syncIndexFor(model semantics.Model, plan *opPlan) *syncIndex {
+	key := syncSpecKey(model.MSC)
+	a.idxMu.Lock()
+	defer a.idxMu.Unlock()
+	if idx, ok := a.idxMemo[key]; ok {
+		return idx
+	}
+	idx := buildSyncIndex(a.Conflicts, model, plan)
+	if a.idxMemo == nil {
+		a.idxMemo = make(map[string]*syncIndex)
+	}
+	a.idxMemo[key] = idx
+	return idx
+}
+
+// firstAfterRes returns the earliest candidate with seq strictly greater
+// than s; ok is false when none exists.
+func firstAfterRes(cands []resolvedRef, s int32) (resolvedRef, bool) {
+	i := sort.Search(len(cands), func(i int) bool { return cands[i].seq > s })
+	if i == len(cands) {
+		return resolvedRef{}, false
+	}
+	return cands[i], true
+}
+
+// lastBeforeRes returns the latest candidate with seq strictly less than s;
+// ok is false when none exists.
+func lastBeforeRes(cands []resolvedRef, s int32) (resolvedRef, bool) {
+	i := sort.Search(len(cands), func(i int) bool { return cands[i].seq >= s })
+	if i == 0 {
+		return resolvedRef{}, false
+	}
+	return cands[i-1], true
+}

@@ -186,7 +186,9 @@ func (a *Analysis) Verify(opts Options) (*Report, error) {
 
 	start := time.Now()
 	_, idxSpan := oc.Start("sync-index")
-	v := &verifier{a: a, opts: opts, oc: oc, idx: buildSyncIndex(a.Conflicts, opts.Model)}
+	plan := a.queryPlan()
+	v := &verifier{a: a, opts: opts, oc: oc, idx: a.syncIndexFor(opts.Model, plan), plan: plan}
+	v.initGroupState()
 	idxSpan.End()
 	var cs *cacheSession
 	if opts.Cache != nil {
@@ -232,6 +234,15 @@ func (a *Analysis) Verify(opts Options) (*Report, error) {
 		r.Counter("verify.groups").Add(int64(len(a.Conflicts.Groups)))
 		r.Counter("verify.checks").Add(v.checks)
 		r.Counter("verify.races").Add(v.raceCount)
+		// Oracle pressure, split out of verify.checks: hb_queries counts
+		// happens-before evaluations actually performed (cache-served chunks
+		// perform none; per-group memo hits re-use earlier evaluations),
+		// hb_fast_hits the subset answered by the O(1) resolved segment
+		// probe, hb_fallbacks the subset that took the general Oracle.HB
+		// path. All three are deterministic at any fixed worker count.
+		r.Counter("verify.hb_queries").Add(v.hbQueries)
+		r.Counter("verify.hb_fast_hits").Add(v.hbFast)
+		r.Counter("verify.hb_fallbacks").Add(v.hbFall)
 		// The memo hit/miss split under concurrent queries is
 		// scheduling-dependent; Set (not Add) keeps re-snapshotting after
 		// several model passes idempotent — the gauge always holds the
@@ -256,90 +267,73 @@ func (a *Analysis) Verify(opts Options) (*Report, error) {
 	return rep, nil
 }
 
-// syncIndex organizes the trace's synchronization points for MSC lookup:
-// for each MSC op class, per (file, rank) sorted sequence lists and a
-// per-file global list.
-type syncIndex struct {
-	// perRank[class][fid][rank] = sorted seqs.
-	perRank []map[int]map[int][]int
-	// perFile[class][fid] = refs in (rank, seq) order.
-	perFile []map[int][]trace.Ref
-}
-
-func buildSyncIndex(conf *conflict.Result, model semantics.Model) *syncIndex {
-	k := model.MSC.K()
-	idx := &syncIndex{
-		perRank: make([]map[int]map[int][]int, k),
-		perFile: make([]map[int][]trace.Ref, k),
-	}
-	for c := 0; c < k; c++ {
-		idx.perRank[c] = make(map[int]map[int][]int)
-		idx.perFile[c] = make(map[int][]trace.Ref)
-	}
-	for _, sp := range conf.Syncs {
-		for c := 0; c < k; c++ {
-			if !model.MSC.Ops[c].Contains(sp.Func) {
-				continue
-			}
-			byRank, ok := idx.perRank[c][sp.FID]
-			if !ok {
-				byRank = make(map[int][]int)
-				idx.perRank[c][sp.FID] = byRank
-			}
-			byRank[sp.Ref.Rank] = append(byRank[sp.Ref.Rank], sp.Ref.Seq)
-			idx.perFile[c][sp.FID] = append(idx.perFile[c][sp.FID], sp.Ref)
-		}
-	}
-	// conflict.Result.Syncs is produced rank-major in seq order, so the
-	// per-rank lists are already sorted; the guard keeps the invariant
-	// cheap to hold and safe if a future producer violates it.
-	for c := 0; c < k; c++ {
-		for _, byRank := range idx.perRank[c] {
-			for _, seqs := range byRank {
-				if !sort.IntsAreSorted(seqs) {
-					sort.Ints(seqs)
-				}
-			}
-		}
-	}
-	return idx
-}
-
-// firstAfter returns the lowest seq in the sorted list strictly greater
-// than s, or -1.
-func firstAfter(seqs []int, s int) int {
-	i := sort.SearchInts(seqs, s+1)
-	if i == len(seqs) {
-		return -1
-	}
-	return seqs[i]
-}
-
-// lastBefore returns the highest seq strictly less than s, or -1.
-func lastBefore(seqs []int, s int) int {
-	i := sort.SearchInts(seqs, s)
-	if i == 0 {
-		return -1
-	}
-	return seqs[i-1]
-}
-
 // verifier checks conflict groups and accumulates races locally. The shared
-// fields (a, opts, idx) are read-only during verification, so shards of the
-// parallel path copy them and write only their own accumulators.
+// fields (a, opts, idx, plan) are read-only during verification, so shards
+// of the parallel path copy them and write only their own accumulators and
+// group-scoped scratch.
 type verifier struct {
 	a    *Analysis
 	opts Options
 	oc   obs.Ctx
 	idx  *syncIndex
+	plan *opPlan
+
+	// Group-scoped state (setGroup): within one group sweep the X op and
+	// the conflicting file never change, so X's resolution and the file's
+	// candidate-list map lookups hoist out of the per-pair checks.
+	curXi int32                    // op index of the current group's X (-1 outside a sweep)
+	gFile [][]resolvedRef          // per class: candidates on the group's file
+	gRank []map[int][]resolvedRef  // per class: rank → candidates on the file
+
+	// Lazily computed per-group extremes for the po-hb-po fast path: the
+	// earliest class-0 candidate after X on X's rank (xS1) and the latest
+	// class-(k-1) candidate before X on X's rank (xS2).
+	xS1, xS2       resolvedRef
+	xS1ok, xS2ok   bool
+	xS1set, xS2set bool
+
+	// Per-group witness sets for the hb-S-hb fast path. On each rank the
+	// candidates reachable from X form a seq-suffix (po extends hb), so the
+	// earliest reachable candidate per rank witnesses every MSC through
+	// that rank; dually the latest candidate reaching X witnesses the
+	// reverse direction. Each set is one binary search per rank, computed
+	// on first use within a group and shared by every paired Y.
+	wFrom, wTo       []resolvedRef
+	wFromSet, wToSet bool
+	// gRanks0/gRanksK are the group file's candidate ranks (classes 0 and
+	// k-1), ascending — the witness searches' deterministic order.
+	gRanks0, gRanksK []int
+
+	// Run-scoped candidate lists (setRun): every Y of one CSR run lives on
+	// one rank, so that rank's class-0 and class-(k-1) lists hoist out of
+	// the binary-search probes.
+	runC0, runCk []resolvedRef
+
+	// Per-(X, candidate) edge memo, version-stamped so a group switch is
+	// O(1): memoFrom caches the MSC's first edge X → candidate_j, memoTo
+	// its last edge candidate_j → X. Within one group sweep those verdicts
+	// recur across every paired Y.
+	memoVer  int32
+	memoFrom []memoCell
+	memoTo   []memoCell
 
 	// Accumulators: merged into the Report after verification. Pairs
 	// carry no call-chain detail — that is materialized once, for the
 	// merged prefix only, so shards never pay for details the cap will
 	// drop.
 	checks    int64
+	hbQueries int64 // happens-before evaluations actually performed
+	hbFast    int64 // …of which answered by the O(1) resolved segment probe
+	hbFall    int64 // …of which answered by the general Oracle.HB path
 	raceCount int64
 	pairs     []racePair // first opts.MaxRaceDetails races, discovery order
+}
+
+// memoCell is one version-stamped memo slot; valid when ver matches the
+// verifier's current group version.
+type memoCell struct {
+	ver int32
+	val bool
 }
 
 // racePair is a raced conflict pair awaiting detail materialization.
@@ -347,38 +341,187 @@ type racePair struct {
 	x, y *conflict.Op
 }
 
-// ps implements Def. 6: X properly-synchronizes-before Y.
-func (v *verifier) ps(x, y *conflict.Op) bool {
+// initGroupState sizes the group-scoped scratch to the model's MSC arity.
+func (v *verifier) initGroupState() {
+	k := len(v.idx.perFile)
+	v.gFile = make([][]resolvedRef, k)
+	v.gRank = make([]map[int][]resolvedRef, k)
+	v.curXi = -1
+}
+
+// setGroup hoists the group-invariant lookups — the file's candidate lists
+// per class — and invalidates the per-group memos.
+func (v *verifier) setGroup(g *conflict.Group) {
+	v.curXi = int32(g.X)
+	fid := v.a.Conflicts.Ops[g.X].FID
+	for c := range v.gFile {
+		v.gFile[c] = v.idx.perFile[c][fid]
+		v.gRank[c] = v.idx.perRank[c][fid]
+	}
+	if k := len(v.gFile); k > 0 {
+		v.gRanks0 = v.idx.ranks[0][fid]
+		v.gRanksK = v.idx.ranks[k-1][fid]
+	}
+	v.xS1set, v.xS2set = false, false
+	v.wFromSet, v.wToSet = false, false
+	v.memoVer++
+}
+
+// buildWFrom computes the forward witness set for the group's X: per rank,
+// the earliest class-0 candidate S with X -hb-> S. X -hb-> S is monotone in
+// S's sequence on each rank (X hb S and S po S' give X hb S'), so one binary
+// search per rank finds the suffix boundary; the minimal element witnesses
+// every MSC through that rank, because S' in the suffix with S' hb Y gives
+// min po S' hb Y.
+func (v *verifier) buildWFrom(xr resolvedRef) {
+	v.wFrom = v.wFrom[:0]
+	for _, q := range v.gRanks0 {
+		cands := v.gRank[0][q]
+		i := sort.Search(len(cands), func(i int) bool { return v.hbRes(xr, cands[i]) })
+		if i < len(cands) {
+			v.wFrom = append(v.wFrom, cands[i])
+		}
+	}
+	v.wFromSet = true
+}
+
+// buildWTo computes the reverse witness set: per rank, the latest
+// class-(k-1) candidate S with S -hb-> X. S -hb-> X holds on a seq-prefix of
+// each rank, so the maximal element witnesses every MSC into X.
+func (v *verifier) buildWTo(xr resolvedRef) {
+	v.wTo = v.wTo[:0]
+	for _, q := range v.gRanksK {
+		cands := v.gRank[len(v.gRank)-1][q]
+		i := sort.Search(len(cands), func(i int) bool { return !v.hbRes(cands[i], xr) })
+		if i > 0 {
+			v.wTo = append(v.wTo, cands[i-1])
+		}
+	}
+	v.wToSet = true
+}
+
+// setRun hoists the run-invariant per-rank candidate lists (classes 0 and
+// k-1, the ones the Table I fast paths search by rank).
+func (v *verifier) setRun(rank int) {
+	if k := len(v.gRank); k > 0 {
+		v.runC0 = v.gRank[0][rank]
+		v.runCk = v.gRank[k-1][rank]
+	}
+}
+
+// ps implements Def. 6: X properly-synchronizes-before Y. xi and yi are the
+// ops' indices in Conflicts.Ops — the plan's operand space.
+func (v *verifier) ps(x, y *conflict.Op, xi, yi int32) bool {
 	v.checks++
 	if !x.Write {
 		// Case 1: a read followed in happens-before order by the
 		// conflicting (write) operation.
-		return v.hb(x.Ref, y.Ref)
+		return v.hbRes(v.plan.res[xi], v.plan.res[yi])
 	}
 	// Case 2: an MSC instance between X and Y.
-	return v.mscExists(x, y)
+	return v.mscExists(x, y, xi, yi)
 }
 
-func (v *verifier) hb(a, b trace.Ref) bool { return v.a.Oracle.HB(a, b) }
+// hbRes answers one happens-before query over resolved operands: program
+// order for same-rank pairs, the O(1) segment probe when the plan resolved
+// both operands, and the general Oracle.HB path otherwise.
+func (v *verifier) hbRes(a, b resolvedRef) bool {
+	v.hbQueries++
+	if a.rank == b.rank {
+		return a.seq < b.seq
+	}
+	if p := v.plan.prober; p != nil && a.next >= 0 && b.next >= 0 {
+		v.hbFast++
+		return p.ProbeSeg(a.rank, a.seq, a.next, b.prev)
+	}
+	v.hbFall++
+	return v.a.Oracle.HB(trace.Ref{Rank: int(a.rank), Seq: int(a.seq)},
+		trace.Ref{Rank: int(b.rank), Seq: int(b.seq)})
+}
+
+// edgeRes checks one MSC edge requirement between two resolved operands.
+func (v *verifier) edgeRes(kind semantics.EdgeKind, a, b resolvedRef) bool {
+	if kind == semantics.PO {
+		return a.rank == b.rank && a.seq < b.seq
+	}
+	return v.hbRes(a, b)
+}
+
+// memoFromAt returns the memoized verdict of the MSC's first edge
+// X → candidate_j, computing it on first use within the current group.
+func (v *verifier) memoFromAt(j int, kind semantics.EdgeKind, x, cand resolvedRef) bool {
+	if j >= len(v.memoFrom) {
+		v.memoFrom = append(v.memoFrom, make([]memoCell, j+1-len(v.memoFrom))...)
+	}
+	c := &v.memoFrom[j]
+	if c.ver != v.memoVer {
+		c.ver = v.memoVer
+		c.val = v.edgeRes(kind, x, cand)
+	}
+	return c.val
+}
+
+// memoToAt returns the memoized verdict of the MSC's last edge
+// candidate_j → X, computing it on first use within the current group.
+func (v *verifier) memoToAt(j int, kind semantics.EdgeKind, cand, x resolvedRef) bool {
+	if j >= len(v.memoTo) {
+		v.memoTo = append(v.memoTo, make([]memoCell, j+1-len(v.memoTo))...)
+	}
+	c := &v.memoTo[j]
+	if c.ver != v.memoVer {
+		c.ver = v.memoVer
+		c.val = v.edgeRes(kind, cand, x)
+	}
+	return c.val
+}
 
 // mscExists searches for an instance of the model's MSC between x and y,
 // with every synchronization operation acting on the conflicting file.
-func (v *verifier) mscExists(x, y *conflict.Op) bool {
+func (v *verifier) mscExists(x, y *conflict.Op, xi, yi int32) bool {
 	msc := v.opts.Model.MSC
 	k := msc.K()
+	xr, yr := v.plan.res[xi], v.plan.res[yi]
 	if k == 0 {
 		// POSIX: -hb->
-		return v.edgeOK(msc.Edges[0], x.Ref, y.Ref)
+		return v.edgeRes(msc.Edges[0], xr, yr)
 	}
 	if v.opts.DisableFastPaths {
-		return v.mscDFS(msc, 0, x.Ref, x, y)
+		return v.mscDFS(msc, 0, xr, xi, yi, yr)
 	}
 	// Fast path for the Table I shapes.
 	switch {
 	case k == 1 && msc.Edges[0] == semantics.HB && msc.Edges[1] == semantics.HB:
-		// -hb-> S -hb-> : any sync op on the file with X hb S hb Y.
-		for _, s := range v.idx.perFile[0][x.FID] {
-			if v.edgeOK(semantics.HB, x.Ref, s) && v.edgeOK(semantics.HB, s, y.Ref) {
+		// -hb-> S -hb-> : any sync op on the file with X hb S hb Y. The
+		// group sweep always anchors one endpoint at the group's X, whose
+		// per-rank extreme witnesses cover every candidate (see buildWFrom/
+		// buildWTo) — each pair then costs at most one probe per rank
+		// instead of a scan of the candidate list.
+		if xi == v.curXi {
+			if !v.wFromSet {
+				v.buildWFrom(xr)
+			}
+			for _, w := range v.wFrom {
+				if v.hbRes(w, yr) {
+					return true
+				}
+			}
+			return false
+		}
+		if yi == v.curXi {
+			if !v.wToSet {
+				v.buildWTo(yr)
+			}
+			for _, w := range v.wTo {
+				if v.hbRes(xr, w) {
+					return true
+				}
+			}
+			return false
+		}
+		// Neither endpoint is the sweeping group's X (not reachable from
+		// verifyGroups; kept for call-site safety): plain candidate scan.
+		for _, cand := range v.gFile[0] {
+			if v.hbRes(xr, cand) && v.hbRes(cand, yr) {
 				return true
 			}
 		}
@@ -388,46 +531,74 @@ func (v *verifier) mscExists(x, y *conflict.Op) bool {
 		// and the latest S2 before Y on Y's rank suffice — if ANY
 		// (S1', S2') pair works then this extreme pair works too,
 		// because S1 -po-> S1' and S2' -po-> S2 extend the hb path.
-		s1seqs := v.idx.perRank[0][x.FID][x.Ref.Rank]
-		s2seqs := v.idx.perRank[1][y.FID][y.Ref.Rank]
-		s1 := firstAfter(s1seqs, x.Ref.Seq)
-		s2 := lastBefore(s2seqs, y.Ref.Seq)
-		if s1 < 0 || s2 < 0 {
+		// Whichever endpoint is the group's X resolves its extreme once per
+		// group; the other endpoint is a run Y, whose rank's candidate
+		// lists are run-hoisted.
+		var s1 resolvedRef
+		var ok bool
+		if xi == v.curXi {
+			if !v.xS1set {
+				v.xS1, v.xS1ok = firstAfterRes(v.gRank[0][int(xr.rank)], xr.seq)
+				v.xS1set = true
+			}
+			s1, ok = v.xS1, v.xS1ok
+		} else {
+			s1, ok = firstAfterRes(v.runC0, xr.seq)
+		}
+		if !ok {
 			return false
 		}
-		return v.edgeOK(semantics.HB,
-			trace.Ref{Rank: x.Ref.Rank, Seq: s1},
-			trace.Ref{Rank: y.Ref.Rank, Seq: s2})
+		var s2 resolvedRef
+		if yi == v.curXi {
+			if !v.xS2set {
+				v.xS2, v.xS2ok = lastBeforeRes(v.gRank[1][int(yr.rank)], yr.seq)
+				v.xS2set = true
+			}
+			s2, ok = v.xS2, v.xS2ok
+		} else {
+			s2, ok = lastBeforeRes(v.runCk, yr.seq)
+		}
+		if !ok {
+			return false
+		}
+		return v.hbRes(s1, s2)
 	}
 	// Generic DFS for custom models.
-	return v.mscDFS(msc, 0, x.Ref, x, y)
+	return v.mscDFS(msc, 0, xr, xi, yi, yr)
 }
 
 // mscDFS anchors MSC element pos (0-based sync-op position) given the
-// previously anchored ref.
-func (v *verifier) mscDFS(msc semantics.MSC, pos int, prev trace.Ref, x, y *conflict.Op) bool {
-	if pos == msc.K() {
-		return v.edgeOK(msc.Edges[pos], prev, y.Ref)
+// previously anchored operand. The first- and last-edge verdicts touching
+// the group's X share the fast paths' per-group memos.
+func (v *verifier) mscDFS(msc semantics.MSC, pos int, prev resolvedRef, xi, yi int32, yr resolvedRef) bool {
+	k := msc.K()
+	if pos == k {
+		return v.edgeRes(msc.Edges[k], prev, yr)
 	}
-	for _, cand := range v.idx.perFile[pos][x.FID] {
-		if !v.edgeOK(msc.Edges[pos], prev, cand) {
+	cands := v.gFile[pos]
+	useFrom := pos == 0 && xi == v.curXi
+	useTo := pos == k-1 && yi == v.curXi
+	for j := range cands {
+		var ok bool
+		if useFrom {
+			ok = v.memoFromAt(j, msc.Edges[0], prev, cands[j])
+		} else {
+			ok = v.edgeRes(msc.Edges[pos], prev, cands[j])
+		}
+		if !ok {
 			continue
 		}
-		if v.mscDFS(msc, pos+1, cand, x, y) {
+		if useTo {
+			if v.memoToAt(j, msc.Edges[k], cands[j], yr) {
+				return true
+			}
+			continue
+		}
+		if v.mscDFS(msc, pos+1, cands[j], xi, yi, yr) {
 			return true
 		}
 	}
 	return false
-}
-
-// edgeOK checks one MSC edge requirement between two records.
-func (v *verifier) edgeOK(kind semantics.EdgeKind, a, b trace.Ref) bool {
-	switch kind {
-	case semantics.PO:
-		return a.Rank == b.Rank && a.Seq < b.Seq
-	default:
-		return v.hb(a, b)
-	}
 }
 
 // verifyGroups walks the conflict groups in [lo, hi) and collects races.
@@ -439,22 +610,24 @@ func (v *verifier) verifyGroups(lo, hi int) {
 	ops := v.a.Conflicts.Ops
 	for gi := lo; gi < hi; gi++ {
 		g := &v.a.Conflicts.Groups[gi]
-		x := &ops[g.X]
+		v.setGroup(g)
+		x, xi := &ops[g.X], int32(g.X)
 		// CSR runs are already ordered by ascending rank, each run in
 		// program order — the walk the map-of-slices layout needed a
 		// per-group rank sort to produce.
 		for k := 0; k < g.NumRuns(); k++ {
 			ys := g.RunAt(k)
+			v.setRun(ops[ys[0]].Ref.Rank)
 			if v.opts.DisablePruning {
 				for _, yi := range ys {
 					y := &ops[yi]
-					if !v.ps(x, y) && !v.ps(y, x) {
+					if !v.ps(x, y, xi, yi) && !v.ps(y, x, yi, xi) {
 						v.recordRace(x, y)
 					}
 				}
 				continue
 			}
-			v.verifyRun(x, ys)
+			v.verifyRun(x, xi, ys)
 		}
 	}
 }
@@ -472,13 +645,13 @@ func (v *verifier) verifyGroups(lo, hi int) {
 // Each of the paper's four scenarios is the degenerate case where a search
 // terminates after one probe; in general the run costs O(log n) checks
 // instead of n.
-func (v *verifier) verifyRun(x *conflict.Op, ys []int32) {
+func (v *verifier) verifyRun(x *conflict.Op, xi int32, ys []int32) {
 	ops := v.a.Conflicts.Ops
 	n := len(ys)
 	// iF: first index with X ps Y_i (n when none).
-	iF := sort.Search(n, func(i int) bool { return v.ps(x, &ops[ys[i]]) })
+	iF := sort.Search(n, func(i int) bool { return v.ps(x, &ops[ys[i]], xi, ys[i]) })
 	// iG: first index where Y_i ps X stops holding; indices < iG hold.
-	iG := sort.Search(n, func(i int) bool { return !v.ps(&ops[ys[i]], x) })
+	iG := sort.Search(n, func(i int) bool { return !v.ps(&ops[ys[i]], x, ys[i], xi) })
 	// Pairs in [iG, iF) are synchronized in neither direction.
 	for i := iG; i < iF; i++ {
 		v.recordRace(x, &ops[ys[i]])
@@ -501,7 +674,8 @@ func (v *verifier) verifyChunks(workers int, cs *cacheSession) {
 	shards := make([]verifier, nchunks)
 	work := func(c int) {
 		sh := &shards[c]
-		sh.a, sh.opts, sh.idx = v.a, v.opts, v.idx
+		sh.a, sh.opts, sh.idx, sh.plan = v.a, v.opts, v.idx, v.plan
+		sh.initGroupState()
 		if cs != nil && cs.tryApply(c, sh) {
 			return
 		}
@@ -543,6 +717,9 @@ func (v *verifier) verifyChunks(workers int, cs *cacheSession) {
 	for c := range shards {
 		sh := &shards[c]
 		v.checks += sh.checks
+		v.hbQueries += sh.hbQueries
+		v.hbFast += sh.hbFast
+		v.hbFall += sh.hbFall
 		v.raceCount += sh.raceCount
 		for i := range sh.pairs {
 			if len(v.pairs) >= v.opts.MaxRaceDetails {

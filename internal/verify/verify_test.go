@@ -85,7 +85,7 @@ func TestFig2VerdictsAcrossModels(t *testing.T) {
 func TestFig2AllAlgorithmsAgree(t *testing.T) {
 	tr := runTraced(t, 2, fig2Program)
 	base := verdicts(t, tr, AlgoVectorClock)
-	for _, algo := range []Algo{AlgoReachability, AlgoTransitiveClosure, AlgoOnTheFly} {
+	for _, algo := range []Algo{AlgoReachability, AlgoTransitiveClosure, AlgoOnTheFly, AlgoSegment} {
 		got := verdicts(t, tr, algo)
 		if fmt.Sprint(got) != fmt.Sprint(base) {
 			t.Errorf("%v verdicts %v differ from vector-clock %v", algo, got, base)
@@ -360,9 +360,9 @@ func TestAutoAlgorithmSelection(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Small trace: auto must choose vector clocks.
-	if a.Algorithm != AlgoVectorClock {
-		t.Errorf("auto picked %v for a small trace", a.Algorithm)
+	// Graph-backed traces: auto picks the segment-reachability oracle.
+	if a.Algorithm != AlgoSegment {
+		t.Errorf("auto picked %v, want segment", a.Algorithm)
 	}
 }
 

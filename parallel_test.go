@@ -56,6 +56,7 @@ func TestParallelCorpusDeterminism(t *testing.T) {
 	for _, algo := range []verify.Algo{
 		verify.AlgoVectorClock, verify.AlgoReachability,
 		verify.AlgoTransitiveClosure, verify.AlgoOnTheFly,
+		verify.AlgoSegment,
 	} {
 		a, err := verify.Analyze(tr, algo)
 		if err != nil {

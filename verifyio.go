@@ -348,7 +348,10 @@ func RunCorpusTest(name string) (*Trace, error) {
 // Options tunes verification.
 type Options struct {
 	// Algorithm selects the happens-before algorithm: "auto" (default),
-	// "vector-clock", "reachability", "transitive-closure", "on-the-fly".
+	// "vector-clock", "reachability", "transitive-closure", "on-the-fly",
+	// "segment". Auto prefers the segment-reachability oracle (O(1) probes
+	// over the skeleton's segment×segment closure) and falls back to
+	// vector clocks when the closure exceeds its byte budget.
 	Algorithm string
 	// DisablePruning turns off the conflict-group pruning (Fig. 3).
 	DisablePruning bool

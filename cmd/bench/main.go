@@ -15,9 +15,11 @@
 // trace directory of -stream-records records (default 10M) one rank at a
 // time, stream-decodes it with the given -window, and reports decode
 // throughput plus the decode.peak_resident_bytes high-water mark in the
-// -metrics-out snapshot. CI gates that gauge with obscheck -assert-le: peak
-// resident decoded bytes must stay bounded by the window no matter how large
-// the trace grows.
+// -metrics-out snapshot. Each decoded batch is also fed to a dfg.Builder
+// before it is released, so the snapshot carries the dfg.* gauges and the
+// peak-resident gate covers directly-follows-graph construction too. CI
+// gates that gauge with obscheck -assert-le: peak resident decoded bytes
+// must stay bounded by the window no matter how large the trace grows.
 //
 // -benchtime accepts either a fixed iteration count ("5x") or a minimum
 // duration per (trace, workers) cell ("2s"), mirroring go test. -check
@@ -35,9 +37,14 @@
 // (graph_runs) measuring hbgraph.Build and skeleton clock construction in
 // isolation, plus the skeleton shape and clock-arena sizes; -check enforces
 // that the skeleton arena never exceeds the full-graph O(records·ranks) one.
+// dfg_runs cells measure directly-follows-graph construction (dfg.FromTrace)
+// at the same worker counts; while measuring, bench cross-checks that the
+// fleet JSON is byte-identical across worker counts, and -check enforces
+// that the fleet shape (nodes, edges, anomalous ranks) agrees.
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -50,6 +57,7 @@ import (
 	"time"
 
 	"verifyio/internal/corpus"
+	"verifyio/internal/dfg"
 	"verifyio/internal/hbgraph"
 	"verifyio/internal/match"
 	"verifyio/internal/obs"
@@ -129,6 +137,26 @@ type traceBench struct {
 	// each oracle answers the same fixed query mix on this trace's graph.
 	SegReachBytes int64      `json:"segreach_bytes"`
 	QueryRuns     []queryRun `json:"query_runs"`
+
+	// DfgRuns are the directly-follows-graph construction cells
+	// (dfg.FromTrace at workers 1 and GOMAXPROCS). bench cross-checks while
+	// measuring that the fleet JSON is byte-identical across worker counts.
+	DfgRuns []dfgRun `json:"dfg_runs"`
+}
+
+// dfgRun is one DFG construction micro-cell plus the fleet shape it
+// produced; -check enforces the shape agrees across worker counts. Bytes
+// are total allocations per op — the streaming peak-resident bound is gated
+// separately by the -stream-smoke cell, which builds the same graphs from
+// bounded decode windows.
+type dfgRun struct {
+	Workers        int   `json:"workers"`
+	Iters          int   `json:"iters"`
+	NsPerOp        int64 `json:"ns_per_op"`
+	BytesPerOp     int64 `json:"bytes_per_op"`
+	Nodes          int   `json:"nodes"`
+	Edges          int   `json:"edges"`
+	AnomalousRanks int   `json:"anomalous_ranks"`
 }
 
 // queryRun is one oracle's query micro-cell: ns per happens-before query
@@ -316,6 +344,23 @@ func main() {
 		for _, qr := range qrs {
 			fmt.Printf("%-16s oracle=%-18s %8.1f ns/query %14.0f queries/s\n",
 				sc.Name, qr.Oracle, qr.NsPerQuery, qr.QueriesPerSec)
+		}
+
+		// DFG cells, with the worker-count determinism contract enforced
+		// while measuring: the fleet JSON must be byte-identical.
+		var dfgJSON []byte
+		for _, workers := range workerCounts {
+			dr, js := benchDFG(tr, workers, iters, minTime)
+			if dfgJSON == nil {
+				dfgJSON = js
+			} else if !bytes.Equal(js, dfgJSON) {
+				fmt.Fprintf(os.Stderr, "bench: %s: dfg JSON at workers=%d differs from workers=1\n",
+					sc.Name, workers)
+				os.Exit(1)
+			}
+			tb.DfgRuns = append(tb.DfgRuns, dr)
+			fmt.Printf("%-16s workers=%-3d %12d dfg-ns/op %12d dfg-B/op (%d nodes, %d edges, %d anomalous)\n",
+				sc.Name, workers, dr.NsPerOp, dr.BytesPerOp, dr.Nodes, dr.Edges, dr.AnomalousRanks)
 		}
 		res.Traces = append(res.Traces, tb)
 	}
@@ -532,6 +577,42 @@ func benchQueries(tr *trace.Trace, g *hbgraph.Graph, edges []match.Edge, iters i
 		cells = append(cells, cell)
 	}
 	return cells, int64(seg.ArenaBytes()), nil
+}
+
+// benchDFG measures directly-follows-graph construction (dfg.FromTrace) in
+// isolation at one worker count and returns the cell plus the fleet's JSON
+// encoding, which the caller compares across worker counts.
+func benchDFG(tr *trace.Trace, workers, iters int, minTime time.Duration) (dfgRun, []byte) {
+	var (
+		fleet    *dfg.Fleet
+		elapsed  time.Duration
+		done     int
+		memStart runtime.MemStats
+		memEnd   runtime.MemStats
+	)
+	runtime.GC()
+	runtime.ReadMemStats(&memStart)
+	for done = 0; done < iters || elapsed < minTime; done++ {
+		start := time.Now()
+		fleet = dfg.FromTrace(tr, dfg.Options{Workers: workers})
+		elapsed += time.Since(start)
+	}
+	runtime.ReadMemStats(&memEnd)
+
+	var buf bytes.Buffer
+	if err := fleet.WriteJSON(&buf); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: dfg encode: %v\n", err)
+		os.Exit(1)
+	}
+	return dfgRun{
+		Workers:        workers,
+		Iters:          done,
+		NsPerOp:        elapsed.Nanoseconds() / int64(done),
+		BytesPerOp:     int64(memEnd.TotalAlloc-memStart.TotalAlloc) / int64(done),
+		Nodes:          fleet.Nodes,
+		Edges:          fleet.Edges,
+		AnomalousRanks: len(fleet.AnomalousRanks),
+	}, buf.Bytes()
 }
 
 // Cache-cell workload geometry. ops is chosen so the per-rank record count
@@ -757,14 +838,19 @@ func runStreamSmoke(records int, window int64, metricsOut string) error {
 		total, ranks, corpus.ScalingRankRecords(ops), time.Since(stage).Round(time.Millisecond))
 
 	reg := obs.NewRegistry()
+	oc := obs.Ctx{R: reg}
 	s, err := trace.OpenStream(dir, trace.StreamOptions{
-		DecodeOptions: trace.DecodeOptions{Obs: obs.Ctx{R: reg}},
+		DecodeOptions: trace.DecodeOptions{Obs: oc},
 		WindowBytes:   window,
 	})
 	if err != nil {
 		return err
 	}
 	defer s.Close()
+	// Each batch also feeds the directly-follows-graph builder before being
+	// released: DFG state is O(nodes+edges) per rank, so the decoder's
+	// peak-resident gauge keeps gating the whole pipeline's window bound.
+	db := dfg.NewBuilder(ranks, oc)
 	start := time.Now()
 	decoded := 0
 	for {
@@ -776,6 +862,7 @@ func runStreamSmoke(records int, window int64, metricsOut string) error {
 			return err
 		}
 		decoded += len(b.Recs)
+		db.Feed(b.Rank, b.Recs)
 		b.Release()
 	}
 	if err := s.Close(); err != nil {
@@ -788,6 +875,7 @@ func runStreamSmoke(records int, window int64, metricsOut string) error {
 	perSec := float64(decoded) / elapsed.Seconds()
 	fmt.Printf("stream-decoded %d records in %v (%.0f records/s), peak resident %d bytes\n",
 		decoded, elapsed.Round(time.Millisecond), perSec, s.PeakResidentBytes())
+	fmt.Println(db.Finish().Summary())
 
 	if err := obs.WriteFileWith(metricsOut, func(w io.Writer) error { return reg.WriteMetrics(w) }); err != nil {
 		return fmt.Errorf("write -metrics-out: %w", err)
@@ -889,6 +977,25 @@ func checkFile(path string) error {
 		for _, name := range []string{"vector-clock", "reachability", "transitive-closure", "segment", "on-the-fly"} {
 			if !seen[name] {
 				return fmt.Errorf("trace %q: query cell for oracle %q missing", tb.Name, name)
+			}
+		}
+		if len(tb.DfgRuns) == 0 {
+			return fmt.Errorf("trace %q has no dfg runs", tb.Name)
+		}
+		if tb.DfgRuns[0].Workers != 1 {
+			return fmt.Errorf("trace %q: first dfg run must be workers=1, got %d", tb.Name, tb.DfgRuns[0].Workers)
+		}
+		shape := tb.DfgRuns[0]
+		for _, r := range tb.DfgRuns {
+			if r.Iters < 1 || r.NsPerOp <= 0 {
+				return fmt.Errorf("trace %q dfg workers=%d: bad iteration stats", tb.Name, r.Workers)
+			}
+			if r.Nodes < 1 || r.Edges < 0 || r.AnomalousRanks < 0 || r.AnomalousRanks > tb.Ranks {
+				return fmt.Errorf("trace %q dfg workers=%d: fleet shape %d nodes, %d edges, %d anomalous out of range",
+					tb.Name, r.Workers, r.Nodes, r.Edges, r.AnomalousRanks)
+			}
+			if r.Nodes != shape.Nodes || r.Edges != shape.Edges || r.AnomalousRanks != shape.AnomalousRanks {
+				return fmt.Errorf("trace %q dfg workers=%d: fleet shape differs from workers=1", tb.Name, r.Workers)
 			}
 		}
 	}

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	obscheck -chrome FILE [-stages read-trace,detect,match,build-graph,verify] [-shards]
-//	obscheck -metrics FILE [-assert-le gaugeA,gaugeB]
+//	obscheck -metrics FILE [-assert-le A,B] [-assert-eq A,B]
 //	obscheck -compare-stable FILE_A -with FILE_B
 //
 // -chrome checks a Chrome trace_event document: structural invariants (named
@@ -13,13 +13,19 @@
 // every required pipeline stage span; -shards additionally requires the
 // per-rank replay/scan shard spans a Workers>1 run emits. -metrics checks a
 // metrics snapshot (histogram bucket invariants, non-negative counters) and
-// that the stable section is non-empty; -assert-le additionally enforces an
-// ordering invariant between two metrics — each side a gauge/counter name or
-// an integer literal (CI pins the sync-skeleton clock arena under the
-// full-graph one, and the warm verdict-cache miss count to zero with
-// "vcache.misses,0"). -compare-stable asserts two metrics
-// files have byte-identical stable sections — the determinism contract for
-// runs at the same worker count.
+// that the stable section is non-empty.
+//
+// -assert-le and -assert-eq enforce invariants between two metrics: "A,B"
+// asserts A <= B (respectively A == B). Each operand is a gauge/counter
+// name, an integer literal, or a name scaled by a literal ratio
+// ("name*2.5"), so CI can pin the sync-skeleton clock arena under the
+// full-graph one, the warm verdict-cache miss count to zero
+// ("vcache.misses,0"), the anomalous-rank gauge to zero on clean corpus
+// runs ("dfg.anomalous_ranks,0"), and the streaming decoder's peak under
+// twice its window ("decode.peak_resident_bytes,decode.window_bytes*2").
+//
+// -compare-stable asserts two metrics files have byte-identical stable
+// sections — the determinism contract for runs at the same worker count.
 package main
 
 import (
@@ -44,7 +50,8 @@ func run() int {
 		stages   = flag.String("stages", "read-trace,detect,match,build-graph,verify", "comma-separated span names the trace must contain")
 		shards   = flag.Bool("shards", false, "require per-rank shard spans (replay, scan) in the trace")
 		metrics  = flag.String("metrics", "", "metrics snapshot JSON file to validate")
-		assertLE = flag.String("assert-le", "", "with -metrics: \"A,B\" asserts gauge A <= gauge B in the snapshot")
+		assertLE = flag.String("assert-le", "", "with -metrics: \"A,B\" asserts metric A <= B (operands: name, integer literal, or name*ratio)")
+		assertEQ = flag.String("assert-eq", "", "with -metrics: \"A,B\" asserts metric A == B (operands: name, integer literal, or name*ratio)")
 		compare  = flag.String("compare-stable", "", "metrics file whose stable section must byte-match -with")
 		with     = flag.String("with", "", "second metrics file for -compare-stable")
 	)
@@ -67,13 +74,22 @@ func run() int {
 		}
 		fmt.Printf("%s: valid metrics snapshot\n", *metrics)
 	}
-	if *assertLE != "" {
+	for _, a := range []struct {
+		flag, spec string
+		op         compareOp
+	}{
+		{"-assert-le", *assertLE, opLE},
+		{"-assert-eq", *assertEQ, opEQ},
+	} {
+		if a.spec == "" {
+			continue
+		}
 		ran = true
 		if *metrics == "" {
-			fmt.Fprintln(os.Stderr, "obscheck: -assert-le requires -metrics")
+			fmt.Fprintf(os.Stderr, "obscheck: %s requires -metrics\n", a.flag)
 			return 2
 		}
-		if err := assertGaugeLE(*metrics, *assertLE); err != nil {
+		if err := assertMetrics(*metrics, a.spec, a.op); err != nil {
 			fmt.Fprintf(os.Stderr, "obscheck: %v\n", err)
 			return 1
 		}
@@ -158,40 +174,88 @@ func checkMetrics(path string) error {
 	return nil
 }
 
-// assertGaugeLE checks an ordering invariant in a snapshot, e.g. that the
-// sync-skeleton clock arena never exceeds the full-graph one, or that a
-// warm verdict-cache run recorded zero misses. spec is "A,B" meaning metric
-// A must be <= B. Each side is a gauge or counter name (searched in both
-// stability sections, gauges first) or an integer literal — so
-// "vcache.misses,0" pins a metric to zero.
-func assertGaugeLE(path, spec string) error {
+// compareOp is the relation an assertion enforces between its operands.
+type compareOp int
+
+const (
+	opLE compareOp = iota
+	opEQ
+)
+
+func (op compareOp) String() string {
+	if op == opEQ {
+		return "=="
+	}
+	return "<="
+}
+
+func (op compareOp) flagName() string {
+	if op == opEQ {
+		return "-assert-eq"
+	}
+	return "-assert-le"
+}
+
+// assertMetrics checks an invariant between two metrics in a snapshot,
+// e.g. that the sync-skeleton clock arena never exceeds the full-graph
+// one, that a warm verdict-cache run recorded zero misses, or that the
+// anomalous-rank gauge is exactly zero. spec is "A,B" meaning metric A
+// must satisfy the relation against B. Each operand is a gauge or counter
+// name (searched in both stability sections, gauges first), an integer
+// literal, or a name scaled by a literal ratio ("decode.window_bytes*2").
+func assertMetrics(path, spec string, op compareOp) error {
 	names := strings.Split(spec, ",")
 	if len(names) != 2 || strings.TrimSpace(names[0]) == "" || strings.TrimSpace(names[1]) == "" {
-		return fmt.Errorf("-assert-le wants \"gaugeA,gaugeB\", got %q", spec)
+		return fmt.Errorf("%s wants \"A,B\", got %q", op.flagName(), spec)
 	}
 	snap, err := loadSnapshot(path)
 	if err != nil {
 		return err
 	}
-	vals := make([]int64, 2)
+	vals := make([]float64, 2)
 	for i, name := range names {
 		name = strings.TrimSpace(name)
 		names[i] = name
-		if v, err := strconv.ParseInt(name, 10, 64); err == nil {
-			vals[i] = v
-			continue
-		}
-		v, ok := lookupMetric(snap, name)
-		if !ok {
-			return fmt.Errorf("%s: metric %q not in snapshot", path, name)
+		v, err := evalOperand(snap, name)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
 		}
 		vals[i] = v
 	}
-	if vals[0] > vals[1] {
-		return fmt.Errorf("%s: %s = %d exceeds %s = %d", path, names[0], vals[0], names[1], vals[1])
+	holds := vals[0] <= vals[1]
+	if op == opEQ {
+		holds = vals[0] == vals[1]
 	}
-	fmt.Printf("%s: %s = %d <= %s = %d\n", path, names[0], vals[0], names[1], vals[1])
+	if !holds {
+		return fmt.Errorf("%s: %s = %s violates %s %s = %s",
+			path, names[0], fmtVal(vals[0]), op, names[1], fmtVal(vals[1]))
+	}
+	fmt.Printf("%s: %s = %s %s %s = %s\n",
+		path, names[0], fmtVal(vals[0]), op, names[1], fmtVal(vals[1]))
 	return nil
+}
+
+func fmtVal(v float64) string { return strconv.FormatFloat(v, 'f', -1, 64) }
+
+// evalOperand resolves one assertion operand: an integer literal, a metric
+// name, or "name*ratio" with a literal float ratio.
+func evalOperand(snap *obs.Snapshot, operand string) (float64, error) {
+	if v, err := strconv.ParseInt(operand, 10, 64); err == nil {
+		return float64(v), nil
+	}
+	name, ratio := operand, 1.0
+	if base, scale, ok := strings.Cut(operand, "*"); ok {
+		r, err := strconv.ParseFloat(strings.TrimSpace(scale), 64)
+		if err != nil {
+			return 0, fmt.Errorf("operand %q: ratio %q is not a number", operand, scale)
+		}
+		name, ratio = strings.TrimSpace(base), r
+	}
+	v, ok := lookupMetric(snap, name)
+	if !ok {
+		return 0, fmt.Errorf("metric %q not in snapshot", name)
+	}
+	return float64(v) * ratio, nil
 }
 
 // lookupMetric resolves a name against the snapshot's gauges, then

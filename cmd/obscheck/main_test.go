@@ -1,0 +1,63 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"verifyio/internal/obs"
+)
+
+func writeSnap(t *testing.T) string {
+	t.Helper()
+	reg := obs.NewRegistry()
+	reg.Gauge("decode.peak_resident_bytes").Set(5_000_000)
+	reg.Gauge("decode.window_bytes").Set(4_194_304)
+	reg.Gauge("dfg.anomalous_ranks").Set(0)
+	reg.Counter("verify.checks").Add(12)
+	b, err := json.Marshal(reg.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "metrics.json")
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestAssertMetrics(t *testing.T) {
+	path := writeSnap(t)
+	for _, tc := range []struct {
+		spec string
+		op   compareOp
+		ok   bool
+	}{
+		// Plain name/literal operands, both relations.
+		{"dfg.anomalous_ranks,0", opEQ, true},
+		{"dfg.anomalous_ranks,0", opLE, true},
+		{"verify.checks,12", opEQ, true},
+		{"verify.checks,11", opEQ, false},
+		{"verify.checks,11", opLE, false},
+		// Ratio-scaled operands: peak <= 2x window holds, == does not.
+		{"decode.peak_resident_bytes,decode.window_bytes*2", opLE, true},
+		{"decode.peak_resident_bytes,decode.window_bytes*2", opEQ, false},
+		{"decode.peak_resident_bytes,decode.window_bytes*1.1", opLE, false},
+		// Ratio on the left, metric-vs-metric equality.
+		{"decode.window_bytes*0.5,decode.peak_resident_bytes", opLE, true},
+		{"decode.window_bytes,decode.window_bytes*1", opEQ, true},
+		// Malformed specs and unknown metrics fail.
+		{"decode.window_bytes", opLE, false},
+		{"no.such.metric,0", opEQ, false},
+		{"decode.window_bytes*x,0", opLE, false},
+	} {
+		err := assertMetrics(path, tc.spec, tc.op)
+		if tc.ok && err != nil {
+			t.Errorf("%s %q: unexpected error %v", tc.op.flagName(), tc.spec, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s %q: want failure, got pass", tc.op.flagName(), tc.spec)
+		}
+	}
+}

@@ -9,6 +9,7 @@
 //	         [-workers N] [-no-pruning] [-max-races N] [-details] [-tolerate]
 //	         [-stream] [-window BYTES]
 //	         [-cache-dir DIR] [-trace-out FILE] [-metrics-out FILE]
+//	         [-dfg-out FILE] [-dfg-dot FILE]
 //	         [-cpuprofile FILE] [-memprofile FILE] [-debug-addr ADDR]
 //
 // -stream verifies the trace while decoding it instead of loading it whole:
@@ -30,6 +31,16 @@
 // the runtime metric registry. -debug-addr serves net/http/pprof and expvar
 // (including the live metrics) while the run executes.
 //
+// -dfg-out writes each rank's I/O directly-follows graph (nodes are
+// normalized call classes tagged with file roles, edges are observed
+// successions with counts, bytes, and inter-arrival histograms) plus the
+// rank anomaly report — which ranks deviate from the rank-majority graph
+// and by how much — as JSON. -dfg-dot writes the same graphs as Graphviz
+// DOT (render with: dot -Tsvg dfg.dot -o dfg.svg; anomalous ranks are
+// drawn red). The DFG pass streams the trace directory in bounded windows
+// regardless of -stream; both artifacts are byte-deterministic at any
+// worker count.
+//
 // Exit status: 0 when every verified model is properly synchronized, 1 when
 // data races were found, 2 when verification aborted on unmatched MPI calls
 // or an error occurred.
@@ -44,6 +55,7 @@ import (
 	"time"
 
 	"verifyio"
+	"verifyio/internal/dfg"
 	"verifyio/internal/obs"
 	"verifyio/internal/trace"
 )
@@ -71,6 +83,8 @@ func run() int {
 
 		traceOut   = flag.String("trace-out", "", "write telemetry spans as Chrome trace_event JSON to this file")
 		metricsOut = flag.String("metrics-out", "", "write the runtime metrics snapshot as JSON to this file")
+		dfgOut     = flag.String("dfg-out", "", "write per-rank I/O directly-follows graphs and the rank anomaly report as JSON to this file")
+		dfgDot     = flag.String("dfg-dot", "", "write the per-rank directly-follows graphs as Graphviz DOT to this file (render: dot -Tsvg)")
 		prof       obs.Profiling
 	)
 	prof.RegisterFlags(flag.CommandLine)
@@ -201,6 +215,30 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "verifyio: %v\n", err)
 			return 2
 		}
+	}
+
+	if *dfgOut != "" || *dfgDot != "" {
+		// The DFG pass always streams the trace directory, whatever the
+		// verification mode: memory stays bounded by the decode window
+		// plus the graphs themselves.
+		fleet, err := dfg.BuildStreamDir(*traceDir, dfg.StreamOptions{
+			Decode:      trace.DecodeOptions{Tolerate: *tolerate},
+			WindowBytes: *window,
+			Obs:         tel.Obs(),
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "verifyio: dfg: %v\n", err)
+			return 2
+		}
+		if err := obs.WriteFileWith(*dfgOut, fleet.WriteJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "verifyio: write -dfg-out: %v\n", err)
+			return 2
+		}
+		if err := obs.WriteFileWith(*dfgDot, fleet.WriteDOT); err != nil {
+			fmt.Fprintf(os.Stderr, "verifyio: write -dfg-dot: %v\n", err)
+			return 2
+		}
+		fmt.Println(fleet.Summary())
 	}
 
 	if *jsonOut {

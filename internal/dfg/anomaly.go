@@ -1,0 +1,243 @@
+package dfg
+
+import (
+	"sort"
+	"strings"
+
+	"verifyio/internal/obs"
+)
+
+// Anomaly thresholds. Structural deviation from the majority graph is
+// always anomalous; a straggler inside the majority cluster must exceed
+// both a ratio and an absolute excess over the consensus median before it
+// flags, so benign count jitter on small traces never trips the gate.
+const (
+	// StragglerRatio is the per-edge count multiple of the consensus
+	// median past which a structurally conforming rank is a straggler.
+	StragglerRatio = 8
+	// StragglerExcess is the minimum absolute count excess over the
+	// median that must accompany the ratio.
+	StragglerExcess = 64
+)
+
+// Score is one rank's deviation from the rank-majority graph.
+type Score struct {
+	Rank int `json:"rank"`
+	// StructDiff is the edge-set symmetric difference between this
+	// rank's graph and the consensus edge set (edges present on a
+	// majority of ranks).
+	StructDiff int `json:"struct_diff"`
+	// CountDiv sums, over consensus edges, the relative deviation of
+	// this rank's edge count from the cross-rank median.
+	CountDiv float64 `json:"count_div"`
+	// Score is StructDiff + CountDiv: zero exactly when the rank walks
+	// the consensus graph with median weights.
+	Score float64 `json:"score"`
+	// Straggler marks a structurally conforming rank whose edge counts
+	// exceed the consensus median by StragglerRatio and StragglerExcess.
+	Straggler bool `json:"straggler,omitempty"`
+	// Anomalous marks the rank as divergent: it exists only when a
+	// strict majority of ranks share a graph shape, and this rank either
+	// deviates from that shape or straggles inside it.
+	Anomalous bool `json:"anomalous,omitempty"`
+}
+
+// Fleet is the cross-rank view: every rank's graph, the majority
+// consensus, and each rank's anomaly score. All slices are sorted by rank
+// or label, so equal fleets marshal byte-equal.
+type Fleet struct {
+	Ranks  int   `json:"ranks"`
+	Events int64 `json:"events"`
+	// Nodes and Edges count distinct node labels and edge label pairs
+	// across all ranks (the union graph) — the dfg.nodes / dfg.edges
+	// gauges.
+	Nodes int `json:"nodes"`
+	Edges int `json:"edges"`
+	// MajorityFP is the structural fingerprint shared by a strict
+	// majority of ranks, empty when no shape reaches a majority (then no
+	// rank is flagged: there is no consensus to deviate from).
+	MajorityFP string `json:"majority_fp,omitempty"`
+	// MajoritySize is the number of ranks sharing MajorityFP.
+	MajoritySize int `json:"majority_size,omitempty"`
+	// Archetype is the fleet-level I/O shape: metadata, read-only,
+	// write-only, read-modify-write, or mixed.
+	Archetype string `json:"archetype"`
+	// AnomalousRanks lists every rank whose Score entry is Anomalous.
+	AnomalousRanks []int   `json:"anomalous_ranks"`
+	Scores         []Score `json:"scores"`
+	Graphs         []Graph `json:"graphs"`
+}
+
+// finishRanks freezes the per-rank builders and scores the fleet. It is
+// the single convergence point of the streaming and materialized builds,
+// so both produce identical output.
+func finishRanks(rbs []*rankBuilder, oc obs.Ctx) *Fleet {
+	_, span := oc.Start("dfg-score", obs.Int("ranks", len(rbs)))
+	span.SetCat("dfg")
+	defer span.End()
+
+	f := &Fleet{Ranks: len(rbs)}
+	for _, rb := range rbs {
+		g := rb.graph()
+		f.Events += g.Events
+		f.Graphs = append(f.Graphs, g)
+	}
+	unionNodes := map[string]struct{}{}
+	unionEdges := map[edgeKey]struct{}{}
+	for i := range f.Graphs {
+		g := &f.Graphs[i]
+		for _, n := range g.Nodes {
+			unionNodes[n.Label] = struct{}{}
+		}
+		for _, e := range g.Edges {
+			unionEdges[edgeKey{e.From, e.To}] = struct{}{}
+		}
+	}
+	f.Nodes = len(unionNodes)
+	f.Edges = len(unionEdges)
+
+	f.score()
+	f.Archetype = archetype(f)
+
+	oc.R.Gauge("dfg.nodes").Set(int64(f.Nodes))
+	oc.R.Gauge("dfg.edges").Set(int64(f.Edges))
+	oc.R.Gauge("dfg.anomalous_ranks").Set(int64(len(f.AnomalousRanks)))
+	return f
+}
+
+// score computes the consensus and every rank's deviation from it.
+func (f *Fleet) score() {
+	n := len(f.Graphs)
+	f.AnomalousRanks = []int{}
+	if n == 0 {
+		return
+	}
+
+	// Majority cluster by structural fingerprint: a strict majority must
+	// agree on a shape before any rank can be called divergent.
+	clusters := map[string]int{}
+	for i := range f.Graphs {
+		clusters[f.Graphs[i].StructFP]++
+	}
+	for fp, size := range clusters {
+		if 2*size > n {
+			f.MajorityFP, f.MajoritySize = fp, size
+		}
+	}
+
+	// Consensus edge set: edges present on a strict majority of ranks.
+	// Per consensus edge, the cross-rank count median (absent = 0) is the
+	// baseline for count divergence.
+	presence := map[edgeKey]int{}
+	counts := map[edgeKey][]int64{}
+	for i := range f.Graphs {
+		for _, e := range f.Graphs[i].Edges {
+			k := edgeKey{e.From, e.To}
+			presence[k]++
+			counts[k] = append(counts[k], e.Count)
+		}
+	}
+	consensus := make([]edgeKey, 0, len(presence))
+	for k, c := range presence {
+		if 2*c > n {
+			consensus = append(consensus, k)
+		}
+	}
+	sort.Slice(consensus, func(i, j int) bool {
+		if consensus[i].from != consensus[j].from {
+			return consensus[i].from < consensus[j].from
+		}
+		return consensus[i].to < consensus[j].to
+	})
+	median := map[edgeKey]int64{}
+	for _, k := range consensus {
+		cs := append([]int64(nil), counts[k]...)
+		for len(cs) < n { // ranks missing the edge contribute 0
+			cs = append(cs, 0)
+		}
+		sort.Slice(cs, func(i, j int) bool { return cs[i] < cs[j] })
+		median[k] = cs[len(cs)/2]
+	}
+	inConsensus := make(map[edgeKey]bool, len(consensus))
+	for _, k := range consensus {
+		inConsensus[k] = true
+	}
+
+	for i := range f.Graphs {
+		g := &f.Graphs[i]
+		s := Score{Rank: g.Rank}
+		have := make(map[edgeKey]int64, len(g.Edges))
+		for _, e := range g.Edges {
+			have[edgeKey{e.From, e.To}] = e.Count
+		}
+		for k := range have {
+			if !inConsensus[k] {
+				s.StructDiff++
+			}
+		}
+		for _, k := range consensus {
+			c, ok := have[k]
+			if !ok {
+				s.StructDiff++
+			}
+			med := median[k]
+			div := c - med
+			if div < 0 {
+				div = -div
+			}
+			base := med
+			if base < 1 {
+				base = 1
+			}
+			s.CountDiv += float64(div) / float64(base)
+			if c > StragglerRatio*med && c-med >= StragglerExcess {
+				s.Straggler = true
+			}
+		}
+		s.Score = float64(s.StructDiff) + s.CountDiv
+		if f.MajorityFP != "" {
+			s.Anomalous = g.StructFP != f.MajorityFP || s.Straggler
+		}
+		if s.Anomalous {
+			f.AnomalousRanks = append(f.AnomalousRanks, g.Rank)
+		}
+		f.Scores = append(f.Scores, s)
+	}
+}
+
+// archetype classifies the fleet's I/O shape from the union graph: what
+// mix of reading and writing the application does, and whether any rank
+// read-modify-writes a file in place (a read->write succession on the same
+// file tag).
+func archetype(f *Fleet) string {
+	var reads, writes int64
+	rmw := false
+	for i := range f.Graphs {
+		g := &f.Graphs[i]
+		for _, nd := range g.Nodes {
+			switch {
+			case strings.HasPrefix(nd.Label, "read:"):
+				reads += nd.Count
+			case strings.HasPrefix(nd.Label, "write:"):
+				writes += nd.Count
+			}
+		}
+		for _, e := range g.Edges {
+			if tag, ok := strings.CutPrefix(e.From, "read:"); ok && e.To == "write:"+tag {
+				rmw = true
+			}
+		}
+	}
+	switch {
+	case reads == 0 && writes == 0:
+		return "metadata"
+	case writes == 0:
+		return "read-only"
+	case reads == 0:
+		return "write-only"
+	case rmw:
+		return "read-modify-write"
+	default:
+		return "mixed"
+	}
+}

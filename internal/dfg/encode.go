@@ -1,0 +1,85 @@
+package dfg
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteJSON writes the fleet as indented JSON. Every slice in the fleet is
+// sorted at build time, so the output is byte-deterministic: the same
+// trace produces the same bytes at any worker count, streamed or
+// materialized.
+func (f *Fleet) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}
+
+// WriteDOT writes the fleet as a Graphviz digraph, one cluster per rank
+// (render with: dot -Tsvg dfg.dot -o dfg.svg). Anomalous ranks are drawn
+// red. Output is byte-deterministic like WriteJSON.
+func (f *Fleet) WriteDOT(w io.Writer) error {
+	bw := &errWriter{w: w}
+	bw.printf("digraph dfg {\n")
+	bw.printf("  rankdir=LR;\n")
+	bw.printf("  node [shape=box, fontname=\"monospace\"];\n")
+	anomalous := make(map[int]bool, len(f.AnomalousRanks))
+	for _, r := range f.AnomalousRanks {
+		anomalous[r] = true
+	}
+	for i := range f.Graphs {
+		g := &f.Graphs[i]
+		ids := make(map[string]string, len(g.Nodes))
+		bw.printf("  subgraph cluster_r%d {\n", g.Rank)
+		label := fmt.Sprintf("rank %d", g.Rank)
+		if anomalous[g.Rank] {
+			label += " (anomalous)"
+			bw.printf("    color=red; fontcolor=red;\n")
+		}
+		bw.printf("    label=%q;\n", label)
+		for j, n := range g.Nodes {
+			id := fmt.Sprintf("r%d_n%d", g.Rank, j)
+			ids[n.Label] = id
+			bw.printf("    %s [label=\"%s\\nx%d\"];\n", id, n.Label, n.Count)
+		}
+		for _, e := range g.Edges {
+			attrs := fmt.Sprintf("label=%q", fmt.Sprintf("%d", e.Count))
+			if e.Bytes > 0 {
+				attrs = fmt.Sprintf("label=%q", fmt.Sprintf("%d / %dB", e.Count, e.Bytes))
+			}
+			bw.printf("    %s -> %s [%s];\n", ids[e.From], ids[e.To], attrs)
+		}
+		bw.printf("  }\n")
+	}
+	bw.printf("}\n")
+	return bw.err
+}
+
+// errWriter folds the first write error through a sequence of printfs.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (ew *errWriter) printf(format string, args ...any) {
+	if ew.err != nil {
+		return
+	}
+	_, ew.err = fmt.Fprintf(ew.w, format, args...)
+}
+
+// Summary is the one-line human rendering the CLI prints next to the
+// artifact paths.
+func (f *Fleet) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "dfg: %d ranks, %d nodes, %d edges, archetype %s",
+		f.Ranks, f.Nodes, f.Edges, f.Archetype)
+	if len(f.AnomalousRanks) > 0 {
+		fmt.Fprintf(&b, ", %d anomalous rank(s) %v", len(f.AnomalousRanks), f.AnomalousRanks)
+	} else {
+		b.WriteString(", no anomalous ranks")
+	}
+	return b.String()
+}

@@ -1,0 +1,160 @@
+package dfg
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+
+	"verifyio/internal/obs"
+	"verifyio/internal/verify"
+)
+
+// RollupCell is one (model, library, archetype) bucket of the corpus
+// rollup: how many traces of that shape were verified under that model,
+// and what came of it.
+type RollupCell struct {
+	Model     string `json:"model"`
+	Library   string `json:"library"`
+	Archetype string `json:"archetype"`
+	// Traces counts the verified (trace, model) pairs in this bucket.
+	Traces int `json:"traces"`
+	// Races sums the data races reported across the bucket.
+	Races int64 `json:"races"`
+	// Synced counts traces verified properly synchronized.
+	Synced int `json:"synced"`
+	// Aborted counts verification aborts (unmatched MPI calls).
+	Aborted int `json:"aborted,omitempty"`
+}
+
+// RollupTelemetry is the cache/skeleton/fallback counter extract of the
+// fleet run, pulled from the final Report.Metrics snapshot (the registry
+// is cumulative across a run, so the last snapshot covers the whole
+// corpus pass).
+type RollupTelemetry struct {
+	VCacheHits    int64 `json:"vcache_hits"`
+	VCacheMisses  int64 `json:"vcache_misses"`
+	VCacheDirty   int64 `json:"vcache_dirty_chunks"`
+	HBQueries     int64 `json:"hb_queries"`
+	HBFastHits    int64 `json:"hb_fast_hits"`
+	HBFallbacks   int64 `json:"hb_fallbacks"`
+	SkeletonNodes int64 `json:"skeleton_nodes"`
+	GraphNodes    int64 `json:"graph_nodes"`
+	SyncEdges     int64 `json:"sync_edges"`
+}
+
+// Rollup aggregates verification outcomes across a corpus of traces into
+// one machine-readable document: races by model x library x archetype,
+// plus the run's cache and happens-before telemetry.
+type Rollup struct {
+	Traces    int              `json:"traces"`
+	Models    []string         `json:"models"`
+	Cells     []RollupCell     `json:"cells"`
+	Telemetry *RollupTelemetry `json:"telemetry,omitempty"`
+}
+
+type cellKey struct{ model, library, archetype string }
+
+// RollupBuilder accumulates rollup cells trace by trace.
+type RollupBuilder struct {
+	cells  map[cellKey]*RollupCell
+	models map[string]struct{}
+	traces int
+}
+
+// NewRollup returns an empty rollup builder.
+func NewRollup() *RollupBuilder {
+	return &RollupBuilder{
+		cells:  map[cellKey]*RollupCell{},
+		models: map[string]struct{}{},
+	}
+}
+
+// Add folds one trace's verification reports into the rollup. library is
+// the I/O library the trace exercises; archetype is the trace's DFG
+// archetype (Fleet.Archetype).
+func (rb *RollupBuilder) Add(library, archetype string, reports []*verify.Report) {
+	rb.traces++
+	for _, rep := range reports {
+		if rep == nil {
+			continue
+		}
+		rb.models[rep.Model] = struct{}{}
+		k := cellKey{model: rep.Model, library: library, archetype: archetype}
+		c := rb.cells[k]
+		if c == nil {
+			c = &RollupCell{Model: rep.Model, Library: library, Archetype: archetype}
+			rb.cells[k] = c
+		}
+		c.Traces++
+		c.Races += rep.RaceCount
+		switch {
+		case !rep.Verified:
+			c.Aborted++
+		case rep.ProperlySynchronized:
+			c.Synced++
+		}
+	}
+}
+
+// Finish freezes the rollup, sorted by (model, library, archetype) so
+// equal rollups marshal byte-equal. snap, when non-nil, supplies the
+// telemetry extract (pass the final Report.Metrics of the run).
+func (rb *RollupBuilder) Finish(snap *obs.Snapshot) *Rollup {
+	r := &Rollup{Traces: rb.traces, Cells: []RollupCell{}}
+	for m := range rb.models {
+		r.Models = append(r.Models, m)
+	}
+	sort.Strings(r.Models)
+	keys := make([]cellKey, 0, len(rb.cells))
+	for k := range rb.cells {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.model != b.model {
+			return a.model < b.model
+		}
+		if a.library != b.library {
+			return a.library < b.library
+		}
+		return a.archetype < b.archetype
+	})
+	for _, k := range keys {
+		r.Cells = append(r.Cells, *rb.cells[k])
+	}
+	if snap != nil {
+		r.Telemetry = &RollupTelemetry{
+			VCacheHits:    metric(snap, "vcache.hits"),
+			VCacheMisses:  metric(snap, "vcache.misses"),
+			VCacheDirty:   metric(snap, "vcache.dirty_chunks"),
+			HBQueries:     metric(snap, "verify.hb_queries"),
+			HBFastHits:    metric(snap, "verify.hb_fast_hits"),
+			HBFallbacks:   metric(snap, "verify.hb_fallbacks"),
+			SkeletonNodes: metric(snap, "hbgraph.skeleton_nodes"),
+			GraphNodes:    metric(snap, "hbgraph.nodes"),
+			SyncEdges:     metric(snap, "hbgraph.sync_edges"),
+		}
+	}
+	return r
+}
+
+// metric resolves a gauge or counter name in either stability section
+// (0 when absent — telemetry that wasn't collected rolls up as zero).
+func metric(snap *obs.Snapshot, name string) int64 {
+	for _, sec := range []*obs.Section{&snap.Stable, &snap.Volatile} {
+		if v, ok := sec.Gauges[name]; ok {
+			return v
+		}
+		if v, ok := sec.Counters[name]; ok {
+			return v
+		}
+	}
+	return 0
+}
+
+// WriteJSON writes the rollup as indented JSON (byte-deterministic).
+func (r *Rollup) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

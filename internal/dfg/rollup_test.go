@@ -1,0 +1,73 @@
+package dfg
+
+import (
+	"bytes"
+	"testing"
+
+	"verifyio/internal/obs"
+	"verifyio/internal/verify"
+)
+
+func rep(model string, races int64, verified bool) *verify.Report {
+	return &verify.Report{
+		Model:                model,
+		RaceCount:            races,
+		Verified:             verified,
+		ProperlySynchronized: verified && races == 0,
+	}
+}
+
+func TestRollupCellsSortedAndCounted(t *testing.T) {
+	rb := NewRollup()
+	rb.Add("hdf5", "mixed", []*verify.Report{rep("posix", 3, true), rep("session", 0, true)})
+	rb.Add("hdf5", "mixed", []*verify.Report{rep("posix", 1, true), rep("session", 0, true)})
+	rb.Add("netcdf", "write-only", []*verify.Report{rep("posix", 0, false), nil})
+
+	reg := obs.NewRegistry()
+	reg.Counter("verify.hb_queries").Add(42)
+	reg.Counter("verify.hb_fallbacks").Add(0)
+	reg.Gauge("vcache.hits").Set(7)
+	r := rb.Finish(reg.Snapshot())
+
+	if r.Traces != 3 {
+		t.Fatalf("traces = %d, want 3", r.Traces)
+	}
+	if len(r.Models) != 2 || r.Models[0] != "posix" || r.Models[1] != "session" {
+		t.Fatalf("models = %v", r.Models)
+	}
+	if len(r.Cells) != 3 {
+		t.Fatalf("cells = %+v, want 3", r.Cells)
+	}
+	// Sorted by (model, library, archetype).
+	c0 := r.Cells[0]
+	if c0.Model != "posix" || c0.Library != "hdf5" || c0.Traces != 2 || c0.Races != 4 || c0.Synced != 0 {
+		t.Fatalf("cell 0 = %+v", c0)
+	}
+	c1 := r.Cells[1]
+	if c1.Model != "posix" || c1.Library != "netcdf" || c1.Aborted != 1 {
+		t.Fatalf("cell 1 = %+v", c1)
+	}
+	c2 := r.Cells[2]
+	if c2.Model != "session" || c2.Synced != 2 {
+		t.Fatalf("cell 2 = %+v", c2)
+	}
+	if r.Telemetry == nil || r.Telemetry.HBQueries != 42 || r.Telemetry.VCacheHits != 7 {
+		t.Fatalf("telemetry = %+v", r.Telemetry)
+	}
+
+	// Byte-determinism: rebuilding with the same adds marshals equal.
+	rb2 := NewRollup()
+	rb2.Add("hdf5", "mixed", []*verify.Report{rep("posix", 3, true), rep("session", 0, true)})
+	rb2.Add("hdf5", "mixed", []*verify.Report{rep("posix", 1, true), rep("session", 0, true)})
+	rb2.Add("netcdf", "write-only", []*verify.Report{rep("posix", 0, false), nil})
+	var a, b bytes.Buffer
+	if err := r.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := rb2.Finish(reg.Snapshot()).WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("rollup JSON not deterministic:\n%s\n---\n%s", a.Bytes(), b.Bytes())
+	}
+}

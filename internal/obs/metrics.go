@@ -77,7 +77,7 @@ func (r *Registry) GaugeS(name string, s Stability) *Gauge {
 }
 
 // Histogram returns the named stable histogram with the given bucket upper
-// bounds (used only on first creation; bounds must be ascending).
+// bounds (used only on first creation).
 func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
 	return r.HistogramS(name, bounds, Stable)
 }
@@ -91,15 +91,45 @@ func (r *Registry) HistogramS(name string, bounds []int64, s Stability) *Histogr
 	defer r.mu.Unlock()
 	h, ok := r.hists[name]
 	if !ok {
-		h = &Histogram{
-			name:      name,
-			stability: s,
-			bounds:    append([]int64(nil), bounds...),
-			counts:    make([]atomic.Int64, len(bounds)+1),
-		}
+		h = newHistogram(name, s, bounds)
 		r.hists[name] = h
 	}
 	return h
+}
+
+// NewHistogram returns a standalone histogram not attached to any registry
+// — for embedding bucketed state in analytics artifacts (the DFG layer's
+// per-edge inter-arrival histograms) without polluting the metric
+// namespace. Observe is safe for concurrent use, exactly as for registry
+// histograms.
+func NewHistogram(bounds []int64) *Histogram {
+	return newHistogram("", Stable, bounds)
+}
+
+func newHistogram(name string, s Stability, bounds []int64) *Histogram {
+	b := normalizeBounds(bounds)
+	return &Histogram{
+		name:      name,
+		stability: s,
+		bounds:    b,
+		counts:    make([]atomic.Int64, len(b)+1),
+	}
+}
+
+// normalizeBounds pins the bucket-boundary ordering: the exported layout
+// is always strictly ascending no matter how the caller ordered (or
+// duplicated) the bounds, so stable-section comparisons of histogram
+// snapshots can never flake on creation order.
+func normalizeBounds(bounds []int64) []int64 {
+	b := append([]int64(nil), bounds...)
+	sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+	out := b[:0]
+	for i, v := range b {
+		if i == 0 || v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
 }
 
 // Counter is a monotonically increasing atomic counter.
@@ -230,6 +260,23 @@ type HistogramSnapshot struct {
 	Sum    int64   `json:"sum"`
 }
 
+// Snapshot returns the histogram's exported state (zero value on nil).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	hs := HistogramSnapshot{
+		Bounds: append([]int64(nil), h.bounds...),
+		Counts: make([]int64, len(h.counts)),
+		Count:  h.count.Load(),
+		Sum:    h.sum.Load(),
+	}
+	for i := range h.counts {
+		hs.Counts[i] = h.counts[i].Load()
+	}
+	return hs
+}
+
 // Snapshot captures the registry's current state. Nil registries snapshot
 // to nil.
 func (r *Registry) Snapshot() *Snapshot {
@@ -264,16 +311,7 @@ func (r *Registry) Snapshot() *Snapshot {
 		if sec.Histograms == nil {
 			sec.Histograms = map[string]HistogramSnapshot{}
 		}
-		hs := HistogramSnapshot{
-			Bounds: append([]int64(nil), h.bounds...),
-			Counts: make([]int64, len(h.counts)),
-			Count:  h.count.Load(),
-			Sum:    h.sum.Load(),
-		}
-		for i := range h.counts {
-			hs.Counts[i] = h.counts[i].Load()
-		}
-		sec.Histograms[name] = hs
+		sec.Histograms[name] = h.Snapshot()
 	}
 	return snap
 }

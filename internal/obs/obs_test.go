@@ -1,7 +1,10 @@
 package obs
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
+	"reflect"
 	"runtime"
 	"sync"
 	"testing"
@@ -395,5 +398,62 @@ func TestDisabledPathOverhead(t *testing.T) {
 	}
 	if ns := res.NsPerOp(); ns > 10 {
 		t.Fatalf("disabled counter path = %d ns/op, want <= 10", ns)
+	}
+}
+
+// TestHistogramBoundsPinned is the stable-section determinism contract for
+// histograms: the exported bucket layout is strictly ascending no matter
+// how the creating call ordered (or duplicated) the bounds, so two runs
+// that register the same histogram from different code paths can never
+// produce stable sections that differ only in bucket order.
+func TestHistogramBoundsPinned(t *testing.T) {
+	var snaps [][]byte
+	for _, bounds := range [][]int64{
+		{1, 4, 16, 64},
+		{64, 16, 4, 1},
+		{16, 1, 64, 4, 16, 1}, // shuffled with duplicates
+	} {
+		r := NewRegistry()
+		h := r.Histogram("fanout", bounds)
+		for _, v := range []int64{0, 3, 5, 20, 100} {
+			h.Observe(v)
+		}
+		snap := r.Snapshot()
+		if err := ValidateSnapshot(snap); err != nil {
+			t.Fatalf("bounds %v: %v", bounds, err)
+		}
+		b, err := json.Marshal(snap.Stable)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snaps = append(snaps, b)
+	}
+	for i := 1; i < len(snaps); i++ {
+		if !bytes.Equal(snaps[0], snaps[i]) {
+			t.Fatalf("stable sections differ across bound orderings:\n%s\n---\n%s", snaps[0], snaps[i])
+		}
+	}
+}
+
+// TestStandaloneHistogram: NewHistogram buckets identically to a registry
+// histogram and snapshots without a registry — the embedding contract the
+// DFG layer's per-edge histograms rely on.
+func TestStandaloneHistogram(t *testing.T) {
+	reg := NewRegistry()
+	rh := reg.Histogram("h", []int64{2, 8})
+	sh := NewHistogram([]int64{8, 2}) // order pinned, same layout
+	for _, v := range []int64{1, 2, 3, 9} {
+		rh.Observe(v)
+		sh.Observe(v)
+	}
+	want := reg.Snapshot().Stable.Histograms["h"]
+	got := sh.Snapshot()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("standalone snapshot %+v, want %+v", got, want)
+	}
+	var nh *Histogram
+	nh.Observe(1) // no-op
+	if s := nh.Snapshot(); s.Count != 0 || s.Bounds != nil {
+		t.Fatalf("nil snapshot = %+v, want zero", s)
 	}
 }

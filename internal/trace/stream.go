@@ -65,8 +65,15 @@ type Batch struct {
 }
 
 // Release returns the batch buffer to the stream's pool and credits its cost
-// against the resident-bytes accounting. Safe to call at most once; the
-// records must not be used afterwards.
+// against the resident-bytes accounting.
+//
+// The pool contract for consumers (the analysis stages, the DFG builder):
+// copy out anything you need before releasing — the buffer is recycled for
+// a later batch, so retained Recs are silently overwritten. Release is
+// idempotent: the first call severs the batch from its stream, so a second
+// call is a no-op rather than a double-free (the buffer can never be pushed
+// into the pool twice, and the resident accounting is credited exactly
+// once).
 func (b *Batch) Release() {
 	if b == nil || b.s == nil {
 		return

@@ -302,3 +302,56 @@ func TestChainBuilderMatchesBlockChain(t *testing.T) {
 		t.Fatal("mid-stream Chain() corrupted the builder")
 	}
 }
+
+// TestBatchReleaseIdempotent is the pool contract Release documents: a
+// second Release of the same batch must be a no-op — no double push of the
+// buffer into the pool (which would hand the same backing array to two
+// future batches) and no double credit against the resident accounting.
+func TestBatchReleaseIdempotent(t *testing.T) {
+	tr := streamTestTrace(t, 2, 200)
+	dir := t.TempDir()
+	if err := WriteDir(dir, tr, DefaultEncodeOptions()); err != nil {
+		t.Fatal(err)
+	}
+	s, err := OpenStream(dir, StreamOptions{WindowBytes: 1 << 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	b, err := s.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.cost <= 0 {
+		t.Fatalf("batch cost = %d, want > 0", b.cost)
+	}
+	resident, pooled := s.resident, len(s.pool)
+	cost := b.cost // Release severs b.s but leaves cost readable
+
+	b.Release()
+	if got, want := s.resident, resident-cost; got != want {
+		t.Fatalf("after first Release resident = %d, want %d", got, want)
+	}
+	if len(s.pool) != pooled+1 {
+		t.Fatalf("after first Release pool has %d buffers, want %d", len(s.pool), pooled+1)
+	}
+	if b.s != nil || b.Recs != nil {
+		t.Fatalf("first Release must sever the batch: s=%v Recs=%v", b.s, b.Recs)
+	}
+	residentAfter, pooledAfter := s.resident, len(s.pool)
+
+	// The misuse under test: releasing again must change nothing.
+	b.Release()
+	if s.resident != residentAfter {
+		t.Fatalf("double Release moved resident accounting: %d -> %d", residentAfter, s.resident)
+	}
+	if len(s.pool) != pooledAfter {
+		t.Fatalf("double Release pushed the buffer into the pool twice: %d -> %d buffers", pooledAfter, len(s.pool))
+	}
+
+	// And a released (nil-severed) batch from a drained stream plus a nil
+	// batch are equally inert.
+	var nb *Batch
+	nb.Release()
+}

@@ -23,6 +23,13 @@ type StreamAnalyzeOptions struct {
 	// trace.StreamOptions.WindowBytes: 0 means the default window, negative
 	// means unbounded.
 	WindowBytes int64
+	// OnBatch, when set, observes every record batch of the fused pass
+	// before the analysis stages consume it — the hook a secondary
+	// consumer (the DFG builder) rides to share one bounded decode.
+	// AnalyzeStream releases the batch after the analysis stages run, so
+	// the callback must neither retain b.Recs nor call b.Release (the
+	// pool contract documented on trace.Batch.Release).
+	OnBatch func(b *trace.Batch)
 }
 
 // AnalyzeStream runs steps 2 and 3 directly off the decoder: conflict
@@ -70,6 +77,9 @@ func AnalyzeStream(dir string, algo Algo, opts StreamAnalyzeOptions) (*Analysis,
 		}
 		if err != nil {
 			return nil, fmt.Errorf("verify: read trace: %w", err)
+		}
+		if opts.OnBatch != nil {
+			opts.OnBatch(b)
 		}
 		det.Feed(b.Rank, b.Recs)
 		sm.Feed(b.Rank, b.Recs)

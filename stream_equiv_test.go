@@ -8,6 +8,8 @@ import (
 	"testing"
 
 	"verifyio/internal/corpus"
+	"verifyio/internal/dfg"
+	"verifyio/internal/obs"
 	"verifyio/internal/semantics"
 	"verifyio/internal/trace"
 	"verifyio/internal/verify"
@@ -141,5 +143,46 @@ func TestVerifyAllStreamPublicAPI(t *testing.T) {
 		if w, g := fingerprint(want[0]), fingerprint(one); !bytes.Equal(w, g) {
 			t.Errorf("%s: VerifyStream(POSIX) differs from VerifyAll's POSIX report", name)
 		}
+	}
+}
+
+// TestAnalyzeStreamOnBatch: the batch-observer hook sees every record of
+// the fused pass exactly once and in rank order, so a secondary consumer —
+// here the DFG builder — can share the bounded decode with verification
+// and still produce output byte-identical to a standalone build.
+func TestAnalyzeStreamOnBatch(t *testing.T) {
+	tr := corpusTraceT(t, "pmulti_dset")
+	dir := filepath.Join(t.TempDir(), "trace")
+	if err := trace.WriteDir(dir, tr, trace.DefaultEncodeOptions()); err != nil {
+		t.Fatal(err)
+	}
+
+	b := dfg.NewBuilder(tr.NumRanks(), obs.Ctx{})
+	seen := 0
+	a, err := verify.AnalyzeStream(dir, verify.AlgoAuto, verify.StreamAnalyzeOptions{
+		AnalyzeOptions: verify.AnalyzeOptions{Workers: 1},
+		WindowBytes:    streamEquivWindow,
+		OnBatch: func(batch *trace.Batch) {
+			seen += len(batch.Recs)
+			b.Feed(batch.Rank, batch.Recs)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = a
+	if seen != tr.NumRecords() {
+		t.Fatalf("OnBatch saw %d records, trace has %d", seen, tr.NumRecords())
+	}
+
+	var fused, standalone bytes.Buffer
+	if err := b.Finish().WriteJSON(&fused); err != nil {
+		t.Fatal(err)
+	}
+	if err := dfg.FromTrace(tr, dfg.Options{Workers: 1}).WriteJSON(&standalone); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fused.Bytes(), standalone.Bytes()) {
+		t.Fatalf("fused-pass DFG differs from standalone build")
 	}
 }

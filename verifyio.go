@@ -74,6 +74,12 @@ func (t *Telemetry) ctx() obs.Ctx {
 	return obs.Ctx{T: t.tracer, R: t.registry}
 }
 
+// Obs exposes the internal instrumentation carrier so in-module tooling
+// (the CLIs' analytics passes, e.g. the DFG builder) can share this
+// telemetry's tracer and registry. The zero Ctx a nil *Telemetry returns
+// disables instrumentation.
+func (t *Telemetry) Obs() obs.Ctx { return t.ctx() }
+
 // WriteChromeTrace writes the collected spans as Chrome trace_event JSON.
 // Call after the instrumented run has finished.
 func (t *Telemetry) WriteChromeTrace(w io.Writer) error {

@@ -45,6 +45,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -56,6 +57,7 @@ import (
 	"strings"
 	"time"
 
+	"verifyio/internal/conflict"
 	"verifyio/internal/corpus"
 	"verifyio/internal/dfg"
 	"verifyio/internal/hbgraph"
@@ -77,6 +79,42 @@ type output struct {
 	Traces     []traceBench `json:"traces"`
 	// Cache holds the incremental re-verification cells (verdict cache).
 	Cache *cacheBench `json:"cache,omitempty"`
+	// Sweep holds the intra-file conflict-sweep cells (dense single file).
+	Sweep *sweepBench `json:"sweep,omitempty"`
+}
+
+// sweepBench is the intra-file sweep workload: conflict detection in
+// isolation on a dense single-shared-file trace — every rank hammering one
+// file, the canonical N-to-1 HPC pattern the per-file sharding could never
+// parallelize. Cells measure conflict.DetectOpts at workers 1 and
+// GOMAXPROCS; bench cross-checks while measuring that the Result is
+// byte-identical across worker counts, and -check enforces the fan-out,
+// allocation, scratch, and speedup contracts.
+type sweepBench struct {
+	Ranks  int         `json:"ranks"`
+	Ops    int         `json:"ops"`
+	Pairs  int64       `json:"pairs"`
+	Groups int         `json:"groups"`
+	Cells  []sweepCell `json:"sweep_runs"`
+	// DetectSpeedup is ns/op at workers=1 over ns/op at the highest worker
+	// count (1.0 when GOMAXPROCS is 1).
+	DetectSpeedup float64 `json:"detect_speedup"`
+}
+
+// sweepCell is one (workers) cell of the sweep workload. The telemetry
+// fields come from one instrumented iteration excluded from the timing:
+// Tasks is par.detect-sweep.tasks_submitted (> 1 proves the intra-file
+// fan-out), Slices/CarryOps/ScratchBytes are the conflict.sweep_* gauges.
+type sweepCell struct {
+	Workers      int   `json:"workers"`
+	Iters        int   `json:"iters"`
+	NsPerOp      int64 `json:"ns_per_op"`
+	AllocsPerOp  int64 `json:"allocs_per_op"`
+	BytesPerOp   int64 `json:"bytes_per_op"`
+	Tasks        int64 `json:"sweep_tasks"`
+	Slices       int64 `json:"sweep_slices"`
+	CarryOps     int64 `json:"sweep_carry_ops"`
+	ScratchBytes int64 `json:"sweep_scratch_bytes"`
 }
 
 // cacheBench measures the verdict cache on an append workload: verify a
@@ -214,6 +252,8 @@ func main() {
 		compare     = flag.String("compare", "", "output file to compare against -baseline and exit")
 		baseline    = flag.String("baseline", "", "baseline output file for -compare")
 		maxOverhead = flag.Float64("max-overhead", 2.0, "fail -compare when the mean ns/op overhead exceeds this percentage")
+
+		sweepMetricsOut = flag.String("sweep-metrics-out", "", "write the sweep cell's instrumented metrics snapshot as JSON to this file (obscheck input)")
 
 		streamSmoke   = flag.Bool("stream-smoke", false, "run the streaming-decode smoke cell instead of the full benchmark")
 		streamRecords = flag.Int("stream-records", 10_000_000, "total record count for -stream-smoke")
@@ -371,6 +411,13 @@ func main() {
 		os.Exit(1)
 	}
 	res.Cache = cb
+
+	swb, err := benchSweep(iters, minTime, *sweepMetricsOut)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: sweep: %v\n", err)
+		os.Exit(1)
+	}
+	res.Sweep = swb
 
 	data, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {
@@ -804,6 +851,173 @@ func benchCache(iters int, minTime time.Duration) (*cacheBench, error) {
 	return cb, nil
 }
 
+// Sweep-cell workload and gate constants. The trace is every rank hammering
+// one shared file — the N-to-1 pattern the per-file sharding could never
+// split — dense enough (window 8 KiB, 16 K ops) that the interval sweep
+// dominates the detect stage.
+const (
+	sweepRanks  = 8
+	sweepOps    = 2048
+	sweepWindow = int64(1 << 13)
+	sweepSeed   = int64(99)
+	// sweepAllocCeiling gates detect-stage allocs/op on the sweep cell:
+	// measured ~290 at workers=1 with the pair-free counting build (down
+	// from ~356 with the pairRec sort path). The ceiling leaves room for
+	// pool goroutines at higher worker counts without readmitting a
+	// per-pair or per-group allocation pattern.
+	sweepAllocCeiling = 700
+	// sweepScratchPerPair bounds transient sweep bytes per conflicting
+	// pair: the pair-free build stages ~4 bytes per directed adjacency
+	// entry (8 per pair) plus O(ops) index tables, well under the ~16
+	// bytes/directed pair the old materialized pair list cost.
+	sweepScratchPerPair = 12
+	// sweepMinSpeedup is the detect-stage workers-1-vs-N floor, enforced by
+	// -check only when the artifact was generated with at least
+	// sweepSpeedupCPUs CPUs (a 1-CPU artifact cannot exhibit parallelism).
+	sweepMinSpeedup  = 2.0
+	sweepSpeedupCPUs = 4
+)
+
+// conflictFingerprint serializes everything a conflict.Result exposes —
+// ops, files, syncs, the pair count, and the full CSR group content — so
+// equal fingerprints mean byte-identical detection output.
+func conflictFingerprint(res *conflict.Result) ([]byte, error) {
+	var buf bytes.Buffer
+	w := func(vs ...int64) error {
+		for _, v := range vs {
+			if err := binary.Write(&buf, binary.LittleEndian, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := w(int64(len(res.Ops)), int64(len(res.Files)), int64(len(res.Syncs)),
+		res.Pairs, int64(len(res.Groups)), int64(res.Skipped)); err != nil {
+		return nil, err
+	}
+	for i := range res.Ops {
+		op := &res.Ops[i]
+		wr := int64(0)
+		if op.Write {
+			wr = 1
+		}
+		if err := w(int64(op.Ref.Rank), int64(op.Ref.Seq), int64(op.FID), wr, op.Start, op.End); err != nil {
+			return nil, err
+		}
+	}
+	for _, f := range res.Files {
+		buf.WriteString(f)
+		buf.WriteByte(0)
+	}
+	for i := range res.Syncs {
+		sp := &res.Syncs[i]
+		if err := w(int64(sp.Ref.Rank), int64(sp.Ref.Seq), int64(sp.FID)); err != nil {
+			return nil, err
+		}
+		buf.WriteString(sp.Func)
+		buf.WriteByte(0)
+	}
+	for i := range res.Groups {
+		g := &res.Groups[i]
+		if err := w(int64(g.X), int64(len(g.Ys())), int64(g.NumRuns())); err != nil {
+			return nil, err
+		}
+		for _, y := range g.Ys() {
+			if err := w(int64(y)); err != nil {
+				return nil, err
+			}
+		}
+		for k := 0; k < g.NumRuns(); k++ {
+			if err := w(int64(len(g.RunAt(k)))); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+// benchSweep measures conflict detection in isolation on the dense
+// single-shared-file trace at workers 1 and GOMAXPROCS, cross-checking
+// while measuring that the Result is byte-identical across worker counts.
+// Each cell's telemetry comes from one instrumented iteration outside the
+// timed window; the last (highest worker count) cell's snapshot is written
+// to metricsOut for the CI obscheck gate on sweep transient bytes.
+func benchSweep(iters int, minTime time.Duration, metricsOut string) (*sweepBench, error) {
+	tr := corpus.ScalingTrace(sweepRanks, sweepOps, sweepWindow, sweepSeed)
+	sb := &sweepBench{Ranks: sweepRanks}
+	workerCounts := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		workerCounts = append(workerCounts, n)
+	}
+	var wantFP []byte
+	var lastReg *obs.Registry
+	for _, workers := range workerCounts {
+		// Warmup, doubling as the determinism cross-check input.
+		res, err := conflict.DetectOpts(tr, conflict.Options{Workers: workers})
+		if err != nil {
+			return nil, err
+		}
+		fp, err := conflictFingerprint(res)
+		if err != nil {
+			return nil, err
+		}
+		if wantFP == nil {
+			wantFP = fp
+			sb.Ops = len(res.Ops)
+			sb.Pairs = res.Pairs
+			sb.Groups = len(res.Groups)
+		} else if !bytes.Equal(fp, wantFP) {
+			return nil, fmt.Errorf("Result at workers=%d differs from workers=1", workers)
+		}
+
+		var memBefore, memAfter runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&memBefore)
+		var elapsed time.Duration
+		var done int
+		for done = 0; done < iters || elapsed < minTime; done++ {
+			start := time.Now()
+			if _, err := conflict.DetectOpts(tr, conflict.Options{Workers: workers}); err != nil {
+				return nil, err
+			}
+			elapsed += time.Since(start)
+		}
+		runtime.ReadMemStats(&memAfter)
+
+		// Instrumented iteration, excluded from the timing.
+		reg := obs.NewRegistry()
+		if _, err := conflict.DetectOpts(tr, conflict.Options{Workers: workers, Obs: obs.Ctx{R: reg}}); err != nil {
+			return nil, err
+		}
+		lastReg = reg
+		snap := reg.Snapshot()
+		cell := sweepCell{
+			Workers:      workers,
+			Iters:        done,
+			NsPerOp:      elapsed.Nanoseconds() / int64(done),
+			AllocsPerOp:  int64(memAfter.Mallocs-memBefore.Mallocs) / int64(done),
+			BytesPerOp:   int64(memAfter.TotalAlloc-memBefore.TotalAlloc) / int64(done),
+			Tasks:        snap.Stable.Counters["par.detect-sweep.tasks_submitted"],
+			Slices:       snap.Stable.Gauges["conflict.sweep_slices"],
+			CarryOps:     snap.Stable.Gauges["conflict.sweep_carry_ops"],
+			ScratchBytes: snap.Stable.Gauges["conflict.sweep_scratch_bytes"],
+		}
+		sb.Cells = append(sb.Cells, cell)
+		fmt.Printf("%-16s workers=%-3d %12d ns/op %12d allocs/op (%d pairs, %d tasks, %d slices)\n",
+			"sweep_dense1file", workers, cell.NsPerOp, cell.AllocsPerOp, sb.Pairs, cell.Tasks, cell.Slices)
+	}
+	first, last := sb.Cells[0], sb.Cells[len(sb.Cells)-1]
+	if last.NsPerOp > 0 {
+		sb.DetectSpeedup = float64(first.NsPerOp) / float64(last.NsPerOp)
+	}
+	if metricsOut != "" {
+		if err := obs.WriteFileWith(metricsOut, func(w io.Writer) error { return lastReg.WriteMetrics(w) }); err != nil {
+			return nil, fmt.Errorf("write -sweep-metrics-out: %w", err)
+		}
+	}
+	return sb, nil
+}
+
 // runStreamSmoke stages a synthetic trace directory of at least records
 // records (one rank at a time — the generator itself never holds the whole
 // trace) and stream-decodes it with the given window, reporting throughput
@@ -999,7 +1213,53 @@ func checkFile(path string) error {
 			}
 		}
 	}
-	return checkCache(res.Cache)
+	if err := checkCache(res.Cache); err != nil {
+		return err
+	}
+	return checkSweep(res.Sweep, res.GOMAXPROCS)
+}
+
+// checkSweep enforces the intra-file sweep contracts on the dense
+// single-shared-file cell: the sweep must fan out (more than one detect-sweep
+// task and more than one slice on a one-file trace), stay within the
+// allocation ceiling and the per-pair scratch budget, and — when the
+// artifact was generated with enough CPUs — deliver the detect-stage
+// parallel speedup the sharding exists for.
+func checkSweep(sb *sweepBench, gomaxprocs int) error {
+	if sb == nil {
+		return fmt.Errorf("missing sweep cells")
+	}
+	if sb.Ops <= 0 || sb.Pairs <= 0 || sb.Groups <= 0 {
+		return fmt.Errorf("sweep: empty workload (ops=%d pairs=%d groups=%d)", sb.Ops, sb.Pairs, sb.Groups)
+	}
+	if len(sb.Cells) == 0 || sb.Cells[0].Workers != 1 {
+		return fmt.Errorf("sweep: first cell must be workers=1")
+	}
+	for _, c := range sb.Cells {
+		if c.Iters < 1 || c.NsPerOp <= 0 {
+			return fmt.Errorf("sweep workers=%d: bad iteration stats", c.Workers)
+		}
+		if c.Tasks <= 1 {
+			return fmt.Errorf("sweep workers=%d: %d detect-sweep tasks on a single shared file — intra-file sharding is not fanning out",
+				c.Workers, c.Tasks)
+		}
+		if c.Slices <= 1 {
+			return fmt.Errorf("sweep workers=%d: %d slices on a single dense file, want > 1", c.Workers, c.Slices)
+		}
+		if c.AllocsPerOp <= 0 || c.AllocsPerOp > sweepAllocCeiling {
+			return fmt.Errorf("sweep workers=%d: %d allocs/op outside (0, %d] — a per-pair or per-group allocation pattern crept back in",
+				c.Workers, c.AllocsPerOp, sweepAllocCeiling)
+		}
+		if c.ScratchBytes <= 0 || c.ScratchBytes > sweepScratchPerPair*sb.Pairs {
+			return fmt.Errorf("sweep workers=%d: %d scratch bytes outside (0, %d·pairs=%d]",
+				c.Workers, c.ScratchBytes, int64(sweepScratchPerPair), sweepScratchPerPair*sb.Pairs)
+		}
+	}
+	if gomaxprocs >= sweepSpeedupCPUs && sb.DetectSpeedup < sweepMinSpeedup {
+		return fmt.Errorf("sweep: detect-stage speedup %.2f at %d CPUs below the %.1f floor",
+			sb.DetectSpeedup, gomaxprocs, sweepMinSpeedup)
+	}
+	return nil
 }
 
 // checkCache enforces the incremental-verification contract on the cache

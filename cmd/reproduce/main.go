@@ -65,7 +65,7 @@ func run() int {
 	var (
 		out      = flag.String("out", "results", "output directory for the artifacts")
 		only     = flag.String("only", "", "comma-separated subset (table1,table2,table3,table4,fig3,fig4)")
-		workers  = flag.Int("workers", 0, "analysis+verification worker goroutines for steps 2–4 (0 = GOMAXPROCS, 1 = serial)")
+		workers  = flag.Int("workers", 0, "analysis+verification worker goroutines for steps 2–4 (0 = GOMAXPROCS, 1 = serial); conflict detection shards across files and within single shared files")
 		tolerate = flag.Bool("tolerate", false, "read stored traces leniently, salvaging damaged rank streams")
 		stream   = flag.Bool("stream", false, "analyze stored traces (table4) while decoding in bounded windows instead of materializing them")
 		window   = flag.Int64("window", 0, "decoded-record window in bytes for -stream (0 = default 4 MiB, negative = unbounded)")

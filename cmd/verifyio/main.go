@@ -70,7 +70,7 @@ func run() int {
 		model     = flag.String("model", "all", "consistency model: posix, commit, session, mpi-io, or all")
 		algorithm = flag.String("algorithm", "auto", "happens-before algorithm")
 		noPrune   = flag.Bool("no-pruning", false, "disable conflict-group pruning (Fig. 3)")
-		workers   = flag.Int("workers", 0, "analysis+verification worker goroutines for steps 2–4 (0 = GOMAXPROCS, 1 = serial)")
+		workers   = flag.Int("workers", 0, "analysis+verification worker goroutines for steps 2–4 (0 = GOMAXPROCS, 1 = serial); conflict detection shards across files and within single shared files")
 		maxRaces  = flag.Int("max-races", 16, "maximum races reported in detail")
 		details   = flag.Bool("details", false, "print full reports with call chains")
 		diagnose  = flag.Bool("diagnose", false, "classify each race and suggest a fix")

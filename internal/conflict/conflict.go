@@ -15,8 +15,10 @@
 // each rank replays independently with rank-local file identities, and a
 // serial merge canonicalizes those identities into exactly the ids a
 // rank-major serial scan would assign (see mergeShards). The sort-and-sweep
-// over per-file interval lists is likewise sharded per file. Both shardings
-// are exact — the result is identical at every worker count.
+// over per-file interval lists is likewise sharded — per file, and within a
+// file into contiguous offset-range slices, so detection scales even when
+// every rank targets one shared file (see detectPairs). Both shardings are
+// exact — the result is identical at every worker count.
 //
 // The detector reports conflict groups (X, ζ): for each data operation X,
 // the operations on other ranks that conflict with X, partitioned by rank
@@ -298,10 +300,10 @@ func (rp *rankReplayer) step(rec *trace.Record) {
 		fid := fidOf(rec.Arg(0))
 		st := &handleState{fid: fid}
 		flags := rec.Arg(1)
-		if contains(flags, "trunc") {
+		if strings.Contains(flags, "trunc") {
 			eof[fid] = 0
 		}
-		if contains(flags, "append") {
+		if strings.Contains(flags, "append") {
 			st.pos = eof[fid]
 		}
 		handles[fd] = st
@@ -565,5 +567,3 @@ func (r *Result) PathOf(fid int) string {
 	}
 	return r.Files[fid]
 }
-
-func contains(s, sub string) bool { return strings.Contains(s, sub) }

@@ -4,6 +4,8 @@ import (
 	"cmp"
 	"fmt"
 	"slices"
+	"sort"
+	"sync/atomic"
 
 	"verifyio/internal/obs"
 	"verifyio/internal/par"
@@ -65,150 +67,457 @@ func (g *Group) ByRank(ops []Op) map[int][]int {
 	return out
 }
 
-// pairRec is one directed conflicting pair during the per-file sweep.
-type pairRec struct{ x, y int32 }
+// Intra-file sharding parameters. Slice boundaries are a function of the op
+// count alone — never of the worker count — so the task list, the spans it
+// emits, and every byte of the merged output are determined by the trace.
+const (
+	// sliceTargetOps is the aimed-for number of sorted intervals per
+	// intra-file sweep slice.
+	sliceTargetOps = 1024
+	// maxFileSlices caps how many slices one file is cut into.
+	maxFileSlices = 128
+	// histBudgetBytes bounds the transpose histograms (4·K·n bytes): the
+	// range count K shrinks before the scratch outgrows this.
+	histBudgetBytes = 1 << 24
+)
 
-// fileSweep is one file's sweep output. The groups view file-local ys/runs
-// storage; the merge copies them into the Result-wide arenas.
-type fileSweep struct {
-	pairs  int64
-	groups []Group
-	nys    int
-	nruns  int
+// numSlices is the slice plan for a file with m data operations.
+func numSlices(m int) int {
+	if m == 0 {
+		return 0
+	}
+	s := (m + sliceTargetOps - 1) / sliceTargetOps
+	if s > maxFileSlices {
+		s = maxFileSlices
+	}
+	return s
+}
+
+// sweepSlice is one intra-file sweep task: positions [lo, hi) of its file's
+// start-sorted interval list, plus the carry-in positions from the left
+// whose intervals straddle the slice's boundary. A pair is owned by the
+// slice of its later sorted position — the one holding max(I.Start,
+// J.Start) — so the task list partitions the pair set exactly: no pair is
+// emitted twice, none is missed.
+type sweepSlice struct {
+	fid    int32
+	sub    int32   // slice ordinal within the file
+	lo, hi int32   // file-local sorted positions
+	carry  []int32 // file-local positions < lo with End > start of position lo
+}
+
+func (t *sweepSlice) lane() string {
+	return fmt.Sprintf("detect/sweep-%d.%d", t.fid, t.sub)
+}
+
+// sliceFile fills out (one entry per slice) with the file's fixed slice
+// plan and computes each slice's carry-in set. w is the file's interval
+// index, already sorted by (Start, index).
+func sliceFile(ops []Op, w []int32, fid int, out []sweepSlice) {
+	m, S := len(w), len(out)
+	for s := 0; s < S; s++ {
+		out[s] = sweepSlice{
+			fid: int32(fid), sub: int32(s),
+			lo: int32(s * m / S), hi: int32((s + 1) * m / S),
+		}
+	}
+	if S == 1 {
+		return
+	}
+	// bStart[s] is the start offset at slice s's left boundary; it ascends
+	// with s because w is start-sorted.
+	bStart := make([]int64, S)
+	for s := 0; s < S; s++ {
+		bStart[s] = ops[w[out[s].lo]].Start
+	}
+	// Interval i straddles into every later slice whose boundary start it
+	// covers: exactly the slices t > sliceOf(i) with End_i > bStart[t].
+	// Ascending boundary starts make those a contiguous run (sliceOf(i), t]
+	// found by binary search. The carry lists are built as views into one
+	// exactly-sized arena — a diff-array counting pass sizes them — and
+	// filling in ascending i keeps each list in the order the serial scan
+	// would visit it.
+	straddle := func(visit func(i, first, last int)) {
+		s := 0
+		for i := 0; i < m; i++ {
+			for s+1 < S && i >= int(out[s+1].lo) {
+				s++
+			}
+			end := ops[w[i]].End
+			if s+1 >= S || end <= bStart[s+1] {
+				continue
+			}
+			k := sort.Search(S-s-2, func(q int) bool { return bStart[s+2+q] >= end })
+			visit(i, s+1, s+1+k)
+		}
+	}
+	diff := make([]int64, S+1)
+	straddle(func(i, first, last int) {
+		diff[first]++
+		diff[last+1]--
+	})
+	carryOff := make([]int64, S+1)
+	run := int64(0)
+	for q := 0; q < S; q++ {
+		run += diff[q]
+		carryOff[q+1] = carryOff[q] + run
+		diff[q] = carryOff[q] // reuse as the fill cursor
+	}
+	arena := make([]int32, carryOff[S])
+	straddle(func(i, first, last int) {
+		for q := first; q <= last; q++ {
+			arena[diff[q]] = int32(i)
+			diff[q]++
+		}
+	})
+	for q := 0; q < S; q++ {
+		out[q].carry = arena[carryOff[q]:carryOff[q+1]:carryOff[q+1]]
+	}
+}
+
+// count sweeps the slice's share of the pairs, bumping both endpoints'
+// degrees. Degrees are order-free sums, so the atomic adds from
+// concurrently swept slices cannot perturb the result. Returns the number
+// of unordered pairs owned by the slice.
+func (t *sweepSlice) count(ops []Op, w []int32, deg []int32) int64 {
+	var pairs int64
+	lo, hi := int(t.lo), int(t.hi)
+	for _, ci := range t.carry {
+		I := &ops[w[ci]]
+		for j := lo; j < hi; j++ {
+			J := &ops[w[j]]
+			if J.Start >= I.End {
+				break // sorted by start: no later interval overlaps I either
+			}
+			if (!I.Write && !J.Write) || I.Ref.Rank == J.Ref.Rank {
+				continue
+			}
+			atomic.AddInt32(&deg[w[ci]], 1)
+			atomic.AddInt32(&deg[w[j]], 1)
+			pairs++
+		}
+	}
+	for i := lo; i < hi; i++ {
+		I := &ops[w[i]]
+		for j := i + 1; j < hi; j++ {
+			J := &ops[w[j]]
+			if J.Start >= I.End {
+				break
+			}
+			if (!I.Write && !J.Write) || I.Ref.Rank == J.Ref.Rank {
+				continue
+			}
+			atomic.AddInt32(&deg[w[i]], 1)
+			atomic.AddInt32(&deg[w[j]], 1)
+			pairs++
+		}
+	}
+	return pairs
+}
+
+// fill re-runs the slice's sweep, scattering both directed endpoints of
+// every pair into the scratch adjacency through atomic cursors. The
+// intra-bucket order is scheduling-dependent; the transpose in detectPairs
+// produces the same final layout for every such order.
+func (t *sweepSlice) fill(ops []Op, w []int32, cur []int64, adj []int32) {
+	lo, hi := int(t.lo), int(t.hi)
+	for _, ci := range t.carry {
+		I := &ops[w[ci]]
+		for j := lo; j < hi; j++ {
+			J := &ops[w[j]]
+			if J.Start >= I.End {
+				break
+			}
+			if (!I.Write && !J.Write) || I.Ref.Rank == J.Ref.Rank {
+				continue
+			}
+			adj[atomic.AddInt64(&cur[w[ci]], 1)-1] = w[j]
+			adj[atomic.AddInt64(&cur[w[j]], 1)-1] = w[ci]
+		}
+	}
+	for i := lo; i < hi; i++ {
+		I := &ops[w[i]]
+		for j := i + 1; j < hi; j++ {
+			J := &ops[w[j]]
+			if J.Start >= I.End {
+				break
+			}
+			if (!I.Write && !J.Write) || I.Ref.Rank == J.Ref.Rank {
+				continue
+			}
+			adj[atomic.AddInt64(&cur[w[i]], 1)-1] = w[j]
+			adj[atomic.AddInt64(&cur[w[j]], 1)-1] = w[i]
+		}
+	}
+}
+
+// transposeRanges picks the parallelism of the transpose and group-build
+// passes: one balanced op range per worker, shrunk so the K·n histograms
+// stay within histBudgetBytes.
+func transposeRanges(workers, n int) int {
+	k := workers
+	if maxK := histBudgetBytes / (4 * n); k > maxK {
+		k = maxK
+	}
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// rangeBounds splits the op index space [0, n) into K contiguous ranges
+// balanced by directed-entry count, by binary search on the offset table.
+func rangeBounds(off []int64, n, K int) []int {
+	total := off[n]
+	bounds := make([]int, K+1)
+	bounds[K] = n
+	for k := 1; k < K; k++ {
+		target := total * int64(k) / int64(K)
+		bounds[k] = sort.Search(n, func(v int) bool { return off[v] >= target })
+	}
+	return bounds
 }
 
 // detectPairs runs the sort-and-sweep over per-file interval lists (the
-// paper's conflict_detection pseudocode) and builds the conflict groups.
-// An operation belongs to exactly one file, so the per-file sweeps are
-// independent and shard across the worker pool; their group lists have
-// disjoint X sets, so the final sort by X interleaves them exactly as a
-// serial ascending-fid sweep would have emitted them.
+// paper's conflict_detection pseudocode) and builds the conflict groups
+// without ever materializing a pair list.
+//
+// Parallel structure: after the per-file start-offset sort, each file's
+// interval list is partitioned into contiguous slices sized by op count
+// (sliceFile), so the sweep scales within a single shared file — the
+// canonical N-ranks-to-one-file HPC pattern — not just across files. The
+// sweep runs twice over the (file, slice) tasks: a counting pass
+// accumulates per-op conflict degrees, a prefix sum turns them into offsets
+// into the Result-wide ys arena, and a fill pass writes both directed
+// endpoints of each pair into a scratch adjacency. A counting transpose
+// then walks ops in ascending index order and scatters each into its
+// partners' final buckets, which lands every group's ys ascending — the CSR
+// layout the old path obtained from materializing 2P pairRecs and a global
+// O(P log P) sort — and the per-rank runs fall out of one rank-monotone
+// walk. Groups emerge already sorted by X. Every output byte is a function
+// of the trace alone: the Result is identical at every worker count.
 func detectPairs(res *Result, workers int, oc obs.Ctx) {
 	sc, sweepSpan := oc.Start("sweep", obs.Int("files", len(res.Files)))
 	defer sweepSpan.End()
 
-	byFile := make([][]int32, len(res.Files))
-	for i := range res.Ops {
-		fid := res.Ops[i].FID
-		byFile[fid] = append(byFile[fid], int32(i))
-	}
-
-	sweeps := make([]fileSweep, len(byFile))
-	par.DoObs(sc, "detect-sweep", workers, len(byFile), func(fid int) {
-		var sp *obs.Span
-		// Files with fewer than two ops cannot conflict; skip their spans
-		// so traces on wide file sets stay readable.
-		if len(byFile[fid]) > 1 {
-			_, sp = sc.StartLane("detect/sweep-"+fmt.Sprint(fid), "sweep-file", obs.Int("fid", fid))
+	ops := res.Ops
+	n := len(ops)
+	nfiles := len(res.Files)
+	publish := func(slicesN int, carryOps, scratchBytes int64) {
+		if r := oc.R; r != nil {
+			r.Gauge("conflict.sweep_slices").Set(int64(slicesN))
+			r.Gauge("conflict.sweep_carry_ops").Set(carryOps)
+			r.Gauge("conflict.sweep_scratch_bytes").Set(scratchBytes)
 		}
-		sweeps[fid] = sweepFile(res.Ops, byFile[fid])
-		sp.End()
-	})
-
-	totalGroups, totalYs, totalRuns := 0, 0, 0
-	for i := range sweeps {
-		res.Pairs += sweeps[i].pairs
-		totalGroups += len(sweeps[i].groups)
-		totalYs += sweeps[i].nys
-		totalRuns += sweeps[i].nruns
 	}
-	if totalGroups == 0 {
+	if n == 0 || nfiles == 0 {
+		publish(0, 0, 0)
 		return
 	}
-	groups := make([]Group, 0, totalGroups)
-	for i := range sweeps {
-		groups = append(groups, sweeps[i].groups...)
-	}
-	slices.SortFunc(groups, func(a, b Group) int { return cmp.Compare(a.X, b.X) })
 
-	// Compact the per-file storage into two Result-wide arenas in group
-	// order. Capacities are exact, so the appends never reallocate and the
-	// rebased views stay valid.
-	ys := make([]int32, 0, totalYs)
-	runs := make([]int32, 0, totalRuns)
-	for i := range groups {
-		g := &groups[i]
-		ylo, rlo := len(ys), len(runs)
-		ys = append(ys, g.ys...)
-		runs = append(runs, g.runs...)
-		g.ys = ys[ylo:len(ys):len(ys)]
-		g.runs = runs[rlo:len(runs):len(runs)]
+	// Per-file interval index arena, built by counting so the partition
+	// costs two passes and three allocations however many files there are.
+	fileOff := make([]int32, nfiles+1)
+	for i := range ops {
+		fileOff[ops[i].FID+1]++
 	}
-	res.Groups = groups
-}
+	for f := 0; f < nfiles; f++ {
+		fileOff[f+1] += fileOff[f]
+	}
+	idx := make([]int32, n)
+	next := append([]int32(nil), fileOff[:nfiles]...)
+	for i := range ops {
+		f := ops[i].FID
+		idx[next[f]] = int32(i)
+		next[f]++
+	}
 
-// sweepFile sorts one file's operations by start offset and sweeps for
-// overlapping cross-rank pairs with at least one write, then folds the
-// pair list into CSR groups.
-func sweepFile(ops []Op, idx []int32) fileSweep {
-	slices.SortFunc(idx, func(a, b int32) int {
-		oa, ob := &ops[a], &ops[b]
-		if oa.Start != ob.Start {
-			return cmp.Compare(oa.Start, ob.Start)
+	taskOff := make([]int32, nfiles+1)
+	for f := 0; f < nfiles; f++ {
+		taskOff[f+1] = taskOff[f] + int32(numSlices(int(fileOff[f+1]-fileOff[f])))
+	}
+	tasks := make([]sweepSlice, taskOff[nfiles])
+
+	sortCtx, sortSpan := sc.Start("sweep-sort", obs.Int("tasks", len(tasks)))
+	par.DoObs(sortCtx, "detect-sort", workers, nfiles, func(f int) {
+		w := idx[fileOff[f]:fileOff[f+1]]
+		if len(w) == 0 {
+			return
 		}
-		// Op index order is (rank, seq) order: Ops is rank-major.
-		return cmp.Compare(a, b)
-	})
-
-	var sw fileSweep
-	var recs []pairRec
-	for i := 0; i < len(idx); i++ {
-		I := &ops[idx[i]]
-		for j := i + 1; j < len(idx); j++ {
-			J := &ops[idx[j]]
-			if J.Start >= I.End {
-				// Sorted by start: no later interval can overlap I
-				// either.
-				break
+		slices.SortFunc(w, func(a, b int32) int {
+			oa, ob := &ops[a], &ops[b]
+			if oa.Start != ob.Start {
+				return cmp.Compare(oa.Start, ob.Start)
 			}
-			if !I.Write && !J.Write {
+			// Op index order is (rank, seq) order: Ops is rank-major.
+			return cmp.Compare(a, b)
+		})
+		sliceFile(ops, w, f, tasks[taskOff[f]:taskOff[f+1]])
+	})
+	sortSpan.End()
+
+	var carryOps int64
+	for i := range tasks {
+		carryOps += int64(len(tasks[i].carry))
+	}
+
+	deg := make([]int32, n)
+	taskPairs := make([]int64, len(tasks))
+	countCtx, countSpan := sc.Start("sweep-count", obs.Int("slices", len(tasks)))
+	par.DoObs(countCtx, "detect-sweep", workers, len(tasks), func(ti int) {
+		t := &tasks[ti]
+		w := idx[fileOff[t.fid]:fileOff[t.fid+1]]
+		// Single-op files cannot conflict; skip their spans so traces on
+		// wide file sets stay readable. The Enabled guard keeps the lane
+		// name and attrs from being built on uninstrumented runs.
+		if len(w) > 1 && countCtx.Enabled() {
+			_, sp := countCtx.StartLane(t.lane(), "sweep-slice",
+				obs.Int("fid", int(t.fid)), obs.Int("ops", int(t.hi-t.lo)),
+				obs.Int("carry", len(t.carry)))
+			defer sp.End()
+		}
+		taskPairs[ti] = t.count(ops, w, deg)
+	})
+	countSpan.End()
+	for _, p := range taskPairs {
+		res.Pairs += p
+	}
+
+	off := make([]int64, n+1)
+	for i := 0; i < n; i++ {
+		off[i+1] = off[i] + int64(deg[i])
+	}
+	total := off[n]
+
+	// The transient footprint of the sweep: index + slice plan + degree /
+	// offset / cursor tables + the scratch adjacency and transpose
+	// histograms. The output arenas (ys, runs, groups) are retained and
+	// excluded. CI gates this against the pair count.
+	scratchBytes := 4*int64(n) /* idx */ + 4*int64(nfiles+1) /* fileOff */ +
+		4*carryOps + 4*int64(n) /* deg */ + 8*int64(n+1) /* off */
+	if total == 0 {
+		publish(len(tasks), carryOps, scratchBytes)
+		return
+	}
+
+	cur := make([]int64, n)
+	copy(cur, off[:n])
+	adj := make([]int32, total)
+	fillCtx, fillSpan := sc.Start("sweep-fill", obs.Int("entries", int(total)))
+	par.DoObs(fillCtx, "detect-fill", workers, len(tasks), func(ti int) {
+		t := &tasks[ti]
+		w := idx[fileOff[t.fid]:fileOff[t.fid+1]]
+		if len(w) > 1 && fillCtx.Enabled() {
+			_, sp := fillCtx.StartLane(t.lane(), "fill-slice", obs.Int("fid", int(t.fid)))
+			defer sp.End()
+		}
+		t.fill(ops, w, cur, adj)
+	})
+	fillSpan.End()
+
+	// Counting transpose into the final ys arena, over K op ranges balanced
+	// by directed-entry count. Range k histograms its share of the scratch
+	// adjacency, an exclusive scan across ranges turns the histograms into
+	// per-range starting positions inside each destination bucket, and the
+	// scatter writes every op v (ascending within each range, ranges
+	// covering ascending v) into its partners' buckets — so each bucket
+	// comes out ascending and every write lands at a position that depends
+	// only on the adjacency, not on scheduling.
+	K := transposeRanges(workers, n)
+	bounds := rangeBounds(off, n, K)
+	ys := make([]int32, total)
+	hist := make([]int32, K*n)
+	compactCtx, compactSpan := sc.Start("sweep-compact", obs.Int("ranges", K))
+	par.DoObs(compactCtx, "detect-compact", workers, K, func(k int) {
+		h := hist[k*n : (k+1)*n]
+		for v := bounds[k]; v < bounds[k+1]; v++ {
+			for p := off[v]; p < off[v+1]; p++ {
+				h[adj[p]]++
+			}
+		}
+	})
+	for u := 0; u < n; u++ {
+		run := int32(0)
+		for k := 0; k < K; k++ {
+			hist[k*n+u], run = run, run+hist[k*n+u]
+		}
+	}
+	par.DoObs(compactCtx, "detect-compact", workers, K, func(k int) {
+		h := hist[k*n : (k+1)*n]
+		for v := bounds[k]; v < bounds[k+1]; v++ {
+			for p := off[v]; p < off[v+1]; p++ {
+				u := adj[p]
+				ys[off[u]+int64(h[u])] = int32(v)
+				h[u]++
+			}
+		}
+	})
+	compactSpan.End()
+
+	// Build groups and per-rank runs over the same op ranges: a counting
+	// pass sizes the runs arena exactly, a prefix sum places each range,
+	// and the fill writes group-relative run offsets in one rank-monotone
+	// walk per group. Ops with nonzero degree ascend, so the group list is
+	// born sorted by X.
+	rankOf := make([]int32, n)
+	for i := range ops {
+		rankOf[i] = int32(ops[i].Ref.Rank)
+	}
+	ngr := make([]int64, K+1)
+	nrn := make([]int64, K+1)
+	groupsCtx, groupsSpan := sc.Start("sweep-groups")
+	par.DoObs(groupsCtx, "detect-groups", workers, K, func(k int) {
+		var g, rn int64
+		for v := bounds[k]; v < bounds[k+1]; v++ {
+			lo, hi := off[v], off[v+1]
+			if lo == hi {
 				continue
 			}
-			if I.Ref.Rank == J.Ref.Rank {
-				continue // ordered by program order
+			g++
+			runs := int64(1)
+			prev := rankOf[ys[lo]]
+			for p := lo + 1; p < hi; p++ {
+				if r := rankOf[ys[p]]; r != prev {
+					runs++
+					prev = r
+				}
 			}
-			sw.pairs++
-			recs = append(recs, pairRec{x: idx[i], y: idx[j]}, pairRec{x: idx[j], y: idx[i]})
+			rn += runs + 1
 		}
-	}
-	if len(recs) == 0 {
-		return sw
-	}
-
-	// Sorting the directed pairs by (x, y) clusters each group's ys
-	// contiguously and ascending; runs then fall out of a single walk.
-	slices.SortFunc(recs, func(a, b pairRec) int {
-		if a.x != b.x {
-			return cmp.Compare(a.x, b.x)
-		}
-		return cmp.Compare(a.y, b.y)
+		ngr[k+1], nrn[k+1] = g, rn
 	})
-	ysArena := make([]int32, len(recs))
-	var runArena []int32
-	for s := 0; s < len(recs); {
-		x := recs[s].x
-		e := s
-		for e < len(recs) && recs[e].x == x {
-			ysArena[e] = recs[e].y
-			e++
-		}
-		ys := ysArena[s:e]
-		rlo := len(runArena)
-		prevRank := -1
-		for k, y := range ys {
-			if r := ops[y].Ref.Rank; r != prevRank {
-				runArena = append(runArena, int32(k)) // run offsets are group-relative
-				prevRank = r
-			}
-		}
-		runArena = append(runArena, int32(len(ys)))
-		// Earlier groups keep views into superseded runArena backing
-		// arrays after growth; their contents are complete and never
-		// rewritten, and detectPairs rebases everything anyway.
-		sw.groups = append(sw.groups, Group{X: int(x), ys: ys, runs: runArena[rlo:len(runArena)]})
-		s = e
+	for k := 0; k < K; k++ {
+		ngr[k+1] += ngr[k]
+		nrn[k+1] += nrn[k]
 	}
-	sw.nys = len(ysArena)
-	sw.nruns = len(runArena)
-	return sw
+	groups := make([]Group, ngr[K])
+	runsArena := make([]int32, nrn[K])
+	par.DoObs(groupsCtx, "detect-groups", workers, K, func(k int) {
+		gi, rp := ngr[k], nrn[k]
+		for v := bounds[k]; v < bounds[k+1]; v++ {
+			lo, hi := off[v], off[v+1]
+			if lo == hi {
+				continue
+			}
+			rlo := rp
+			prev := int32(-1)
+			for p := lo; p < hi; p++ {
+				if r := rankOf[ys[p]]; r != prev {
+					runsArena[rp] = int32(p - lo) // run offsets are group-relative
+					rp++
+					prev = r
+				}
+			}
+			runsArena[rp] = int32(hi - lo)
+			rp++
+			groups[gi] = Group{X: v, ys: ys[lo:hi:hi], runs: runsArena[rlo:rp:rp]}
+			gi++
+		}
+	})
+	groupsSpan.End()
+	res.Groups = groups
+
+	scratchBytes += 8*int64(n) /* cur */ + 4*total /* adj */ +
+		4*int64(K)*int64(n) /* hist */ + 4*int64(n) /* rankOf */
+	publish(len(tasks), carryOps, scratchBytes)
 }

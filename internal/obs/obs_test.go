@@ -457,3 +457,39 @@ func TestStandaloneHistogram(t *testing.T) {
 		t.Fatalf("nil snapshot = %+v, want zero", s)
 	}
 }
+
+// TestNilSpanMethodsAreNoOps pins the nil-receiver contract that
+// conditional span starts rely on: a disabled tracer hands back nil spans,
+// and every *Span method must be a safe no-op on them. Callers still must
+// not lean on it for control flow — the detect sweep starts spans only on
+// the paths that end them — but a nil span reaching End, chaining, or
+// attribute code must never panic.
+func TestNilSpanMethodsAreNoOps(t *testing.T) {
+	var sp *Span
+	sp.End()
+	sp.End() // double-End on nil is as safe as on a live span
+	if got := sp.SetLane("lane"); got != nil {
+		t.Errorf("nil Span.SetLane returned %v, want nil", got)
+	}
+	if got := sp.SetCat("cat"); got != nil {
+		t.Errorf("nil Span.SetCat returned %v, want nil", got)
+	}
+	sp.AddAttr(Int("k", 1), String("s", "v"))
+
+	// The zero Ctx is the disabled-telemetry path: Start and StartLane must
+	// return nil spans and a context that keeps working for children.
+	var c Ctx
+	if c.Enabled() {
+		t.Error("zero Ctx reports Enabled")
+	}
+	child, s1 := c.Start("stage", Int("n", 3))
+	if s1 != nil {
+		t.Errorf("zero Ctx Start returned span %v, want nil", s1)
+	}
+	_, s2 := child.StartLane("lane", "shard")
+	if s2 != nil {
+		t.Errorf("zero Ctx StartLane returned span %v, want nil", s2)
+	}
+	s1.End()
+	s2.End()
+}
